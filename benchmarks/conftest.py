@@ -1,0 +1,35 @@
+"""Shared helpers for the paper-table benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation.  Rows are printed and also written to ``benchmarks/out/`` so
+EXPERIMENTS.md can record paper-vs-measured without rerunning.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(out_dir, request):
+    """Return a function writing a named report (and echoing it)."""
+
+    def _emit(name: str, lines):
+        text = "\n".join(lines) + "\n"
+        (out_dir / f"{name}.txt").write_text(text)
+        print(f"\n--- {name} ---")
+        print(text)
+
+    return _emit
+
+
+def fmt_row(values, widths):
+    return "  ".join(str(v).ljust(w) for v, w in zip(values, widths))

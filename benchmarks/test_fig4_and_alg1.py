@@ -1,0 +1,82 @@
+"""Figure 4 (conformance-found spec discrepancy) and Algorithm 1 (ranking).
+
+Figure 4: the ZooKeeper spec's buggy ``CheckLeader`` (requiring ``round =
+logicalClock`` for self-election) is seeded via the ``FIG4`` flag and the
+conformance checker must report the diverging variable with the event
+sequence — the paper's example of iterative spec refinement.
+
+Algorithm 1: constraints are ranked per configuration by random-walk
+branch coverage, event diversity and depth.
+"""
+
+from repro.conformance import ConformanceChecker, mapping_for
+from repro.core import rank_constraints
+from repro.core.ranking import default_sort_key
+from repro.specs.raft import PySyncObjSpec, RaftConfig
+from repro.specs.zab import ZabConfig, ZabSpec
+from repro.systems import ZooKeeperNode
+
+from conftest import fmt_row
+
+NODES = ("n1", "n2", "n3")
+
+
+def find_fig4_discrepancy():
+    spec = ZabSpec(ZabConfig(nodes=NODES), bugs={"FIG4"})
+    checker = ConformanceChecker(
+        spec, ZooKeeperNode, mapping_for("zookeeper", NODES), impl_bugs=()
+    )
+    for seed in range(60):
+        report = checker.run(quiet_period=2.0, max_traces=25, max_depth=30, seed=seed)
+        if not report.passed:
+            return report
+    return None
+
+
+def test_fig4_conformance(benchmark, emit):
+    report = benchmark.pedantic(find_fig4_discrepancy, rounds=1, iterations=1)
+    assert report is not None, "the CheckLeader discrepancy was never observed"
+    failure = report.failure
+    assert failure.discrepancies
+    lines = ["Figure 4: CheckLeader discrepancy found by conformance checking"]
+    for discrepancy in failure.discrepancies[:4]:
+        lines.append(f"  {discrepancy.describe()[:150]}")
+    emit("fig4_conformance", lines)
+
+
+def spec_factory(config, constraint):
+    return PySyncObjSpec(RaftConfig(nodes=NODES, **constraint))
+
+
+CONSTRAINTS = [
+    {"max_timeouts": 3, "max_requests": 2, "max_crashes": 1, "max_partitions": 1, "max_buffer": 4},
+    {"max_timeouts": 5, "max_requests": 1, "max_crashes": 0, "max_partitions": 1, "max_buffer": 3},
+    {"max_timeouts": 2, "max_requests": 1, "max_crashes": 0, "max_partitions": 0, "max_buffer": 2},
+    {"max_timeouts": 4, "max_requests": 3, "max_crashes": 2, "max_partitions": 1, "max_buffer": 6},
+]
+
+
+def run_ranking():
+    return rank_constraints(
+        spec_factory, [{"nodes": 3}], CONSTRAINTS, n_walks=40, max_depth=60, seed=0
+    )
+
+
+def test_alg1_ranking(benchmark, emit):
+    rankings = benchmark.pedantic(run_ranking, rounds=1, iterations=1)
+    scores = rankings[0].scores
+    keys = [default_sort_key(s) for s in scores]
+    assert keys == sorted(keys)
+    # The tiny constraint covers fewer branches and must rank last.
+    assert scores[-1].constraint["max_timeouts"] == 2
+    widths = (5, 9, 10, 10, 60)
+    lines = [fmt_row(("rank", "coverage", "diversity", "max-depth", "constraint"), widths)]
+    for rank, score in enumerate(scores, start=1):
+        row = score.as_row()
+        lines.append(
+            fmt_row(
+                (rank, row["branch_coverage"], row["event_diversity"], row["max_depth"], row["constraint"]),
+                widths,
+            )
+        )
+    emit("alg1_ranking", lines)

@@ -1,0 +1,129 @@
+"""Table 2: effectiveness and efficiency in detecting bugs.
+
+Reruns the specification-level detection for every verification-stage
+bug with the registry's per-bug configuration (the paper's
+Algorithm-1-chosen constraints) and prints measured time / depth /
+distinct states next to the paper's figures.  Conformance-stage bugs are
+detected by the conformance checker against implementations seeded with
+only the implementation-side bug.
+
+Absolute numbers differ (TLC on a 20-hyperthread server vs. pure
+Python), but the qualitative shape must hold: every bug is found, BFS
+counterexamples are shallow-first, and deep bugs need more states.
+"""
+
+import pytest
+
+from repro.bugs import BUGS, detect
+from repro.conformance import ConformanceChecker, mapping_for
+from repro.specs.raft import PySyncObjSpec, RaftConfig, RaftOSSpec, WRaftSpec, XraftSpec
+from repro.systems import SYSTEMS
+
+from conftest import fmt_row
+
+FAST_VERIFICATION = [
+    "PySyncObj#2",
+    "PySyncObj#3",
+    "PySyncObj#4",
+    "PySyncObj#5",
+    "WRaft#4",
+    "WRaft#5",
+    "WRaft#7",
+    "DaosRaft#1",
+    "RaftOS#1",
+    "RaftOS#2",
+    "RaftOS#4",
+    "Xraft#1",
+    "ZooKeeper#1",
+]
+SLOW_VERIFICATION = ["WRaft#1", "WRaft#2", "Xraft-KV#1"]
+
+CONFORMANCE_BUGS = {
+    "PySyncObj#1": (PySyncObjSpec, "pysyncobj", "P1"),
+    "WRaft#8": (WRaftSpec, "wraft", "W8"),
+    "WRaft#6": (WRaftSpec, "wraft", "W6"),
+    "RaftOS#3": (RaftOSSpec, "raftos", "R3"),
+    "Xraft#2": (XraftSpec, "xraft", "X2"),
+}
+
+_rows = {}
+
+
+def detect_row(bug_id, budget):
+    result = detect(BUGS[bug_id], time_budget=budget, n_walks=40_000, max_depth=40)
+    assert result.found, f"{bug_id} not detected"
+    return result.as_row()
+
+
+@pytest.mark.parametrize("bug_id", FAST_VERIFICATION)
+def test_table2_verification_bug(benchmark, bug_id):
+    row = benchmark.pedantic(detect_row, args=(bug_id, 180.0), rounds=1, iterations=1)
+    _rows[bug_id] = row
+
+
+@pytest.mark.parametrize("bug_id", SLOW_VERIFICATION)
+def test_table2_verification_bug_slow(benchmark, bug_id):
+    row = benchmark.pedantic(detect_row, args=(bug_id, 360.0), rounds=1, iterations=1)
+    _rows[bug_id] = row
+
+
+def find_by_conformance(bug_id):
+    spec_cls, system, flag = CONFORMANCE_BUGS[bug_id]
+    spec = spec_cls(RaftConfig())
+    checker = ConformanceChecker(
+        spec, SYSTEMS[system], mapping_for(system, spec.nodes), impl_bugs=(flag,)
+    )
+    for seed in range(60):
+        report = checker.run(quiet_period=2.0, max_traces=25, max_depth=30, seed=seed)
+        if not report.passed:
+            failure = report.failure
+            kind = (
+                "crash"
+                if failure.crash
+                else "leak" if failure.resource_leak else "state divergence"
+            )
+            return {"bug": bug_id, "found": True, "via": kind}
+    return {"bug": bug_id, "found": False, "via": None}
+
+
+@pytest.mark.parametrize("bug_id", sorted(CONFORMANCE_BUGS))
+def test_table2_conformance_bug(benchmark, bug_id):
+    row = benchmark.pedantic(find_by_conformance, args=(bug_id,), rounds=1, iterations=1)
+    assert row["found"], f"{bug_id} not caught by conformance checking"
+    _rows[bug_id] = row
+
+
+def test_table2_report(benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Render whatever rows the session produced (runs last)."""
+    widths = (13, 7, 8, 6, 9, 8, 26)
+    lines = [
+        fmt_row(
+            ("bug", "found", "time(s)", "depth", "states", "walks", "paper (time/depth/states)"),
+            widths,
+        )
+    ]
+    for bug_id in FAST_VERIFICATION + SLOW_VERIFICATION:
+        row = _rows.get(bug_id)
+        if row is None:
+            continue
+        lines.append(
+            fmt_row(
+                (
+                    bug_id,
+                    row["found"],
+                    row["time_s"],
+                    row["depth"],
+                    row["states"] or "-",
+                    row["walks"] or "-",
+                    f"{row['paper_time']}/{row['paper_depth']}/{row['paper_states']}",
+                ),
+                widths,
+            )
+        )
+    for bug_id in sorted(CONFORMANCE_BUGS):
+        row = _rows.get(bug_id)
+        if row is None:
+            continue
+        lines.append(fmt_row((bug_id, row["found"], "-", "-", "-", "-", f"conformance ({row['via']})"), widths))
+    emit("table2_bugs", lines)

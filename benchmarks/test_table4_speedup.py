@@ -1,0 +1,187 @@
+"""Table 4: specification-level vs. implementation-level exploration speed.
+
+For each system: random-walk the specification (one worker) and measure
+the wall-clock per trace; then deterministically replay a sample of the
+same traces at the implementation level and measure the cost per trace
+under the per-system latency model calibrated from §5.3 (cluster
+initialization plus per-event synchronization sleeps — the substitution
+documented in DESIGN.md).  The speedup column is Impl./Spec., as in the
+paper; the raw compute cost of the in-process replay is also reported.
+"""
+
+import random
+
+import pytest
+
+from repro.conformance import ConformanceChecker, mapping_for
+from repro.core.simulation import random_walk
+from repro.runtime.latency import preset_for
+from repro.specs.raft import (
+    DaosRaftSpec,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    RedisRaftSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+from repro.specs.zab import ZabConfig, ZabSpec
+from repro.systems import SYSTEMS
+
+from conftest import fmt_row
+
+#: paper Table 4: (trace depth range, avg depth, spec ms, impl ms, speedup)
+PAPER = {
+    "pysyncobj": ("9-54", 40, 14.18, 1798.53, 127),
+    "wraft": ("13-60", 47, 20.70, 2496.53, 121),
+    "redisraft": ("10-78", 45, 15.87, 1802.40, 114),
+    "daosraft": ("11-64", 48, 11.96, 2115.82, 177),
+    "raftos": ("10-44", 31, 5.83, 4813.74, 825),
+    "xraft": ("21-49", 38, 8.14, 24338.57, 2989),
+    "xraft-kv": ("7-51", 35, 8.64, 24032.17, 2781),
+    "zookeeper": ("16-59", 46, 17.14, 28441.65, 1660),
+}
+
+SPECS = {
+    "pysyncobj": PySyncObjSpec,
+    "wraft": WRaftSpec,
+    "redisraft": RedisRaftSpec,
+    "daosraft": DaosRaftSpec,
+    "raftos": RaftOSSpec,
+    "xraft": XraftSpec,
+    "xraft-kv": XraftKVSpec,
+}
+
+N_SPEC_TRACES = 150
+N_REPLAYS = 10
+
+_rows = {}
+
+
+def make_spec(name):
+    # Budgets doubled so random-walk depths land in the paper's ranges
+    # (their Table 4 traces average 31-48 events).
+    if name == "zookeeper":
+        return ZabSpec(
+            ZabConfig(
+                max_timeouts=5,
+                max_requests=3,
+                max_crashes=2,
+                max_restarts=2,
+                max_partitions=2,
+                max_buffer=8,
+                max_epoch=5,
+            )
+        )
+    return SPECS[name](RaftConfig().scaled(2))
+
+
+def measure(name):
+    import time
+
+    spec = make_spec(name)
+    rng = random.Random(0)
+
+    walks = []
+    spec_started = time.monotonic()
+    for _ in range(N_SPEC_TRACES):
+        walks.append(random_walk(spec, rng, max_depth=50, check_invariants=False))
+    spec_elapsed = time.monotonic() - spec_started
+    spec_ms = spec_elapsed / N_SPEC_TRACES * 1000
+
+    depths = [w.depth for w in walks if w.depth > 0]
+    sample = [w for w in walks if w.depth > 0][:N_REPLAYS]
+
+    checker = ConformanceChecker(
+        spec,
+        SYSTEMS[name],
+        mapping_for(name, spec.nodes),
+        latency=preset_for(name),
+        compare_every_step=False,
+    )
+    modeled, raw = [], []
+    for walk in sample:
+        replay_started = time.monotonic()
+        report = checker.replay(walk.trace)
+        raw.append(time.monotonic() - replay_started)
+        assert report.conforms, f"{name}: replay diverged"
+        modeled.append(report.impl_seconds)
+
+    impl_ms = sum(modeled) / len(modeled) * 1000
+    raw_ms = sum(raw) / len(raw) * 1000
+    return {
+        "depth_range": f"{min(depths)}-{max(depths)}",
+        "avg_depth": round(sum(depths) / len(depths)),
+        "spec_ms": round(spec_ms, 2),
+        "impl_ms": round(impl_ms, 2),
+        "raw_impl_ms": round(raw_ms, 2),
+        "speedup": round(impl_ms / spec_ms),
+    }
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_table4_system(benchmark, name):
+    row = benchmark.pedantic(measure, args=(name,), rounds=1, iterations=1)
+    _rows[name] = row
+    # The shape that must hold: spec-level exploration is orders of
+    # magnitude faster than the modeled implementation-level replay.
+    assert row["speedup"] > 20, row
+
+
+def test_table4_ordering(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The per-system speedup ordering follows the paper: the systems
+    that sleep for initialization and synchronization (Xraft, Xraft-KV,
+    ZooKeeper) dominate, RaftOS sits in the middle, and the no-sleep
+    drivers are lowest."""
+    if len(_rows) < len(PAPER):
+        pytest.skip("per-system rows missing")
+    # The modeled per-trace implementation cost is deterministic: the
+    # no-sleep drivers < RaftOS < the init/sync sleepers, as in §5.3.
+    fast_impl = [_rows[n]["impl_ms"] for n in ("pysyncobj", "wraft", "redisraft", "daosraft")]
+    sleepy_impl = [_rows[n]["impl_ms"] for n in ("xraft", "xraft-kv", "zookeeper")]
+    assert max(fast_impl) < _rows["raftos"]["impl_ms"] < min(sleepy_impl)
+    # Speedups carry spec-side measurement noise; the robust claim is the
+    # large separation between the sleepy systems and everything else.
+    fast_speedup = [_rows[n]["speedup"] for n in ("pysyncobj", "wraft", "redisraft", "daosraft", "raftos")]
+    sleepy_speedup = [_rows[n]["speedup"] for n in ("xraft", "xraft-kv", "zookeeper")]
+    assert min(sleepy_speedup) > 2 * max(fast_speedup)
+
+
+def test_table4_report(benchmark, emit):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    widths = (10, 8, 6, 9, 10, 12, 8, 24)
+    lines = [
+        fmt_row(
+            (
+                "system",
+                "depths",
+                "avg",
+                "spec(ms)",
+                "impl(ms)",
+                "raw-impl(ms)",
+                "speedup",
+                "paper (spec/impl/x)",
+            ),
+            widths,
+        )
+    ]
+    for name, row in _rows.items():
+        p = PAPER[name]
+        lines.append(
+            fmt_row(
+                (
+                    name,
+                    row["depth_range"],
+                    row["avg_depth"],
+                    row["spec_ms"],
+                    row["impl_ms"],
+                    row["raw_impl_ms"],
+                    f"{row['speedup']}x",
+                    f"{p[2]}/{p[3]}/{p[4]}x",
+                ),
+                widths,
+            )
+        )
+    emit("table4_speedup", lines)

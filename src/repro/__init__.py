@@ -1,0 +1,35 @@
+"""SandTable reproduction: scalable distributed system model checking.
+
+This package reproduces the SandTable system (EuroSys '24): state-space
+exploration is lifted from the implementation level to the specification
+level, and candidate bugs are confirmed by deterministically replaying the
+triggering event sequence against the real implementation.
+
+Layout
+------
+``repro.core``
+    The model-checking engine: spec DSL, stateful BFS, random walk,
+    symmetry reduction, constraint ranking (Algorithm 1).
+``repro.specs``
+    Formal specifications of the eight target systems (Raft variants and
+    ZAB) plus reusable TCP/UDP network modules.
+``repro.systems``
+    Runnable event-driven implementations of the same systems, with the
+    paper's Table 2 bugs seeded behind flags.
+``repro.runtime``
+    The implementation-level deterministic execution engine: virtual
+    clock, syscall interceptor, transparent network proxy, failure
+    injection, event scheduler.
+``repro.conformance``
+    Conformance checking (spec vs. implementation) and deterministic bug
+    replay / fix validation.
+``repro.bugs``
+    The registry of all 23 paper bugs with their seeding flags.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+from .workflow import WorkflowResult, run_workflow
+
+__all__ = ["WorkflowResult", "core", "run_workflow", "__version__"]

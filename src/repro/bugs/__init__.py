@@ -1,0 +1,14 @@
+"""Registry of the 23 bugs from Table 2 of the paper."""
+
+from .detect import DetectionResult, detect
+from .registry import BUGS, Bug, bugs_for_system, get_bug, verification_bugs
+
+__all__ = [
+    "BUGS",
+    "Bug",
+    "DetectionResult",
+    "bugs_for_system",
+    "detect",
+    "get_bug",
+    "verification_bugs",
+]

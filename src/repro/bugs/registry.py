@@ -1,0 +1,561 @@
+"""The registry of all 23 paper bugs (Table 2).
+
+Every bug carries the metadata reported in the paper — discovery stage,
+new/old status, consequence, and (for verification-stage bugs) the
+time/depth/state figures — together with what this reproduction needs to
+re-find it: the seeding flag, the violated safety property, the system
+configuration and budget constraint (the paper picks these with
+Algorithm 1; here they are recorded per bug), and the detection method.
+
+Verification-stage bugs are found by specification-level exploration and
+confirmed by implementation-level replay; conformance-stage bugs live only
+in the implementation and surface as discrepancies or crashes during
+conformance checking; the single modeling-stage bug (WRaft#9) was found
+while writing the spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from ..specs.raft import (
+    DaosRaftSpec,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+from ..specs.zab import ZabConfig, ZabSpec
+
+__all__ = ["Bug", "BUGS", "bugs_for_system", "verification_bugs", "get_bug"]
+
+VERIFICATION = "verification"
+CONFORMANCE = "conformance"
+MODELING = "modeling"
+
+
+@dataclasses.dataclass(frozen=True)
+class Bug:
+    """One Table 2 row, plus reproduction metadata."""
+
+    bug_id: str  # e.g. "PySyncObj#4"
+    system: str  # spec/system name, e.g. "pysyncobj"
+    flag: str  # seeding flag, e.g. "P4"
+    stage: str  # verification | conformance | modeling
+    status: str  # new | old
+    consequence: str
+    invariant: Optional[str] = None  # violated safety property
+    paper_time: Optional[str] = None
+    paper_depth: Optional[int] = None
+    paper_states: Optional[int] = None
+    # how this reproduction detects it at the specification level
+    method: str = "bfs"  # bfs | simulate | scenario | conformance
+    spec_factory: Optional[Callable] = None
+    config: Optional[object] = None
+    # flags seeded for detection; defaults to (flag,).  WRaft#1/#2 seed
+    # each other too: their consequence (Figure 7) needs both defects.
+    seed_flags: Optional[Tuple[str, ...]] = None
+
+    def make_spec(self, bugs: Optional[Tuple[str, ...]] = None, only_invariant: bool = True):
+        """Instantiate the spec seeded for this bug's detection run."""
+        if self.spec_factory is None:
+            raise ValueError(f"{self.bug_id} has no specification-level seeding")
+        flags = bugs if bugs is not None else (self.seed_flags or (self.flag,))
+        only = [self.invariant] if (only_invariant and self.invariant) else None
+        return self.spec_factory(self.config, bugs=flags, only_invariants=only)
+
+
+def _raft_cfg(**kwargs) -> RaftConfig:
+    defaults = dict(
+        nodes=("n1", "n2", "n3"),
+        values=("v1", "v2"),
+        max_timeouts=3,
+        max_requests=2,
+        max_crashes=1,
+        max_restarts=1,
+        max_partitions=1,
+        max_drops=1,
+        max_dups=1,
+        max_buffer=4,
+        max_term=3,
+    )
+    defaults.update(kwargs)
+    return RaftConfig(**defaults)
+
+
+BUGS: Dict[str, Bug] = {}
+
+
+def _register(bug: Bug) -> None:
+    BUGS[bug.bug_id] = bug
+
+
+# ---------------------------------------------------------------------------
+# PySyncObj
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "PySyncObj#1",
+        "pysyncobj",
+        "P1",
+        CONFORMANCE,
+        "new",
+        "Unhandled exception during disconnection",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "PySyncObj#2",
+        "pysyncobj",
+        "P2",
+        VERIFICATION,
+        "new",
+        "Commit index is not monotonic",
+        invariant="CommitIndexMonotonic",
+        paper_time="6s",
+        paper_depth=13,
+        paper_states=93713,
+        method="simulate",
+        spec_factory=PySyncObjSpec,
+        config=_raft_cfg(max_timeouts=4, max_crashes=0, max_restarts=0, max_buffer=3),
+    )
+)
+_register(
+    Bug(
+        "PySyncObj#3",
+        "pysyncobj",
+        "P3",
+        VERIFICATION,
+        "new",
+        "Next index <= match index",
+        invariant="NextIndexAboveMatchIndex",
+        paper_time="7s",
+        paper_depth=18,
+        paper_states=189725,
+        method="simulate",
+        spec_factory=PySyncObjSpec,
+        config=_raft_cfg(
+            values=("v1",),
+            max_timeouts=5,
+            max_requests=1,
+            max_crashes=0,
+            max_restarts=0,
+            max_buffer=3,
+            max_term=2,
+        ),
+    )
+)
+_register(
+    Bug(
+        "PySyncObj#4",
+        "pysyncobj",
+        "P4",
+        VERIFICATION,
+        "new",
+        "Match index is not monotonic",
+        invariant="MatchIndexMonotonic",
+        paper_time="35s",
+        paper_depth=25,
+        paper_states=1512679,
+        method="simulate",
+        spec_factory=PySyncObjSpec,
+        config=_raft_cfg(
+            values=("v1",),
+            max_timeouts=5,
+            max_requests=1,
+            max_crashes=0,
+            max_restarts=0,
+            max_buffer=3,
+            max_term=2,
+        ),
+    )
+)
+_register(
+    Bug(
+        "PySyncObj#5",
+        "pysyncobj",
+        "P5",
+        VERIFICATION,
+        "new",
+        "Leader commits log entries of older terms",
+        invariant="LeaderCommitsCurrentTerm",
+        paper_time="2min",
+        paper_depth=14,
+        paper_states=2364779,
+        method="simulate",
+        spec_factory=PySyncObjSpec,
+        config=_raft_cfg(max_timeouts=4, max_crashes=0, max_restarts=0, max_buffer=3),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# WRaft (and downstream RedisRaft / DaosRaft)
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "WRaft#1",
+        "wraft",
+        "W1",
+        VERIFICATION,
+        "new",
+        "Incorrectly appending log entries",
+        invariant="CommittedLogConsistency",
+        paper_time="9min",
+        paper_depth=22,
+        paper_states=5954049,
+        method="bfs",
+        seed_flags=("W1", "W2"),
+        spec_factory=WRaftSpec,
+        config=_raft_cfg(
+            max_timeouts=3,
+            max_crashes=0,
+            max_restarts=0,
+            max_drops=0,
+            max_dups=0,
+            max_buffer=3,
+        ),
+    )
+)
+_register(
+    Bug(
+        "WRaft#2",
+        "wraft",
+        "W2",
+        VERIFICATION,
+        "old",
+        "Inconsistent committed log",
+        invariant="CommittedLogConsistency",
+        paper_time="22min",
+        paper_depth=20,
+        paper_states=20955790,
+        method="bfs",
+        seed_flags=("W1", "W2"),
+        spec_factory=WRaftSpec,
+        config=_raft_cfg(
+            max_timeouts=3,
+            max_crashes=0,
+            max_restarts=0,
+            max_drops=0,
+            max_dups=0,
+            max_buffer=3,
+        ),
+    )
+)
+_register(
+    Bug(
+        "WRaft#3",
+        "wraft",
+        "W3",
+        CONFORMANCE,
+        "new",
+        "Follower lagging behind until next snapshot",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "WRaft#4",
+        "wraft",
+        "W4",
+        VERIFICATION,
+        "old",
+        "Current term is not monotonic",
+        invariant="CurrentTermMonotonic",
+        paper_time="39min",
+        paper_depth=23,
+        paper_states=48338241,
+        method="simulate",
+        spec_factory=WRaftSpec,
+        config=_raft_cfg(max_crashes=0, max_restarts=0),
+    )
+)
+_register(
+    Bug(
+        "WRaft#5",
+        "wraft",
+        "W5",
+        VERIFICATION,
+        "new",
+        "Retry messages include empty logs",
+        invariant="RetryRequestsCarryEntries",
+        paper_time="11min",
+        paper_depth=24,
+        paper_states=10576917,
+        method="simulate",
+        spec_factory=WRaftSpec,
+        config=_raft_cfg(max_crashes=0, max_restarts=0),
+    )
+)
+_register(
+    Bug(
+        "WRaft#6",
+        "wraft",
+        "W6",
+        CONFORMANCE,
+        "old",
+        "Memory leak",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "WRaft#7",
+        "wraft",
+        "W7",
+        VERIFICATION,
+        "new",
+        "Next index <= match index",
+        invariant="NextIndexAboveMatchIndex",
+        paper_time="8min",
+        paper_depth=23,
+        paper_states=7401586,
+        method="simulate",
+        spec_factory=WRaftSpec,
+        config=_raft_cfg(max_timeouts=4, max_crashes=0, max_restarts=0),
+    )
+)
+_register(
+    Bug(
+        "WRaft#8",
+        "wraft",
+        "W8",
+        CONFORMANCE,
+        "new",
+        "Prematurely stopping sending heartbeats",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "WRaft#9",
+        "wraft",
+        "W9",
+        MODELING,
+        "old",
+        "Cannot elect leaders due to incorrectly getting term",
+        method="conformance",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# DaosRaft
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "DaosRaft#1",
+        "daosraft",
+        "D1",
+        VERIFICATION,
+        "new",
+        "Leader votes for others",
+        invariant="LeaderVotesForSelf",
+        paper_time="5s",
+        paper_depth=8,
+        paper_states=476,
+        method="bfs",
+        spec_factory=DaosRaftSpec,
+        config=_raft_cfg(
+            values=("v1",),
+            max_timeouts=3,
+            max_requests=0,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+            max_drops=0,
+            max_dups=0,
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# RaftOS
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "RaftOS#1",
+        "raftos",
+        "R1",
+        VERIFICATION,
+        "new",
+        "Match index is not monotonic",
+        invariant="MatchIndexMonotonic",
+        paper_time="5s",
+        paper_depth=10,
+        paper_states=60101,
+        method="bfs",
+        spec_factory=RaftOSSpec,
+        config=_raft_cfg(nodes=("n1", "n2"), max_partitions=1),
+    )
+)
+_register(
+    Bug(
+        "RaftOS#2",
+        "raftos",
+        "R2",
+        VERIFICATION,
+        "new",
+        "Incorrectly erasing log entries",
+        invariant="CommittedEntriesStable",
+        paper_time="4s",
+        paper_depth=9,
+        paper_states=19455,
+        method="bfs",
+        spec_factory=RaftOSSpec,
+        config=_raft_cfg(
+            nodes=("n1", "n2"),
+            max_timeouts=4,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+            max_drops=0,
+            max_dups=1,
+            max_buffer=5,
+            max_term=2,
+        ),
+    )
+)
+_register(
+    Bug(
+        "RaftOS#3",
+        "raftos",
+        "R3",
+        CONFORMANCE,
+        "new",
+        "Unhandled exception during receiving messages",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "RaftOS#4",
+        "raftos",
+        "R4",
+        VERIFICATION,
+        "new",
+        "Prematurely stopping checking commitment",
+        invariant="CommitAdvanceComplete",
+        paper_time="4min",
+        paper_depth=14,
+        paper_states=16938773,
+        method="simulate",
+        spec_factory=RaftOSSpec,
+        config=_raft_cfg(max_crashes=0, max_restarts=0),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Xraft and Xraft-KV
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "Xraft#1",
+        "xraft",
+        "X1",
+        VERIFICATION,
+        "new",
+        "More than one valid leader in the same term",
+        invariant="ElectionSafety",
+        paper_time="3s",
+        paper_depth=8,
+        paper_states=3534,
+        method="bfs",
+        spec_factory=XraftSpec,
+        config=_raft_cfg(
+            values=("v1",),
+            max_timeouts=3,
+            max_requests=0,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+        ),
+    )
+)
+_register(
+    Bug(
+        "Xraft#2",
+        "xraft",
+        "X2",
+        CONFORMANCE,
+        "new",
+        "Unhandled concurrent modification exception",
+        method="conformance",
+    )
+)
+_register(
+    Bug(
+        "Xraft-KV#1",
+        "xraft-kv",
+        "XKV1",
+        VERIFICATION,
+        "new",
+        "Read operations do not satisfy linearizability",
+        invariant="LinearizableReads",
+        paper_time="15s",
+        paper_depth=10,
+        paper_states=124409,
+        method="bfs",
+        spec_factory=XraftKVSpec,
+        config=_raft_cfg(
+            values=("v1",),
+            max_timeouts=3,
+            max_requests=1,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=1,
+            max_buffer=3,
+            max_term=2,
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# ZooKeeper
+# ---------------------------------------------------------------------------
+
+_register(
+    Bug(
+        "ZooKeeper#1",
+        "zookeeper",
+        "ZK1",
+        VERIFICATION,
+        "old",
+        "Votes are not total ordered",
+        invariant="VoteTotalOrder",
+        paper_time="4min",
+        paper_depth=41,
+        paper_states=7625160,
+        method="bfs",
+        spec_factory=ZabSpec,
+        config=ZabConfig(
+            nodes=("n1", "n2", "n3"),
+            max_timeouts=2,
+            max_requests=0,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+            max_buffer=4,
+            max_epoch=2,
+        ),
+    )
+)
+
+
+def bugs_for_system(system: str) -> Tuple[Bug, ...]:
+    return tuple(b for b in BUGS.values() if b.system == system)
+
+
+def verification_bugs() -> Tuple[Bug, ...]:
+    return tuple(b for b in BUGS.values() if b.stage == VERIFICATION)
+
+
+def get_bug(bug_id: str) -> Bug:
+    return BUGS[bug_id]

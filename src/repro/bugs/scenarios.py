@@ -1,0 +1,215 @@
+"""The paper's timing-diagram scenarios as guided event sequences.
+
+Figure 6 (PySyncObj#4/#3) and Figure 7 (WRaft#1+#2) are reconstructed as
+explicit pick sequences for :func:`repro.core.guided.run_scenario`; the
+ZooKeeper#1 election/discovery scenario and the WRaft#3 snapshot-conflict
+setup are provided the same way.  Benches regenerate the figures from
+these; tests assert the violations they end in; conformance tests replay
+them against the implementations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.guided import ScenarioResult, run_scenario
+from ..specs.raft import PySyncObjSpec, RaftConfig, WRaftSpec
+from ..specs.zab import ZabConfig, ZabSpec
+
+__all__ = [
+    "FIG6_CONFIG",
+    "FIG7_CONFIG",
+    "ZK1_CONFIG",
+    "fig6_picks",
+    "fig7_picks",
+    "zk1_picks",
+    "wraft3_picks",
+    "run_fig6",
+    "run_fig7",
+    "run_zk1",
+]
+
+#: Figure 6 model configuration (PySyncObj, 3 nodes, one workload value)
+FIG6_CONFIG = RaftConfig(
+    nodes=("n1", "n2", "n3"),
+    values=("v1",),
+    max_timeouts=5,
+    max_requests=1,
+    max_crashes=0,
+    max_restarts=0,
+    max_partitions=1,
+    max_buffer=3,
+    max_term=2,
+)
+
+#: Figure 7 model configuration (WRaft, 3 nodes, two workload values)
+FIG7_CONFIG = RaftConfig(
+    nodes=("n1", "n2", "n3"),
+    values=("v1", "v2"),
+    max_timeouts=4,
+    max_requests=2,
+    max_crashes=0,
+    max_restarts=0,
+    max_partitions=1,
+    max_drops=0,
+    max_dups=0,
+    max_compactions=1,
+    max_buffer=8,
+    max_term=3,
+)
+
+#: ZooKeeper#1 model configuration
+ZK1_CONFIG = ZabConfig(
+    nodes=("n1", "n2", "n3"),
+    max_timeouts=2,
+    max_requests=0,
+    max_crashes=0,
+    max_restarts=0,
+    max_partitions=0,
+    max_buffer=4,
+    max_epoch=2,
+)
+
+
+def fig6_picks() -> List:
+    """Figure 6: the non-monotonic match index in PySyncObj.
+
+    Leader A (n1) loses its AppendEntries to B (n2) behind a partition
+    while aggressively advancing B's next index; after healing, two
+    heartbeats are rejected, each reject triggers a full retry, and the
+    interleaving of the empty heartbeat's response (Inext = prev + 1)
+    with the buggy entries response (Inext off by one) drives the match
+    index backwards: 0 -> 1 -> 0.
+    """
+    return [
+        ("PartitionStart", ("n1", "n3")),
+        ("ElectionTimeout", "n1"),
+        ("ReceiveMessage", "n1", "n3"),  # RequestVote -> C
+        ("ReceiveMessage", "n3", "n1"),  # grant -> A leads term 1
+        ("ClientRequest", "n1"),         # e1
+        ("HeartbeatTimeout", "n1"),      # AE(e1) to B lost; next[B] -> 2
+        ("PartitionHeal",),
+        ("HeartbeatTimeout", "n1"),      # AE0: prev=1, empty
+        ("HeartbeatTimeout", "n1"),      # AE1: prev=1, empty
+        ("ReceiveMessage", "n1", "n2"),  # B rejects AE0 (Inext=1)
+        ("ReceiveMessage", "n1", "n2"),  # B rejects AE1 (Inext=1)
+        ("ReceiveMessage", "n2", "n1"),  # A handles reject -> retry AE_sync(e1)
+        ("HeartbeatTimeout", "n1"),      # AE2: prev=1, empty
+        ("ReceiveMessage", "n2", "n1"),  # A handles reject -> retry AE3(e1)
+        ("ReceiveMessage", "n1", "n2"),  # B accepts AE_sync (buggy Inext=1)
+        ("ReceiveMessage", "n1", "n2"),  # B accepts AE2 (Inext=2)
+        ("ReceiveMessage", "n1", "n2"),  # B accepts AE3 (buggy Inext=1)
+        ("ReceiveMessage", "n2", "n1"),  # match[B] = 0
+        ("ReceiveMessage", "n2", "n1"),  # match[B] = 1
+        ("ReceiveMessage", "n2", "n1"),  # match[B] = 0  <- the violation
+    ]
+
+
+def fig7_picks() -> List:
+    """Figure 7: data inconsistency from WRaft#1 + WRaft#2.
+
+    Leader C commits nothing but appends e1 behind a partition; A is
+    elected on the other side, commits e2, compacts it into a snapshot,
+    and after healing sends C a (necessarily empty) AppendEntries instead
+    of the snapshot (W2); C accepts it and advances its commit index over
+    its conflicting e1 (W1).
+    """
+
+    def ae_with_entry(t):
+        return (
+            t.action == "ReceiveMessage"
+            and t.args[:2] == ("n1", "n2")
+            and t.args[2]["type"] == "AppendEntries"
+            and len(t.args[2]["entries"]) == 1
+        )
+
+    def success_aer(t):
+        return (
+            t.action == "ReceiveMessage"
+            and t.args[:2] == ("n2", "n1")
+            and t.args[2]["type"] == "AppendEntriesResponse"
+            and t.args[2]["success"]
+        )
+
+    def ae_to_c(t):
+        return (
+            t.action == "ReceiveMessage"
+            and t.args[:2] == ("n1", "n3")
+            and t.args[2]["type"] == "AppendEntries"
+        )
+
+    return [
+        ("ElectionTimeout", "n3"),       # C campaigns
+        ("ReceiveMessage", "n3", "n1"),  # A votes C
+        ("ReceiveMessage", "n1", "n3"),  # C leads term 1
+        ("ClientRequest", "n3"),         # C appends e1 (never replicated)
+        ("PartitionStart", ("n1", "n2")),
+        ("ElectionTimeout", "n1"),       # A campaigns at term 2
+        ("ReceiveMessage", "n1", "n2"),  # B votes A
+        ("ReceiveMessage", "n2", "n1"),  # A leads term 2
+        ("ClientRequest", "n1"),         # A appends e2
+        ("HeartbeatTimeout", "n1"),      # replicate e2 to B
+        ae_with_entry,                   # B appends e2
+        success_aer,                     # A commits e2
+        ("CompactLog", "n1"),            # e2 disappears into the snapshot
+        ("PartitionHeal",),
+        ("HeartbeatTimeout", "n1"),      # W2: AE instead of snapshot to C
+        ae_to_c,                         # W1: C accepts, commits its e1
+    ]
+
+
+def zk1_picks() -> List:
+    """ZooKeeper#1: two mutually unordered votes for the same candidate.
+
+    n3 is elected and finishes discovery/sync (current epoch 1); its
+    re-election proposes a vote at epoch 1 while n1 still holds the
+    epoch-0 vote for n3 — under the v3.4.3 comparator, which ignores the
+    epoch, neither vote beats the other.
+    """
+    return [
+        ("ElectionTimeout", "n3"),
+        ("ReceiveMessage", "n3", "n1"),  # n1 adopts n3, follows
+        ("ReceiveMessage", "n1", "n3"),  # n3 sees the echo -> LEADING
+        ("ReceiveMessage", "n1", "n3"),  # FOLLOWERINFO
+        ("ReceiveMessage", "n3", "n1"),  # LEADERINFO
+        ("ReceiveMessage", "n1", "n3"),  # ACKEPOCH
+        ("ReceiveMessage", "n3", "n1"),  # NEWLEADER
+        ("ReceiveMessage", "n1", "n3"),  # ACKLD -> broadcast phase, epoch 1
+        ("ElectionTimeout", "n3"),       # new vote at epoch 1 <- violation
+    ]
+
+
+def wraft3_picks() -> List:
+    """WRaft#3 setup: a correct leader sends C a snapshot that conflicts
+    with C's log.  The buggy *implementation* rejects it and lags — a
+    conformance-checking discrepancy, not a spec-level violation."""
+    picks = fig7_picks()[:-2]  # up to and including the partition heal
+    return picks + [
+        ("HeartbeatTimeout", "n1"),      # correct: InstallSnapshot to C
+        lambda t: (
+            t.action == "ReceiveMessage"
+            and t.args[:2] == ("n1", "n3")
+            and t.args[2]["type"] == "InstallSnapshot"
+        ),
+    ]
+
+
+def run_fig6(bug: str = "P4") -> ScenarioResult:
+    invariant = {
+        "P4": "MatchIndexMonotonic",
+        "P3": "NextIndexAboveMatchIndex",
+    }[bug]
+    spec = PySyncObjSpec(FIG6_CONFIG, bugs={bug}, only_invariants=[invariant])
+    return run_scenario(spec, fig6_picks(), allow_ambiguous=True)
+
+
+def run_fig7(bugs: Tuple[str, ...] = ("W1", "W2")) -> ScenarioResult:
+    spec = WRaftSpec(
+        FIG7_CONFIG, bugs=bugs, only_invariants=["CommittedLogConsistency"]
+    )
+    return run_scenario(spec, fig7_picks(), allow_ambiguous=True)
+
+
+def run_zk1() -> ScenarioResult:
+    spec = ZabSpec(ZK1_CONFIG, bugs={"ZK1"}, only_invariants=["VoteTotalOrder"])
+    return run_scenario(spec, zk1_picks(), allow_ambiguous=True)

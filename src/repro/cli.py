@@ -1,0 +1,234 @@
+"""The ``sandtable`` command line: the paper's workflow from a shell.
+
+Subcommands mirror Figure 1:
+
+* ``bugs`` — list the Table 2 registry;
+* ``check`` — specification-level model checking (BFS) for one system;
+* ``simulate`` — random-walk exploration;
+* ``conformance`` — iterative conformance checking of spec vs. impl;
+* ``detect`` — run the registry-recorded detection for one bug;
+* ``replay`` — detect a bug and confirm it at the implementation level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bugs import BUGS, detect
+from .conformance import BugReplayer, ConformanceChecker, mapping_for
+from .core import bfs_explore, simulate
+from .specs.raft import (
+    DaosRaftSpec,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    RedisRaftSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+from .specs.zab import ZabConfig, ZabSpec
+from .systems import SYSTEMS
+
+SPEC_CLASSES = {
+    "pysyncobj": PySyncObjSpec,
+    "wraft": WRaftSpec,
+    "redisraft": RedisRaftSpec,
+    "daosraft": DaosRaftSpec,
+    "raftos": RaftOSSpec,
+    "xraft": XraftSpec,
+    "xraft-kv": XraftKVSpec,
+    "zookeeper": ZabSpec,
+}
+
+
+def make_spec(system: str, nodes: int, bugs: Sequence[str], invariant: Optional[str]):
+    node_names = tuple(f"n{i}" for i in range(1, nodes + 1))
+    only = [invariant] if invariant else None
+    if system == "zookeeper":
+        return ZabSpec(ZabConfig(nodes=node_names), bugs=bugs, only_invariants=only)
+    spec_cls = SPEC_CLASSES[system]
+    return spec_cls(RaftConfig(nodes=node_names), bugs=bugs, only_invariants=only)
+
+
+def cmd_bugs(args: argparse.Namespace) -> int:
+    print(f"{'bug':14s} {'system':10s} {'stage':12s} {'status':6s} consequence")
+    for bug in BUGS.values():
+        print(
+            f"{bug.bug_id:14s} {bug.system:10s} {bug.stage:12s}"
+            f" {bug.status:6s} {bug.consequence}"
+        )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
+    result = bfs_explore(
+        spec,
+        max_states=args.max_states,
+        time_budget=args.time_budget,
+        symmetry=args.symmetry,
+    )
+    stats = result.stats
+    print(
+        f"explored {stats.distinct_states} distinct states"
+        f" ({stats.states_per_second:.0f}/s, depth {stats.max_depth},"
+        f" stop: {result.stop_reason})"
+    )
+    if result.found_violation:
+        print(result.violation.describe())
+        return 1
+    print("no violation found")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
+    result = simulate(
+        spec,
+        n_walks=args.walks,
+        max_depth=args.depth,
+        seed=args.seed,
+        stop_on_violation=True,
+        time_budget=args.time_budget,
+    )
+    print(
+        f"{result.n_walks} walks, mean depth {result.mean_depth:.1f},"
+        f" branch coverage {result.branch_coverage},"
+        f" {result.mean_walk_time * 1000:.2f} ms/trace"
+    )
+    violation = result.first_violation
+    if violation is not None:
+        print(violation.describe())
+        return 1
+    print("no violation found")
+    return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    spec = make_spec(args.system, args.nodes, args.bug, None)
+    checker = ConformanceChecker(
+        spec,
+        SYSTEMS[args.system],
+        mapping_for(args.system, spec.nodes),
+        impl_bugs=args.impl_bug if args.impl_bug is not None else None,
+    )
+    report = checker.run(
+        quiet_period=args.quiet_period, max_traces=args.max_traces, seed=args.seed
+    )
+    print(f"checked {report.traces_checked} traces in {report.elapsed:.1f}s")
+    if report.passed:
+        print("conformance PASSED (no discrepancy within the quiet period)")
+        return 0
+    failure = report.failure
+    print("conformance FAILED:")
+    if failure.crash:
+        print(f"  implementation crash: {failure.crash}")
+    if failure.engine_error:
+        print(f"  event not enabled: {failure.engine_error}")
+    if failure.resource_leak:
+        print(f"  resource leak: {failure.resource_leak}")
+    for discrepancy in failure.discrepancies:
+        print(f"  {discrepancy.describe()}")
+    print(failure.trace.summary())
+    return 1
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    bug = BUGS[args.bug_id]
+    result = detect(bug, time_budget=args.time_budget, seed=args.seed)
+    row = result.as_row()
+    print(
+        f"{row['bug']}: found={row['found']} depth={row['depth']}"
+        f" time={row['time_s']}s states={row['states']} walks={row['walks']}"
+        f" (paper: {row['paper_time']}, depth {row['paper_depth']},"
+        f" {row['paper_states']} states)"
+    )
+    return 0 if result.found else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    bug = BUGS[args.bug_id]
+    result = detect(bug, time_budget=args.time_budget, seed=args.seed)
+    if not result.found:
+        print(f"{bug.bug_id}: not found at the specification level")
+        return 1
+    spec = bug.make_spec()
+    checker = ConformanceChecker(
+        spec, SYSTEMS[bug.system], mapping_for(bug.system, spec.nodes)
+    )
+    confirmation = BugReplayer(checker).confirm(result.violation)
+    print(confirmation.describe())
+    if confirmation.confirmed:
+        print(result.violation.trace.summary())
+    return 0 if confirmation.confirmed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sandtable",
+        description="Scalable distributed system model checking with "
+        "specification-level state exploration (SandTable reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("bugs", help="list the Table 2 bug registry").set_defaults(
+        fn=cmd_bugs
+    )
+
+    def common(p):
+        p.add_argument("--system", required=True, choices=sorted(SPEC_CLASSES))
+        p.add_argument("--nodes", type=int, default=3)
+        p.add_argument("--bug", action="append", default=[], help="seed a bug flag")
+        p.add_argument("--invariant", help="check only this invariant")
+        p.add_argument("--time-budget", type=float, default=60.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    check = sub.add_parser("check", help="BFS model checking")
+    common(check)
+    check.add_argument("--max-states", type=int, default=1_000_000)
+    check.add_argument("--symmetry", action="store_true")
+    check.set_defaults(fn=cmd_check)
+
+    sim = sub.add_parser("simulate", help="random-walk exploration")
+    common(sim)
+    sim.add_argument("--walks", type=int, default=10_000)
+    sim.add_argument("--depth", type=int, default=40)
+    sim.set_defaults(fn=cmd_simulate)
+
+    conf = sub.add_parser("conformance", help="spec vs. implementation")
+    common(conf)
+    conf.add_argument(
+        "--impl-bug",
+        action="append",
+        default=None,
+        help="seed this bug only in the implementation",
+    )
+    conf.add_argument("--quiet-period", type=float, default=10.0)
+    conf.add_argument("--max-traces", type=int, default=None)
+    conf.set_defaults(fn=cmd_conformance)
+
+    det = sub.add_parser("detect", help="run one registry bug detection")
+    det.add_argument("bug_id", choices=sorted(BUGS))
+    det.add_argument("--time-budget", type=float, default=120.0)
+    det.add_argument("--seed", type=int, default=0)
+    det.set_defaults(fn=cmd_detect)
+
+    rep = sub.add_parser("replay", help="detect and confirm at the impl level")
+    rep.add_argument("bug_id", choices=sorted(BUGS))
+    rep.add_argument("--time-budget", type=float, default=120.0)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(fn=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

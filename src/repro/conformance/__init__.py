@@ -1,0 +1,23 @@
+"""Conformance checking and deterministic bug replay (§3.2, §3.4)."""
+
+from .checker import ConformanceChecker, ConformanceReport, ReplayReport
+from .converter import ConversionError, TraceConverter
+from .mapping import ConformanceMapping, Discrepancy, mapping_for
+from .replayer import BugConfirmation, BugReplayer, FixValidation
+from .report import BugReport, render_report
+
+__all__ = [
+    "BugConfirmation",
+    "BugReplayer",
+    "ConformanceChecker",
+    "ConformanceMapping",
+    "ConformanceReport",
+    "BugReport",
+    "ConversionError",
+    "Discrepancy",
+    "FixValidation",
+    "ReplayReport",
+    "TraceConverter",
+    "mapping_for",
+    "render_report",
+]

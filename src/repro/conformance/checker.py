@@ -1,0 +1,194 @@
+"""Iterative conformance checking (§3.2).
+
+The checker randomly explores the specification, replays each trace
+against the implementation through the deterministic execution engine,
+and compares the two states after every event.  A divergence — a
+differing variable, a node crash the spec did not predict, or an event
+the implementation cannot execute — is reported with the event sequence
+that leads to it, for the developer to fix the specification (or file
+the implementation bug) and rerun.
+
+The stopping rule is the paper's: keep exploring until no discrepancy is
+found for a configured period (they use 30 minutes; tests scale it down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ..core.simulation import random_walk
+from ..core.spec import Spec
+from ..core.trace import Trace
+from ..runtime.engine import EngineError, ExecutionEngine
+from ..runtime.latency import LatencyModel
+from .converter import TraceConverter
+from .mapping import ConformanceMapping, Discrepancy
+
+__all__ = ["ReplayReport", "ConformanceReport", "ConformanceChecker"]
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """Outcome of replaying one specification trace."""
+
+    trace: Trace
+    steps_executed: int
+    discrepancies: List[Discrepancy]
+    crash: Optional[str] = None  # description of an impl-level crash
+    engine_error: Optional[str] = None
+    resource_leak: Optional[str] = None
+    impl_seconds: float = 0.0
+
+    @property
+    def conforms(self) -> bool:
+        return (
+            not self.discrepancies
+            and self.crash is None
+            and self.engine_error is None
+            and self.resource_leak is None
+        )
+
+
+@dataclasses.dataclass
+class ConformanceReport:
+    """Outcome of an iterative conformance-checking session."""
+
+    traces_checked: int
+    elapsed: float
+    failure: Optional[ReplayReport] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.failure is None
+
+
+class ConformanceChecker:
+    """Replays spec traces against the implementation and compares states."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        factory: Callable,
+        mapping: ConformanceMapping,
+        impl_bugs: Optional[Sequence[str]] = None,
+        converter: Optional[TraceConverter] = None,
+        latency: Optional[LatencyModel] = None,
+        compare_every_step: bool = True,
+        resource_limits: Optional[dict] = None,
+    ):
+        self.spec = spec
+        self.factory = factory
+        self.mapping = mapping
+        self.impl_bugs = tuple(impl_bugs if impl_bugs is not None else sorted(spec.bugs))
+        self.converter = converter or TraceConverter(network_kind=spec.net.kind)
+        self.latency = latency or LatencyModel()
+        self.compare_every_step = compare_every_step
+        # A correct implementation retains no handled messages; a leak
+        # (WRaft#6) shows up as an ever-growing retained count.
+        self.resource_limits = dict(resource_limits or {"retained_messages": 0})
+
+    def _new_engine(self) -> ExecutionEngine:
+        return ExecutionEngine(
+            self.factory,
+            self.spec.nodes,
+            network_kind=self.spec.net.kind,
+            bugs=self.impl_bugs,
+            latency=self.latency,
+        )
+
+    # ------------------------------------------------------------------
+    # replaying one trace
+    # ------------------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayReport:
+        """Replay ``trace`` and compare states after each event."""
+        engine = self._new_engine()
+        executed = 0
+        for index, step in enumerate(trace):
+            command = self.converter.convert_step(step)
+            try:
+                result = engine.execute(command)
+            except EngineError as exc:
+                # The event was enabled in the spec but not in the
+                # implementation — itself a conformance discrepancy.
+                return ReplayReport(
+                    trace,
+                    executed,
+                    [],
+                    engine_error=f"step {index} ({step.label}): {exc}",
+                    impl_seconds=engine.sim_seconds,
+                )
+            executed += 1
+            if result.crashed:
+                # Unless the spec also thinks the node just died, an
+                # escaping exception is a by-product implementation bug.
+                report = self._compare(step.state, engine, index, step.label)
+                report_crash = str(result.crash)
+                return ReplayReport(
+                    trace,
+                    executed,
+                    report,
+                    crash=report_crash,
+                    impl_seconds=engine.sim_seconds,
+                )
+            if self.compare_every_step or index == len(trace) - 1:
+                discrepancies = self._compare(step.state, engine, index, step.label)
+                if discrepancies:
+                    return ReplayReport(
+                        trace, executed, discrepancies, impl_seconds=engine.sim_seconds
+                    )
+        leak = self._check_resources(engine)
+        return ReplayReport(
+            trace, executed, [], resource_leak=leak, impl_seconds=engine.sim_seconds
+        )
+
+    def _check_resources(self, engine: ExecutionEngine) -> Optional[str]:
+        for node, stats in engine.resource_stats().items():
+            for metric, value in stats.items():
+                limit = self.resource_limits.get(metric)
+                if limit is not None and value > limit:
+                    return f"{node}: {metric}={value} exceeds limit {limit}"
+        return None
+
+    def _compare(
+        self, spec_state, engine: ExecutionEngine, index: int, label: str
+    ) -> List[Discrepancy]:
+        impl_state = engine.frozen_cluster_state()
+        found = self.mapping.discrepancies(spec_state, impl_state)
+        for discrepancy in found:
+            discrepancy.step_index = index
+            discrepancy.step_label = label
+        return found
+
+    # ------------------------------------------------------------------
+    # the iterative loop (§3.2)
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        quiet_period: float = 5.0,
+        max_traces: Optional[int] = None,
+        max_depth: int = 30,
+        seed: int = 0,
+    ) -> ConformanceReport:
+        """Random-walk the spec and replay until ``quiet_period`` seconds
+        pass without a discrepancy (or ``max_traces`` is reached)."""
+        rng = random.Random(seed)
+        started = time.monotonic()
+        checked = 0
+        while True:
+            if max_traces is not None and checked >= max_traces:
+                break
+            if time.monotonic() - started > quiet_period:
+                break
+            walk = random_walk(self.spec, rng, max_depth=max_depth, check_invariants=False)
+            report = self.replay(walk.trace)
+            checked += 1
+            if not report.conforms:
+                return ConformanceReport(
+                    checked, time.monotonic() - started, failure=report
+                )
+        return ConformanceReport(checked, time.monotonic() - started)

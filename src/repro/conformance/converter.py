@@ -1,0 +1,82 @@
+"""Specification trace → engine commands (§4.1).
+
+Message-delivery and failure events convert automatically; client
+requests and system-specific actions use per-system hooks (the paper has
+users supply shell commands and timeout durations — here, the ``client_op``
+and ``extra`` hooks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.state import Rec, thaw
+from ..core.trace import Trace, TraceStep
+from ..runtime import commands as C
+from ..runtime.commands import Command
+
+__all__ = ["TraceConverter", "ConversionError"]
+
+
+class ConversionError(Exception):
+    """A trace event has no engine-command equivalent."""
+
+
+def _default_client_op(step: TraceStep) -> Any:
+    if step.action == "ClientRead":
+        return {"op": "get"}
+    return {"op": "put", "value": step.args[1]}
+
+
+class TraceConverter:
+    """Converts spec trace events into deterministic-execution commands."""
+
+    def __init__(
+        self,
+        network_kind: str = "tcp",
+        client_op: Optional[Callable[[TraceStep], Any]] = None,
+        extra: Optional[Dict[str, Callable[[TraceStep], Command]]] = None,
+    ):
+        self.network_kind = network_kind
+        self.client_op = client_op or _default_client_op
+        self.extra = dict(extra or {})
+
+    def convert_step(self, step: TraceStep) -> Command:
+        action = step.action
+        if action in self.extra:
+            return self.extra[action](step)
+        if action == "ReceiveMessage":
+            src, dst = step.args[0], step.args[1]
+            if self.network_kind == "udp":
+                return C.deliver(src, dst, payload=_payload(step.args[2]))
+            return C.deliver(src, dst)
+        if action == "ElectionTimeout":
+            return C.timeout(step.args[0], "election")
+        if action == "HeartbeatTimeout":
+            return C.timeout(step.args[0], "heartbeat")
+        if action in ("ClientRequest", "ClientRead"):
+            return C.client(step.args[0], self.client_op(step))
+        if action == "NodeCrash":
+            return C.crash(step.args[0])
+        if action == "NodeRestart":
+            return C.restart(step.args[0])
+        if action == "PartitionStart":
+            return C.partition(tuple(step.args[0]))
+        if action == "PartitionHeal":
+            return C.heal()
+        if action == "DropMessage":
+            return C.drop(step.args[0], step.args[1], payload=_payload(step.args[2]))
+        if action == "DuplicateMessage":
+            return C.duplicate(step.args[0], step.args[1], payload=_payload(step.args[2]))
+        if action == "CompactLog":
+            return C.compact(step.args[0])
+        raise ConversionError(f"no conversion for action {action!r}")
+
+    def convert(self, trace: Trace) -> List[Command]:
+        return [self.convert_step(step) for step in trace]
+
+
+def _payload(message: Any) -> Any:
+    if isinstance(message, Rec):
+        return thaw(message)
+    return message

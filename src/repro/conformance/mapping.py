@@ -1,0 +1,170 @@
+"""Spec-variable ↔ implementation-state mapping (§3.2, §A.4).
+
+After every replayed event the conformance checker compares the
+specification state with the implementation state.  The mapping defines
+*what* is compared:
+
+* per-node protocol variables (role, terms, logs, indices, ...) against
+  each alive node's ``extract_state()``;
+* liveness (``alive``) against the hosts' process status;
+* network variables against the proxy snapshot (message counts and
+  contents, partition status) — "the network and node environment is
+  managed by SandTable and can be compared directly".
+
+Model-internal bookkeeping (event counters, oracle history variables)
+has no implementation counterpart and is skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.state import Rec, freeze, thaw
+
+__all__ = ["Discrepancy", "ConformanceMapping", "mapping_for"]
+
+#: spec variables with no implementation counterpart
+DEFAULT_SKIP = frozenset({"eventCounter", "ackedWrites", "readCount", "txnCounter"})
+
+
+@dataclasses.dataclass
+class Discrepancy:
+    """One detected divergence between the two levels."""
+
+    variable: str
+    node: Optional[str]
+    spec_value: Any
+    impl_value: Any
+    step_index: int = -1
+    step_label: str = ""
+
+    def describe(self) -> str:
+        where = f"{self.variable}[{self.node}]" if self.node else self.variable
+        prefix = (
+            f"after step {self.step_index} ({self.step_label}): "
+            if self.step_index >= 0
+            else ""
+        )
+        return (
+            f"{prefix}{where} diverged:"
+            f" spec={_render(self.spec_value)} impl={_render(self.impl_value)}"
+        )
+
+
+def _render(value: Any) -> str:
+    try:
+        return repr(thaw(value))
+    except TypeError:
+        return repr(value)
+
+
+class ConformanceMapping:
+    """What to compare for one target system."""
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        per_node_vars: Sequence[str],
+        skip: Sequence[str] = (),
+        compare_network: bool = True,
+    ):
+        self.nodes = tuple(nodes)
+        self.per_node_vars = tuple(per_node_vars)
+        self.skip = DEFAULT_SKIP | frozenset(skip)
+        self.compare_network = compare_network
+
+    def discrepancies(self, spec_state: Rec, impl_state: Rec) -> List[Discrepancy]:
+        """All divergences between a spec state and an engine snapshot."""
+        found: List[Discrepancy] = []
+
+        for node in self.nodes:
+            spec_alive = spec_state["alive"][node]
+            impl_alive = impl_state["alive"][node]
+            if spec_alive != impl_alive:
+                found.append(Discrepancy("alive", node, spec_alive, impl_alive))
+
+        impl_nodes = impl_state["nodes"]
+        for node in self.nodes:
+            if not spec_state["alive"][node] or node not in impl_nodes:
+                continue  # a crashed node exposes no state
+            impl_node = impl_nodes[node]
+            for var in self.per_node_vars:
+                if var in self.skip:
+                    continue
+                spec_value = spec_state[var][node]
+                impl_value = impl_node.get(var, _MISSING)
+                if impl_value is _MISSING:
+                    found.append(Discrepancy(var, node, spec_value, "<missing>"))
+                elif freeze_eq(spec_value, impl_value):
+                    continue
+                else:
+                    found.append(Discrepancy(var, node, spec_value, impl_value))
+
+        if self.compare_network:
+            for var in ("netMsgs", "netDisconnected"):
+                if not freeze_eq(spec_state[var], impl_state[var]):
+                    found.append(
+                        Discrepancy(var, None, spec_state[var], impl_state[var])
+                    )
+        return found
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def freeze_eq(spec_value: Any, impl_value: Any) -> bool:
+    """Structural equality after freezing the implementation value."""
+    try:
+        return spec_value == freeze(impl_value)
+    except TypeError:
+        return False
+
+
+#: the per-node variables each system exposes for comparison
+RAFT_BASE_VARS: Tuple[str, ...] = (
+    "role",
+    "currentTerm",
+    "votedFor",
+    "log",
+    "commitIndex",
+    "nextIndex",
+    "matchIndex",
+    "votesGranted",
+)
+
+SYSTEM_VARS: Dict[str, Tuple[str, ...]] = {
+    "pysyncobj": RAFT_BASE_VARS,
+    "wraft": RAFT_BASE_VARS + ("snapshotIndex", "snapshotTerm"),
+    "redisraft": RAFT_BASE_VARS + ("snapshotIndex", "snapshotTerm", "preVotes"),
+    "daosraft": RAFT_BASE_VARS + ("snapshotIndex", "snapshotTerm", "preVotes"),
+    "raftos": RAFT_BASE_VARS,
+    "xraft": RAFT_BASE_VARS + ("preVotes",),
+    "xraft-kv": RAFT_BASE_VARS + ("appliedValue",),
+    "zookeeper": (
+        "zbRole",
+        "phase",
+        "logicalClock",
+        "currentVote",
+        "recvVotes",
+        "acceptedEpoch",
+        "currentEpoch",
+        "history",
+        "lastCommitted",
+        "leaderOf",
+        "followerInfos",
+        "epochAcks",
+        "syncAcks",
+        "txnAcks",
+    ),
+}
+
+
+def mapping_for(system: str, nodes: Sequence[str]) -> ConformanceMapping:
+    """The standard mapping for one of the eight integrated systems."""
+    return ConformanceMapping(nodes, SYSTEM_VARS[system])

@@ -1,0 +1,111 @@
+"""Bug report generation.
+
+The paper stresses that having the bug trace at *both* levels is what
+makes root-causing practical (§5.1): the specification trace gives the
+abstract event interleaving, the implementation replay gives the
+concrete states.  This module renders a confirmed bug into a Markdown
+report: metadata, the violated property, the event timeline annotated
+with per-step key-variable values, and the implementation verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from ..core.state import Rec, thaw
+from ..core.violation import Violation
+from .replayer import BugConfirmation
+
+__all__ = ["BugReport", "render_report"]
+
+
+@dataclasses.dataclass
+class BugReport:
+    """Everything a filed bug carries."""
+
+    title: str
+    system: str
+    consequence: str
+    violation: Violation
+    confirmation: Optional[BugConfirmation] = None
+    watch: Sequence[str] = ()  # spec variables to annotate along the trace
+    notes: str = ""
+
+    def to_markdown(self) -> str:
+        return render_report(self)
+
+
+def _fmt_value(value) -> str:
+    plain = thaw(value) if isinstance(value, (Rec, tuple, frozenset)) else value
+    text = repr(plain)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _changed_watch_values(
+    watch: Sequence[str], previous: Optional[Rec], state: Rec
+) -> List[str]:
+    notes = []
+    for variable in watch:
+        if variable not in state:
+            continue
+        now = state[variable]
+        before = previous[variable] if previous is not None and variable in previous else None
+        if previous is None or before != now:
+            notes.append(f"{variable}={_fmt_value(now)}")
+    return notes
+
+
+def render_report(report: BugReport) -> str:
+    violation = report.violation
+    lines = [
+        f"# {report.title}",
+        "",
+        f"* **System:** {report.system}",
+        f"* **Consequence:** {report.consequence}",
+        f"* **Violated property:** `{violation.invariant}` ({violation.kind})",
+        f"* **Trace depth:** {violation.depth} events",
+    ]
+    if report.confirmation is not None:
+        verdict = (
+            "confirmed by deterministic replay"
+            if report.confirmation.confirmed
+            else "NOT reproduced at the implementation level"
+        )
+        lines.append(f"* **Implementation:** {verdict}")
+    if report.notes:
+        lines += ["", report.notes.strip()]
+
+    lines += ["", "## Event sequence", ""]
+    previous: Optional[Rec] = None
+    for index, step in enumerate(violation.trace, start=1):
+        annotations = _changed_watch_values(report.watch, previous, step.state)
+        suffix = f"  — {'; '.join(annotations)}" if annotations else ""
+        lines.append(f"{index:3d}. `{step.label[:100]}`{suffix}")
+        previous = step.state
+
+    if report.confirmation is not None and not report.confirmation.confirmed:
+        lines += ["", "## Replay divergence", ""]
+        replay = report.confirmation.replay
+        if replay.engine_error:
+            lines.append(f"* {replay.engine_error}")
+        if replay.crash:
+            lines.append(f"* implementation crash: {replay.crash}")
+        for discrepancy in replay.discrepancies:
+            lines.append(f"* {discrepancy.describe()[:160]}")
+
+    lines += [
+        "",
+        "## Final state",
+        "",
+        "```",
+    ]
+    final = violation.trace.final_state
+    for key in sorted(final, key=str):
+        if report.watch and key not in report.watch:
+            continue
+        lines.append(f"{key} = {_fmt_value(final[key])}")
+    if not report.watch:
+        lines.append("(pass watch= to include variables)")
+    lines.append("```")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""Core model-checking engine: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.spec.Spec`, :class:`~repro.core.spec.Action`,
+  :class:`~repro.core.spec.Invariant`,
+  :class:`~repro.core.spec.TransitionInvariant` — the specification DSL;
+* :class:`~repro.core.state.Rec`, :func:`~repro.core.state.freeze`,
+  :func:`~repro.core.state.thaw` — immutable state values;
+* :func:`~repro.core.explorer.bfs_explore` — stateful BFS model checking;
+* :func:`~repro.core.simulation.simulate`,
+  :func:`~repro.core.simulation.random_walk` — random-walk exploration;
+* :func:`~repro.core.ranking.rank_constraints` — Algorithm 1;
+* :class:`~repro.core.trace.Trace`,
+  :class:`~repro.core.violation.Violation` — counterexamples.
+"""
+
+from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore
+from .guided import ScenarioError, ScenarioResult, run_scenario
+from .linearizability import LinearizabilityResult, Operation, check_linearizable
+from .liveness import LivenessProperty, LivenessStats, compare_progress, measure_progress
+from .ranking import ConstraintScore, RankedConstraints, rank_constraints
+from .simulation import SimulationResult, WalkResult, random_walk, simulate
+from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInvariant
+from .state import Rec, freeze, strong_fingerprint, thaw
+from .symmetry import SymmetryReducer, canonicalize
+from .trace import Trace, TraceStep
+from .violation import Violation
+
+__all__ = [
+    "Action",
+    "LinearizabilityResult",
+    "LivenessProperty",
+    "LivenessStats",
+    "Operation",
+    "ScenarioError",
+    "ScenarioResult",
+    "check_linearizable",
+    "compare_progress",
+    "measure_progress",
+    "run_scenario",
+    "BFSExplorer",
+    "BFSResult",
+    "BFSStats",
+    "ConstraintScore",
+    "Invariant",
+    "RankedConstraints",
+    "Rec",
+    "SimulationResult",
+    "Spec",
+    "SpecError",
+    "SymmetryReducer",
+    "Trace",
+    "TraceStep",
+    "Transition",
+    "TransitionInvariant",
+    "Violation",
+    "WalkResult",
+    "bfs_explore",
+    "canonicalize",
+    "freeze",
+    "random_walk",
+    "rank_constraints",
+    "simulate",
+    "strong_fingerprint",
+    "thaw",
+]

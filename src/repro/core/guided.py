@@ -1,0 +1,116 @@
+"""Guided execution of a specification along a chosen scenario.
+
+Model checking finds traces automatically; sometimes the opposite is
+needed — driving the spec down a *known* event sequence (regenerating the
+paper's Figure 6/7 timing diagrams, seeding conformance-checking runs, or
+writing regression tests for a specific interleaving).
+
+A scenario is a list of *picks*.  Each pick selects one enabled transition
+of the current state:
+
+* ``"ActionName"`` — the unique enabled transition of that action;
+* ``("ActionName", arg0, arg1, ...)`` — prefix-match on the transition's
+  arguments (e.g. ``("ReceiveMessage", "n1", "n2")`` delivers the head of
+  the n1->n2 channel);
+* a callable ``pick(transition) -> bool``.
+
+Invariants are checked after every step; the scenario run reports the
+first violation together with the trace so far.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from .spec import Spec, Transition
+from .trace import Trace, TraceStep
+from .violation import Violation
+
+__all__ = ["ScenarioError", "ScenarioResult", "run_scenario"]
+
+Pick = Union[str, Tuple, Callable[[Transition], bool]]
+
+
+class ScenarioError(Exception):
+    """Raised when a pick matches no enabled transition (or several)."""
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """The trace driven by a scenario, plus any invariant violation."""
+
+    trace: Trace
+    violation: Optional[Violation] = None
+
+    @property
+    def final_state(self):
+        return self.trace.final_state
+
+    @property
+    def found_violation(self) -> bool:
+        return self.violation is not None
+
+
+def _matches(pick: Pick, transition: Transition) -> bool:
+    if callable(pick) and not isinstance(pick, str):
+        return bool(pick(transition))
+    if isinstance(pick, str):
+        return transition.action == pick
+    name, *args = pick
+    if transition.action != name:
+        return False
+    return tuple(transition.args[: len(args)]) == tuple(args)
+
+
+def run_scenario(
+    spec: Spec,
+    picks: Sequence[Pick],
+    check_invariants: bool = True,
+    allow_ambiguous: bool = False,
+    stop_on_violation: bool = True,
+) -> ScenarioResult:
+    """Drive ``spec`` through ``picks``, one transition per pick.
+
+    Raises :class:`ScenarioError` if a pick matches nothing, or matches
+    more than one transition while ``allow_ambiguous`` is false (in which
+    case the first match would be taken).
+    """
+    inits = list(spec.init_states())
+    state = inits[0]
+    trace = Trace(state)
+    violation: Optional[Violation] = None
+
+    for index, pick in enumerate(picks):
+        candidates: List[Transition] = [
+            t for t in spec.successors(state) if _matches(pick, t)
+        ]
+        if not candidates:
+            enabled = sorted({t.action for t in spec.successors(state)})
+            raise ScenarioError(
+                f"pick #{index} ({pick!r}) matches no enabled transition;"
+                f" enabled actions: {enabled}"
+            )
+        if len(candidates) > 1 and not allow_ambiguous:
+            labels = [t.label for t in candidates[:6]]
+            raise ScenarioError(
+                f"pick #{index} ({pick!r}) is ambiguous: {labels}"
+            )
+        transition = candidates[0]
+        step = TraceStep(
+            transition.action, transition.args, transition.target, transition.branch
+        )
+        if check_invariants and violation is None:
+            bad = spec.check_transition(state, transition)
+            if bad is not None:
+                violation = Violation(bad, trace.extend(step), kind="transition")
+        trace = trace.extend(step)
+        state = transition.target
+        if check_invariants and violation is None:
+            bad = spec.check_state(state)
+            if bad is not None:
+                violation = Violation(bad, trace, kind="state")
+        if violation is not None and stop_on_violation:
+            break
+
+    return ScenarioResult(trace=trace, violation=violation)

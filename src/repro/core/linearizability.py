@@ -1,0 +1,114 @@
+"""A linearizability checker for single-register histories (Xraft-KV#1).
+
+The paper checks linearizability as the safety property of the Xraft
+key-value store.  The spec-level transition invariant
+(:mod:`repro.specs.raft.xraft_kv`) is a fast online approximation; this
+module provides the ground truth: a Wing & Gong style checker that
+searches for a legal linearization of a concurrent history of reads and
+writes against a sequential register.
+
+Operations carry invocation/completion times (trace step indices).  An
+operation with ``completed=None`` is *pending* (the client never got a
+response): it may take effect at any point after its invocation, or not
+at all — the standard treatment of incomplete operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = ["Operation", "LinearizabilityResult", "check_linearizable"]
+
+WRITE = "write"
+READ = "read"
+
+_PENDING = float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """One client operation on the register."""
+
+    client: str
+    kind: str  # "write" | "read"
+    value: str  # value written, or value returned by the read
+    invoked: int
+    completed: Optional[int] = None  # None: pending forever
+
+    @property
+    def completion(self) -> float:
+        return _PENDING if self.completed is None else self.completed
+
+    def describe(self) -> str:
+        window = (
+            f"[{self.invoked}, {'?' if self.completed is None else self.completed}]"
+        )
+        return f"{self.client}: {self.kind}({self.value}) {window}"
+
+
+@dataclasses.dataclass
+class LinearizabilityResult:
+    ok: bool
+    linearization: Optional[List[Operation]] = None
+
+    def describe(self) -> str:
+        if not self.ok:
+            return "history is NOT linearizable"
+        order = ", ".join(f"{op.kind}({op.value})" for op in self.linearization or ())
+        return f"linearizable: {order}"
+
+
+def check_linearizable(
+    history: Sequence[Operation], initial: str = ""
+) -> LinearizabilityResult:
+    """Search for a legal linearization of ``history``.
+
+    Wing & Gong's algorithm with memoization: repeatedly choose a
+    *minimal* operation (one whose invocation precedes every other
+    remaining operation's completion), apply it to the sequential
+    register, and recurse.  Pending operations may also be skipped
+    entirely (the request may never have taken effect).
+    """
+    operations = tuple(history)
+    seen: set = set()
+
+    def minimal(remaining: FrozenSet[int]) -> List[int]:
+        earliest_completion = min(
+            (operations[i].completion for i in remaining), default=_PENDING
+        )
+        return [
+            i for i in remaining if operations[i].invoked <= earliest_completion
+        ]
+
+    def search(
+        remaining: FrozenSet[int], state: str, chosen: Tuple[int, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        if not remaining:
+            return chosen
+        key = (remaining, state)
+        if key in seen:
+            return None
+        seen.add(key)
+        for index in minimal(remaining):
+            op = operations[index]
+            if op.kind == WRITE:
+                result = search(remaining - {index}, op.value, chosen + (index,))
+                if result is not None:
+                    return result
+            else:
+                if op.value == state:
+                    result = search(remaining - {index}, state, chosen + (index,))
+                    if result is not None:
+                        return result
+            # A pending operation may simply never take effect.
+            if op.completed is None:
+                result = search(remaining - {index}, state, chosen)
+                if result is not None:
+                    return result
+        return None
+
+    order = search(frozenset(range(len(operations))), initial, ())
+    if order is None:
+        return LinearizabilityResult(False)
+    return LinearizabilityResult(True, [operations[i] for i in order])

@@ -1,0 +1,143 @@
+"""Approximate liveness checking (§3.1).
+
+Safety properties say bad things never happen; liveness properties say
+good things eventually do.  Following the paper (which approximates
+liveness via safety, as MaceMC and MoDist do), this module measures
+*progress rates*: the fraction of bounded random walks in which an
+"eventually P" predicate becomes true, together with a witness walk
+where it never did.
+
+The comparative form is the useful oracle: a liveness bug (RaftOS#4's
+"cluster fails to make progress", WRaft#3's lagging follower) shows up
+as a collapse of the progress rate relative to the fixed system under
+identical budgets — without the false positives a hard "P must happen"
+check would produce on budget-starved walks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Optional, Tuple
+
+from .simulation import random_walk
+from .spec import Spec
+from .state import Rec
+from .trace import Trace
+
+__all__ = [
+    "LivenessProperty",
+    "LivenessStats",
+    "measure_progress",
+    "compare_progress",
+    "leader_elected",
+    "entry_committed",
+    "quorum_commit",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LivenessProperty:
+    """An "eventually P" property over specification states."""
+
+    name: str
+    predicate: Callable[[Rec], bool]
+
+    def achieved_in(self, trace: Trace) -> bool:
+        return any(self.predicate(state) for state in trace.states())
+
+
+@dataclasses.dataclass
+class LivenessStats:
+    """Progress measurements for one property over a batch of walks."""
+
+    property: LivenessProperty
+    walks: int
+    achieved: int
+    failure_example: Optional[Trace] = None
+
+    @property
+    def rate(self) -> float:
+        return self.achieved / self.walks if self.walks else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.property.name}: achieved in {self.achieved}/{self.walks}"
+            f" walks ({self.rate:.1%})"
+        )
+
+
+def measure_progress(
+    spec: Spec,
+    prop: LivenessProperty,
+    n_walks: int = 200,
+    max_depth: int = 40,
+    seed: int = 0,
+) -> LivenessStats:
+    """Measure how often ``prop`` is eventually achieved in random walks."""
+    rng = random.Random(seed)
+    achieved = 0
+    failure: Optional[Trace] = None
+    exhausted_failure: Optional[Trace] = None
+    for _ in range(n_walks):
+        walk = random_walk(spec, rng, max_depth=max_depth, check_invariants=False)
+        if prop.achieved_in(walk.trace):
+            achieved += 1
+            continue
+        if failure is None:
+            failure = walk.trace
+        if exhausted_failure is None and walk.terminated in ("deadlock", "constraint"):
+            # The budget was fully spent and P still never held — the
+            # most suspicious kind of failing walk; prefer it as the witness.
+            exhausted_failure = walk.trace
+    return LivenessStats(prop, n_walks, achieved, exhausted_failure or failure)
+
+
+def compare_progress(
+    fixed: Spec,
+    buggy: Spec,
+    prop: LivenessProperty,
+    n_walks: int = 200,
+    max_depth: int = 40,
+    seed: int = 0,
+) -> Tuple[LivenessStats, LivenessStats]:
+    """Progress rates of the fixed and the buggy variant side by side.
+
+    A genuine liveness bug collapses the buggy rate far below the fixed
+    rate under the same budgets.
+    """
+    return (
+        measure_progress(fixed, prop, n_walks, max_depth, seed),
+        measure_progress(buggy, prop, n_walks, max_depth, seed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ready-made properties for the Raft-family specs
+# ---------------------------------------------------------------------------
+
+
+def leader_elected(nodes) -> LivenessProperty:
+    """Eventually some node becomes leader."""
+    return LivenessProperty(
+        "EventuallyLeaderElected",
+        lambda state: any(state["role"][n] == "Leader" for n in nodes),
+    )
+
+
+def entry_committed(nodes, index: int = 1) -> LivenessProperty:
+    """Eventually some node's commit index reaches ``index``."""
+    return LivenessProperty(
+        f"EventuallyCommitted(:{index})",
+        lambda state: any(state["commitIndex"][n] >= index for n in nodes),
+    )
+
+
+def quorum_commit(nodes, index: int = 1) -> LivenessProperty:
+    """Eventually a majority of nodes commit up to ``index``."""
+    quorum = len(nodes) // 2 + 1
+
+    def predicate(state: Rec) -> bool:
+        return sum(1 for n in nodes if state["commitIndex"][n] >= index) >= quorum
+
+    return LivenessProperty(f"EventuallyQuorumCommitted(:{index})", predicate)

@@ -1,0 +1,202 @@
+"""Random-walk exploration (TLC simulation mode).
+
+Random walks serve three roles in the SandTable workflow:
+
+* conformance checking (§3.2) replays random-walk traces against the
+  implementation;
+* constraint ranking (Algorithm 1) scores configuration/constraint pairs
+  by the branch coverage, event diversity and depth of random walks;
+* the specification-level side of the speedup experiment (Table 4) measures
+  the wall-clock cost per random-walk trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from collections import Counter
+from typing import List, Optional, Set, Tuple
+
+from .spec import Spec, Transition
+from .trace import Trace, TraceStep
+from .violation import Violation
+
+__all__ = ["WalkResult", "SimulationResult", "random_walk", "simulate"]
+
+
+@dataclasses.dataclass
+class WalkResult:
+    """Metrics from a single random walk."""
+
+    trace: Trace
+    branches: Set[Tuple[str, str]]
+    event_counts: Counter
+    terminated: str = "deadlock"  # deadlock | max_depth | constraint | violation
+    violation: Optional[Violation] = None
+    elapsed: float = 0.0
+
+    @property
+    def depth(self) -> int:
+        return self.trace.depth
+
+    @property
+    def branch_coverage(self) -> int:
+        return len(self.branches)
+
+    @property
+    def event_diversity(self) -> int:
+        return len(self.event_counts)
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Aggregate metrics from a batch of random walks."""
+
+    walks: List[WalkResult]
+    elapsed: float
+
+    @property
+    def n_walks(self) -> int:
+        return len(self.walks)
+
+    @property
+    def branches(self) -> Set[Tuple[str, str]]:
+        covered: Set[Tuple[str, str]] = set()
+        for walk in self.walks:
+            covered |= walk.branches
+        return covered
+
+    @property
+    def branch_coverage(self) -> int:
+        return len(self.branches)
+
+    @property
+    def event_diversity(self) -> int:
+        kinds: Set[str] = set()
+        for walk in self.walks:
+            kinds |= set(walk.event_counts)
+        return len(kinds)
+
+    @property
+    def mean_depth(self) -> float:
+        if not self.walks:
+            return 0.0
+        return sum(w.depth for w in self.walks) / len(self.walks)
+
+    @property
+    def max_depth(self) -> int:
+        return max((w.depth for w in self.walks), default=0)
+
+    @property
+    def mean_walk_time(self) -> float:
+        if not self.walks:
+            return 0.0
+        return sum(w.elapsed for w in self.walks) / len(self.walks)
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        for walk in self.walks:
+            if walk.violation is not None:
+                return walk.violation
+        return None
+
+
+def random_walk(
+    spec: Spec,
+    rng: random.Random,
+    max_depth: int = 100,
+    check_invariants: bool = True,
+) -> WalkResult:
+    """One random walk from a random initial state.
+
+    At each step a uniformly random enabled transition is taken.  The walk
+    stops on deadlock (no enabled transition), when the state constraint
+    fails, at ``max_depth``, or at the first invariant violation.
+    """
+    started = time.monotonic()
+    inits = list(spec.init_states())
+    state = inits[rng.randrange(len(inits))]
+    trace = Trace(state)
+    branches: Set[Tuple[str, str]] = set()
+    events: Counter = Counter()
+    terminated = "deadlock"
+    violation: Optional[Violation] = None
+
+    if check_invariants:
+        bad = spec.check_state(state)
+        if bad is not None:
+            violation = Violation(bad, trace, kind="state")
+            terminated = "violation"
+
+    while violation is None and trace.depth < max_depth:
+        if not spec.state_constraint(state):
+            terminated = "constraint"
+            break
+        choices: List[Transition] = list(spec.successors(state))
+        if not choices:
+            terminated = "deadlock"
+            break
+        transition = choices[rng.randrange(len(choices))]
+        step = TraceStep(
+            transition.action, transition.args, transition.target, transition.branch
+        )
+        branches.add((transition.action, transition.branch))
+        events[_event_kind(spec, transition.action)] += 1
+        if check_invariants:
+            bad = spec.check_transition(state, transition)
+            if bad is not None:
+                trace = trace.extend(step)
+                violation = Violation(bad, trace, kind="transition")
+                terminated = "violation"
+                break
+        trace = trace.extend(step)
+        state = transition.target
+        if check_invariants:
+            bad = spec.check_state(state)
+            if bad is not None:
+                violation = Violation(bad, trace, kind="state")
+                terminated = "violation"
+                break
+    else:
+        if violation is None:
+            terminated = "max_depth"
+
+    return WalkResult(
+        trace=trace,
+        branches=branches,
+        event_counts=events,
+        terminated=terminated,
+        violation=violation,
+        elapsed=time.monotonic() - started,
+    )
+
+
+def simulate(
+    spec: Spec,
+    n_walks: int = 100,
+    max_depth: int = 100,
+    seed: int = 0,
+    check_invariants: bool = True,
+    time_budget: Optional[float] = None,
+    stop_on_violation: bool = False,
+) -> SimulationResult:
+    """Run a batch of random walks and aggregate their metrics."""
+    rng = random.Random(seed)
+    started = time.monotonic()
+    walks: List[WalkResult] = []
+    for _ in range(n_walks):
+        walk = random_walk(spec, rng, max_depth=max_depth, check_invariants=check_invariants)
+        walks.append(walk)
+        if stop_on_violation and walk.violation is not None:
+            break
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            break
+    return SimulationResult(walks, time.monotonic() - started)
+
+
+def _event_kind(spec: Spec, action_name: str) -> str:
+    for action in spec.actions():
+        if action.name == action_name:
+            return action.kind
+    return "internal"

@@ -1,0 +1,221 @@
+"""The specification DSL: state machines for model checking.
+
+A specification (the analogue of a TLA+ module, §3.1 of the paper) is a
+subclass of :class:`Spec` that provides:
+
+* ``init_states()`` — the set of initial states (each a :class:`Rec` of
+  variable name to frozen value);
+* ``actions()`` — a list of :class:`Action` objects; each action enumerates
+  the transitions enabled in a given state;
+* ``invariants()`` — safety properties, either *state* invariants (checked
+  on every reached state) or *transition* invariants (checked on every
+  edge; used for monotonicity-style properties without polluting the state
+  with history variables);
+* ``state_constraint(state)`` — bounds the explored space (the TLA+
+  ``StateConstraint``), typically via an ``eventCounter`` variable.
+
+Constants instantiate the model (number of nodes, workload values, budget
+constraints); they are plain attributes on the spec instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .state import Rec
+
+__all__ = [
+    "Transition",
+    "Action",
+    "Invariant",
+    "TransitionInvariant",
+    "Spec",
+    "SpecError",
+]
+
+
+class SpecError(Exception):
+    """Raised for malformed specifications."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One enabled transition: an action firing with concrete arguments."""
+
+    action: str
+    args: Tuple[Any, ...]
+    target: Rec
+    branch: str = ""
+
+    @property
+    def label(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        suffix = f" [{self.branch}]" if self.branch else ""
+        return f"{self.action}({rendered}){suffix}"
+
+
+class Action:
+    """A named transition relation.
+
+    ``fn(state)`` must be a generator yielding ``(args, next_state)`` or
+    ``(args, next_state, branch)`` tuples for every way the action is
+    enabled in ``state``.  The optional ``branch`` string tags which branch
+    of the action body fired; the random-walk explorer aggregates branch
+    tags into the branch-coverage metric used by constraint ranking
+    (Algorithm 1).
+    """
+
+    __slots__ = ("name", "fn", "kind")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Rec], Iterable[tuple]],
+        kind: str = "internal",
+    ):
+        self.name = name
+        self.fn = fn
+        # ``kind`` classifies the node-level event for event-diversity
+        # metrics and trace conversion: one of "message", "timeout",
+        # "client", "failure", "internal".
+        self.kind = kind
+
+    def transitions(self, state: Rec) -> Iterator[Transition]:
+        for item in self.fn(state):
+            if len(item) == 2:
+                args, target = item
+                branch = ""
+            elif len(item) == 3:
+                args, target, branch = item
+            else:
+                raise SpecError(
+                    f"action {self.name} yielded a {len(item)}-tuple;"
+                    " expected (args, state) or (args, state, branch)"
+                )
+            if not isinstance(target, Rec):
+                raise SpecError(
+                    f"action {self.name}{args} produced a non-Rec state:"
+                    f" {type(target).__name__}"
+                )
+            yield Transition(self.name, tuple(args), target, branch)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r}, kind={self.kind!r})"
+
+
+class Invariant:
+    """A state invariant: ``fn(state) -> bool`` must hold on every state."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[Rec], bool]):
+        self.name = name
+        self.fn = fn
+
+    def holds(self, state: Rec) -> bool:
+        return bool(self.fn(state))
+
+    def __repr__(self) -> str:
+        return f"Invariant({self.name!r})"
+
+
+class TransitionInvariant:
+    """An edge invariant: ``fn(pre, transition) -> bool`` on every edge.
+
+    Used for properties over state *changes* — e.g. "commit index is
+    monotonic" — which TLA+ specs express with history variables.  Checking
+    them on edges keeps the reachable state space smaller.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[Rec, Transition], bool]):
+        self.name = name
+        self.fn = fn
+
+    def holds(self, pre: Rec, transition: Transition) -> bool:
+        return bool(self.fn(pre, transition))
+
+    def __repr__(self) -> str:
+        return f"TransitionInvariant({self.name!r})"
+
+
+class Spec:
+    """Base class for specifications.
+
+    Subclasses override :meth:`init_states`, :meth:`actions` and
+    :meth:`invariants`, and may override :meth:`state_constraint` and
+    :meth:`symmetry_sets`.
+    """
+
+    name: str = "spec"
+
+    # -- the state machine ---------------------------------------------------
+
+    def init_states(self) -> Iterable[Rec]:
+        raise NotImplementedError
+
+    def actions(self) -> Sequence[Action]:
+        raise NotImplementedError
+
+    def invariants(self) -> Sequence[Invariant]:
+        return ()
+
+    def transition_invariants(self) -> Sequence[TransitionInvariant]:
+        return ()
+
+    def state_constraint(self, state: Rec) -> bool:
+        """Return False to prune ``state``'s successors from exploration."""
+        return True
+
+    def symmetry_sets(self) -> Sequence[Tuple[Any, ...]]:
+        """Sets of interchangeable constants (node ids, workload values).
+
+        Permuting the members of any one set must not affect whether an
+        action satisfies an invariant (§3.3).  The explorer canonicalizes
+        states under these permutations when symmetry reduction is on.
+        """
+        return ()
+
+    # -- conveniences ---------------------------------------------------------
+
+    def successors(self, state: Rec) -> Iterator[Transition]:
+        """All transitions enabled in ``state``, across all actions."""
+        for action in self.actions():
+            yield from action.transitions(state)
+
+    def action_by_name(self, name: str) -> Action:
+        for action in self.actions():
+            if action.name == name:
+                return action
+        raise KeyError(name)
+
+    def check_state(self, state: Rec) -> Optional[str]:
+        """Return the name of the first violated state invariant, if any."""
+        for inv in self.invariants():
+            if not inv.holds(state):
+                return inv.name
+        return None
+
+    def check_transition(self, pre: Rec, transition: Transition) -> Optional[str]:
+        """Return the first violated transition invariant, if any."""
+        for inv in self.transition_invariants():
+            if not inv.holds(pre, transition):
+                return inv.name
+        return None
+
+    def describe(self) -> dict:
+        """Static metrics: variable/action/invariant counts (Table 1)."""
+        init = next(iter(self.init_states()))
+        return {
+            "name": self.name,
+            "variables": len(init),
+            "actions": len(self.actions()),
+            "invariants": len(self.invariants()) + len(self.transition_invariants()),
+        }
+
+
+def enumerate_transitions(spec: Spec, state: Rec) -> List[Transition]:
+    """Materialize all enabled transitions of ``state`` (helper for tests)."""
+    return list(spec.successors(state))

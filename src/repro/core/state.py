@@ -1,0 +1,237 @@
+"""Immutable state values and canonical fingerprinting.
+
+Specification states are immutable so that the stateful BFS explorer can
+hash, deduplicate and safely share them.  The building block is :class:`Rec`,
+an immutable mapping with functional update, playing the role of a TLA+
+function/record (``EXCEPT`` becomes :meth:`Rec.set` / :meth:`Rec.apply`).
+
+All values stored in a state must be *frozen*: ints, strings, booleans,
+``None``, tuples, frozensets, or nested :class:`Rec` instances.
+:func:`freeze` converts ordinary dicts/lists/sets into frozen form, and
+:func:`thaw` converts back for serialization and debugging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping
+from typing import Any, Callable, Iterator, Tuple
+
+__all__ = ["Rec", "freeze", "thaw", "fingerprint", "strong_fingerprint", "substitute"]
+
+_FROZEN_SCALARS = (int, float, str, bytes, bool, type(None))
+
+
+class Rec(Mapping):
+    """An immutable record: a hashable mapping with functional update.
+
+    Keys are sorted internally so two records with the same contents have
+    the same canonical representation and hash regardless of insertion
+    order.
+    """
+
+    __slots__ = ("_dict", "_hash")
+
+    def __init__(self, mapping: Any = (), **kwargs: Any):
+        if isinstance(mapping, Rec):
+            base = dict(mapping._dict)
+        else:
+            base = dict(mapping)
+        base.update(kwargs)
+        for key, value in base.items():
+            _check_frozen(value, key)
+        self._dict = base
+        self._hash = None
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._dict[key]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._dict)
+
+    def __len__(self) -> int:
+        return len(self._dict)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._dict
+
+    # -- identity ----------------------------------------------------------
+
+    def __hash__(self) -> int:
+        # Order-independent and cached; nested Recs cache their own
+        # hashes, so functional updates that share substructure hash
+        # mostly from cache.
+        if self._hash is None:
+            self._hash = hash(frozenset(self._dict.items()))
+        return self._hash
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Rec):
+            return self._dict == other._dict
+        if isinstance(other, Mapping):
+            return self._dict == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.items_sorted())
+        return f"Rec({{{inner}}})"
+
+    # -- functional update ---------------------------------------------------
+
+    @classmethod
+    def _make(cls, contents: dict) -> "Rec":
+        """Internal: wrap an already-validated dict without copying."""
+        rec = object.__new__(cls)
+        rec._dict = contents
+        rec._hash = None
+        return rec
+
+    def set(self, key: Any, value: Any) -> "Rec":
+        """Return a new record with ``key`` bound to ``value``."""
+        _check_frozen(value, key)
+        new = dict(self._dict)
+        new[key] = value
+        return Rec._make(new)
+
+    def update(self, mapping: Any = (), **kwargs: Any) -> "Rec":
+        """Return a new record with several keys rebound."""
+        new = dict(self._dict)
+        for source in (dict(mapping), kwargs):
+            for key, value in source.items():
+                _check_frozen(value, key)
+                new[key] = value
+        return Rec._make(new)
+
+    def apply(self, key: Any, fn: Callable[[Any], Any]) -> "Rec":
+        """Return a new record with ``key`` rebound to ``fn(old_value)``.
+
+        The TLA+ idiom ``[f EXCEPT ![k] = g(@)]``.
+        """
+        return self.set(key, fn(self._dict[key]))
+
+    def remove(self, key: Any) -> "Rec":
+        """Return a new record without ``key``."""
+        new = dict(self._dict)
+        del new[key]
+        return Rec._make(new)
+
+    def items_sorted(self) -> Tuple[Tuple[Any, Any], ...]:
+        """Items in a canonical (type-name, repr) key order."""
+        return tuple(sorted(self._dict.items(), key=_key_sort))
+
+
+def _key_sort(item: Tuple[Any, Any]) -> Tuple[str, str]:
+    key = item[0]
+    return (type(key).__name__, repr(key))
+
+
+def _check_frozen(value: Any, key: Any) -> None:
+    if isinstance(value, _FROZEN_SCALARS) or isinstance(value, (tuple, frozenset, Rec)):
+        return
+    raise TypeError(
+        f"state value for key {key!r} is not frozen: {type(value).__name__};"
+        " use freeze() or a Rec/tuple/frozenset"
+    )
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert a plain Python value into frozen form.
+
+    dict -> Rec, list -> tuple, set -> frozenset; scalars pass through.
+    """
+    if isinstance(value, Rec):
+        return Rec({k: freeze(v) for k, v in value.items()})
+    if isinstance(value, Mapping):
+        return Rec({freeze(k): freeze(v) for k, v in value.items()})
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(v) for v in value)
+    if isinstance(value, _FROZEN_SCALARS):
+        return value
+    raise TypeError(f"cannot freeze value of type {type(value).__name__}")
+
+
+def thaw(value: Any) -> Any:
+    """Convert a frozen value back into plain JSON-friendly Python.
+
+    Rec -> dict, tuple -> list, frozenset -> sorted list.
+    """
+    if isinstance(value, Rec):
+        return {_thaw_key(k): thaw(v) for k, v in value.items_sorted()}
+    if isinstance(value, tuple):
+        return [thaw(v) for v in value]
+    if isinstance(value, frozenset):
+        return sorted((thaw(v) for v in value), key=repr)
+    return value
+
+
+def _thaw_key(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return key
+
+
+def fingerprint(state: Any) -> int:
+    """Fast 64-bit-class fingerprint of a frozen state (per-run stable)."""
+    return hash(state)
+
+
+def strong_fingerprint(state: Any) -> bytes:
+    """Collision-resistant fingerprint, stable across runs.
+
+    Slower than :func:`fingerprint`; used when exact deduplication matters
+    (e.g. cross-run comparisons in tests).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    _feed(digest, state)
+    return digest.digest()
+
+
+def _feed(digest: "hashlib._Hash", value: Any) -> None:
+    if isinstance(value, Rec):
+        digest.update(b"R")
+        for key, val in value.items_sorted():
+            _feed(digest, key)
+            _feed(digest, val)
+        digest.update(b"r")
+    elif isinstance(value, tuple):
+        digest.update(b"T")
+        for val in value:
+            _feed(digest, val)
+        digest.update(b"t")
+    elif isinstance(value, frozenset):
+        digest.update(b"S")
+        parts = sorted(strong_fingerprint(v) for v in value)
+        for part in parts:
+            digest.update(part)
+        digest.update(b"s")
+    else:
+        digest.update(type(value).__name__.encode())
+        digest.update(repr(value).encode())
+
+
+def substitute(value: Any, mapping: Mapping) -> Any:
+    """Recursively replace atoms of ``value`` according to ``mapping``.
+
+    Used by symmetry reduction to permute node identifiers (or workload
+    values) throughout a state.  Atoms not present in ``mapping`` are left
+    unchanged; container structure is preserved.
+    """
+    if isinstance(value, Rec):
+        return Rec(
+            {
+                substitute(k, mapping): substitute(v, mapping)
+                for k, v in value.items()
+            }
+        )
+    if isinstance(value, tuple):
+        return tuple(substitute(v, mapping) for v in value)
+    if isinstance(value, frozenset):
+        return frozenset(substitute(v, mapping) for v in value)
+    try:
+        return mapping.get(value, value)
+    except TypeError:  # unhashable — cannot be a key
+        return value

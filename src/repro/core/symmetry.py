@@ -1,0 +1,93 @@
+"""Symmetry reduction (§3.3).
+
+Distributed-system models are usually symmetric in node identity and in
+workload values: permuting them does not change whether an action satisfies
+an invariant.  The explorer therefore stores only one canonical
+representative per symmetry orbit, shrinking the state space by up to
+``|nodes|! * |values|!``.
+
+A spec declares its symmetry sets via :meth:`Spec.symmetry_sets`.  The
+canonical form of a state is the permuted variant with the smallest
+fingerprint under the supplied key function; the permutation group is the
+direct product of the permutations of each symmetry set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from .state import Rec, fingerprint, substitute
+
+__all__ = ["permutations_of_sets", "canonicalize", "SymmetryReducer"]
+
+
+def permutations_of_sets(sets: Sequence[Tuple[Any, ...]]) -> Iterator[Dict[Any, Any]]:
+    """All substitution maps from the product of per-set permutations.
+
+    The identity map is always yielded first.
+    """
+    per_set = [list(itertools.permutations(members)) for members in sets]
+    for combo in itertools.product(*per_set):
+        mapping: Dict[Any, Any] = {}
+        for members, permuted in zip(sets, combo):
+            mapping.update(zip(members, permuted))
+        yield mapping
+
+
+def canonicalize(
+    state: Rec,
+    sets: Sequence[Tuple[Any, ...]],
+    key: Callable[[Rec], Any] = fingerprint,
+) -> Rec:
+    """Return the canonical representative of ``state``'s symmetry orbit."""
+    best = state
+    best_fp = key(state)
+    for mapping in permutations_of_sets(sets):
+        if all(k == v for k, v in mapping.items()):
+            continue
+        candidate = substitute(state, mapping)
+        fp = key(candidate)
+        if fp < best_fp:
+            best, best_fp = candidate, fp
+    return best
+
+
+class SymmetryReducer:
+    """Caches the permutation maps for a spec's symmetry sets."""
+
+    def __init__(
+        self,
+        sets: Sequence[Tuple[Any, ...]],
+        key: Callable[[Rec], Any] = fingerprint,
+    ):
+        self.sets = [tuple(members) for members in sets]
+        self.key = key
+        self._maps: List[Dict[Any, Any]] = [
+            mapping
+            for mapping in permutations_of_sets(self.sets)
+            if any(k != v for k, v in mapping.items())
+        ]
+
+    @property
+    def group_size(self) -> int:
+        return len(self._maps) + 1
+
+    def canonical(self, state: Rec) -> Rec:
+        if not self._maps:
+            return state
+        best = state
+        best_fp = self.key(state)
+        for mapping in self._maps:
+            candidate = substitute(state, mapping)
+            fp = self.key(candidate)
+            if fp < best_fp:
+                best, best_fp = candidate, fp
+        return best
+
+    def orbit(self, state: Rec) -> List[Rec]:
+        """All distinct states in the symmetry orbit of ``state``."""
+        seen = {state}
+        for mapping in self._maps:
+            seen.add(substitute(state, mapping))
+        return list(seen)

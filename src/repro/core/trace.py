@@ -1,0 +1,106 @@
+"""Traces: sequences of events through the specification state space.
+
+A trace records the initial state and every transition taken.  Traces are
+the currency of the whole SandTable workflow: random walks produce them for
+conformance checking, BFS produces them as counterexamples, and the
+deterministic replayer consumes them to drive the implementation (§3.2,
+§3.4, §4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .state import Rec, thaw
+
+__all__ = ["TraceStep", "Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceStep:
+    """One event in a trace: the transition taken and the state it produced."""
+
+    action: str
+    args: Tuple[Any, ...]
+    state: Rec
+    branch: str = ""
+
+    @property
+    def label(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.action}({rendered})"
+
+
+class Trace:
+    """An initial state followed by zero or more steps."""
+
+    def __init__(self, initial: Rec, steps: Sequence[TraceStep] = ()):
+        self.initial = initial
+        self.steps: List[TraceStep] = list(steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> TraceStep:
+        return self.steps[index]
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_state(self) -> Rec:
+        return self.steps[-1].state if self.steps else self.initial
+
+    def states(self) -> Iterator[Rec]:
+        yield self.initial
+        for step in self.steps:
+            yield step.state
+
+    def extend(self, step: TraceStep) -> "Trace":
+        return Trace(self.initial, self.steps + [step])
+
+    def labels(self) -> List[str]:
+        return [step.label for step in self.steps]
+
+    def action_names(self) -> List[str]:
+        return [step.action for step in self.steps]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "initial": thaw(self.initial),
+            "steps": [
+                {
+                    "action": step.action,
+                    "args": [_jsonable(a) for a in step.args],
+                    "branch": step.branch,
+                    "state": thaw(step.state),
+                }
+                for step in self.steps
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def summary(self) -> str:
+        lines = [f"trace of depth {self.depth}:"]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append(f"  {index:3d}. {step.label}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Trace(depth={self.depth})"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (Rec, tuple, frozenset)):
+        return thaw(value)
+    return value

@@ -1,0 +1,37 @@
+"""Invariant-violation reports produced by exploration."""
+
+from __future__ import annotations
+
+import dataclasses
+from .trace import Trace
+
+__all__ = ["Violation"]
+
+
+@dataclasses.dataclass
+class Violation:
+    """A safety-property violation with its minimal triggering trace.
+
+    ``invariant`` names the violated property; ``trace`` is the event
+    sequence that reaches the violating state (for BFS this is a
+    minimal-depth counterexample, §5.1.1).  ``kind`` distinguishes state
+    invariants from transition invariants.
+    """
+
+    invariant: str
+    trace: Trace
+    kind: str = "state"
+    detail: str = ""
+
+    @property
+    def depth(self) -> int:
+        return self.trace.depth
+
+    def describe(self) -> str:
+        header = f"violation of {self.invariant} ({self.kind}) at depth {self.depth}"
+        if self.detail:
+            header += f": {self.detail}"
+        return header + "\n" + self.trace.summary()
+
+    def __repr__(self) -> str:
+        return f"Violation({self.invariant!r}, depth={self.depth})"

@@ -1,0 +1,32 @@
+"""The implementation-level deterministic execution engine (§4.1, App. A)."""
+
+from . import commands
+from .clock import VirtualClock
+from .commands import Command
+from .engine import CommandResult, EngineError, ExecutionEngine
+from .interceptor import Interceptor
+from .latency import PRESETS, LatencyModel, preset_for
+from .node import HostContext, NodeHost
+from .proxy import NetworkProxy, ProxyError
+from .wire import Frame, WireError, decode_payload, encode_payload
+
+__all__ = [
+    "Command",
+    "CommandResult",
+    "EngineError",
+    "ExecutionEngine",
+    "Frame",
+    "HostContext",
+    "Interceptor",
+    "LatencyModel",
+    "NetworkProxy",
+    "NodeHost",
+    "PRESETS",
+    "ProxyError",
+    "VirtualClock",
+    "WireError",
+    "commands",
+    "decode_payload",
+    "encode_payload",
+    "preset_for",
+]

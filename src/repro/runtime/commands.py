@@ -1,0 +1,117 @@
+"""The engine command vocabulary (§4.1, §A.5).
+
+Three families, as in the paper: *network commands* manipulate traffic
+(deliver, drop, duplicate, partition, heal), *node commands* control the
+target processes (timeout, client, crash, restart, compact,
+advance-clock), and *state commands* observe (get-state).  Specification
+trace events convert one-to-one into these commands
+(:mod:`repro.conformance.converter`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "Command",
+    "deliver",
+    "timeout",
+    "client",
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "drop",
+    "duplicate",
+    "compact",
+    "advance_clock",
+    "get_state",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Command:
+    """One deterministic-execution command."""
+
+    kind: str
+    node: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    payload: Any = None
+    group: Tuple[str, ...] = ()
+    timer: str = ""
+    op: Any = None
+    delta_ns: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "deliver":
+            return f"deliver {self.src}->{self.dst}"
+        if self.kind == "timeout":
+            return f"timeout {self.node} {self.timer}"
+        if self.kind == "client":
+            return f"client {self.node} {self.op!r}"
+        if self.kind in ("crash", "restart", "compact"):
+            return f"{self.kind} {self.node}"
+        if self.kind == "partition":
+            return f"partition {'|'.join(self.group)}"
+        if self.kind in ("drop", "duplicate"):
+            return f"{self.kind} {self.src}->{self.dst}"
+        return self.kind
+
+
+def deliver(src: str, dst: str, payload: Any = None) -> Command:
+    """Deliver a buffered message (head for TCP; a chosen datagram for UDP)."""
+    return Command("deliver", src=src, dst=dst, payload=payload)
+
+
+def timeout(node: str, timer: str = "election") -> Command:
+    """Advance the node's virtual clock past the named timer and fire it."""
+    return Command("timeout", node=node, timer=timer)
+
+
+def client(node: str, op: Any) -> Command:
+    """Issue a client request against a node."""
+    return Command("client", node=node, op=op)
+
+
+def crash(node: str) -> Command:
+    """Abort the node without cleanup (the SIGQUIT analogue)."""
+    return Command("crash", node=node)
+
+
+def restart(node: str) -> Command:
+    """Start a crashed node; it recovers its persistent state."""
+    return Command("restart", node=node)
+
+
+def partition(group: Tuple[str, ...]) -> Command:
+    """Break all connections crossing the group / rest split."""
+    return Command("partition", group=tuple(group))
+
+
+def heal() -> Command:
+    return Command("heal")
+
+
+def drop(src: str, dst: str, payload: Any = None) -> Command:
+    """Drop a UDP datagram."""
+    return Command("drop", src=src, dst=dst, payload=payload)
+
+
+def duplicate(src: str, dst: str, payload: Any = None) -> Command:
+    """Duplicate a UDP datagram."""
+    return Command("duplicate", src=src, dst=dst, payload=payload)
+
+
+def compact(node: str) -> Command:
+    """Trigger log compaction on a node."""
+    return Command("compact", node=node)
+
+
+def advance_clock(node: str, delta_ns: int) -> Command:
+    return Command("advance_clock", node=node, delta_ns=delta_ns)
+
+
+def get_state(node: Optional[str] = None) -> Command:
+    return Command("get_state", node=node)

@@ -1,0 +1,245 @@
+"""The deterministic execution engine (§4.1, Figure 5, §A.5).
+
+The engine schedules every event in the cluster: it delivers buffered
+messages, fires timers by advancing virtual clocks, issues client
+requests, and injects failures.  Nothing happens in the cluster unless
+the engine commands it, so replaying the same command sequence always
+produces the same execution — the property bug confirmation (§3.4) and
+conformance checking (§3.2) rely on.
+
+An unhandled exception escaping a target-system handler is treated as
+the process aborting (the by-product crash bugs found during conformance
+checking); the engine records it and marks the node crashed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.state import Rec, freeze
+from ..systems.base import SystemCrash
+from .clock import VirtualClock
+from .commands import Command
+from .latency import LatencyModel
+from .node import NodeHost
+from .proxy import NetworkProxy, ProxyError
+from .wire import decode_payload, encode_payload
+
+__all__ = ["ExecutionEngine", "CommandResult", "EngineError"]
+
+#: advanced past any timer deadline when firing a timeout
+TIMER_ADVANCE_NS = 10_000_000_000
+
+
+class EngineError(Exception):
+    """A command could not be executed (not enabled in the cluster)."""
+
+
+@dataclasses.dataclass
+class CommandResult:
+    """Outcome of one engine command."""
+
+    command: Command
+    ok: bool = True
+    detail: Any = None
+    crash: Optional[SystemCrash] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+class ExecutionEngine:
+    """Drives an unmodified cluster deterministically."""
+
+    def __init__(
+        self,
+        factory: Callable,
+        nodes: Sequence[str],
+        network_kind: str = "tcp",
+        bugs: Sequence[str] = (),
+        latency: Optional[LatencyModel] = None,
+    ):
+        self.nodes = tuple(nodes)
+        self.network_kind = network_kind
+        self.clock = VirtualClock(self.nodes)
+        self.proxy = NetworkProxy(self.nodes, kind=network_kind)
+        self.latency = latency or LatencyModel()
+        self.sim_seconds = 0.0
+        self.events_executed = 0
+        self.crashes: List[SystemCrash] = []
+        self.hosts: Dict[str, NodeHost] = {
+            node: NodeHost(node, self.nodes, factory, self.clock, self.proxy, bugs)
+            for node in self.nodes
+        }
+        # Cluster initialization: start every node (and pay for it).
+        self.sim_seconds += self.latency.charge_init()
+        for host in self.hosts.values():
+            host.start()
+
+    # ------------------------------------------------------------------
+    # command execution
+    # ------------------------------------------------------------------
+
+    def execute(self, command: Command) -> CommandResult:
+        handler = getattr(self, f"_cmd_{command.kind}", None)
+        if handler is None:
+            raise EngineError(f"unknown command kind: {command.kind}")
+        self.sim_seconds += self.latency.charge_event()
+        self.events_executed += 1
+        try:
+            detail = handler(command)
+        except SystemCrash as crash:
+            self.crashes.append(crash)
+            return CommandResult(command, ok=False, crash=crash)
+        return CommandResult(command, detail=detail)
+
+    def run(self, commands: Sequence[Command]) -> List[CommandResult]:
+        return [self.execute(command) for command in commands]
+
+    def _guard_alive(self, node: str) -> NodeHost:
+        host = self.hosts[node]
+        if not host.alive:
+            raise EngineError(f"{node} is not running")
+        return host
+
+    def _invoke(self, node: str, event: str, fn: Callable, *args: Any) -> Any:
+        """Run a target-system handler; an escaping exception aborts the node."""
+        try:
+            return fn(*args)
+        except Exception as exc:  # noqa: BLE001 — any escape is a crash
+            host = self.hosts[node]
+            if host.alive:
+                host.crash()
+            self.proxy.mark_down(node)
+            raise SystemCrash(node, event, exc) from exc
+
+    # -- network commands ---------------------------------------------------------
+
+    def _cmd_deliver(self, command: Command) -> Any:
+        src, dst = command.src, command.dst
+        host = self._guard_alive(dst)
+        frame = None
+        if command.payload is not None and self.network_kind == "udp":
+            frame = encode_payload(command.payload)
+        try:
+            taken = self.proxy.deliver(src, dst, frame)
+        except ProxyError as exc:
+            raise EngineError(str(exc)) from exc
+        payload = decode_payload(taken)
+        self._invoke(dst, f"message from {src}", host.require_proc().on_message, src, payload)
+        return payload
+
+    def _cmd_drop(self, command: Command) -> Any:
+        frame = (
+            encode_payload(command.payload) if command.payload is not None else None
+        )
+        try:
+            return decode_payload(self.proxy.drop(command.src, command.dst, frame))
+        except ProxyError as exc:
+            raise EngineError(str(exc)) from exc
+
+    def _cmd_duplicate(self, command: Command) -> Any:
+        frame = (
+            encode_payload(command.payload) if command.payload is not None else None
+        )
+        try:
+            return decode_payload(self.proxy.duplicate(command.src, command.dst, frame))
+        except ProxyError as exc:
+            raise EngineError(str(exc)) from exc
+
+    def _cmd_partition(self, command: Command) -> None:
+        try:
+            self.proxy.partition(command.group)
+        except ProxyError as exc:
+            raise EngineError(str(exc)) from exc
+
+    def _cmd_heal(self, command: Command) -> None:
+        self.proxy.heal()
+
+    # -- node commands ------------------------------------------------------------
+
+    def _cmd_timeout(self, command: Command) -> None:
+        host = self._guard_alive(command.node)
+        if not host.interceptor.timer_armed(command.timer):
+            raise EngineError(
+                f"timer {command.timer!r} is not armed on {command.node}"
+            )
+        self.clock.advance_ns(command.node, TIMER_ADVANCE_NS)
+        self._invoke(
+            command.node,
+            f"timeout {command.timer}",
+            host.require_proc().on_timeout,
+            command.timer,
+        )
+
+    def _cmd_client(self, command: Command) -> Any:
+        host = self._guard_alive(command.node)
+        return self._invoke(
+            command.node,
+            "client request",
+            host.require_proc().on_client_request,
+            command.op,
+        )
+
+    def _cmd_crash(self, command: Command) -> None:
+        host = self._guard_alive(command.node)
+        host.crash()
+        self.proxy.mark_down(command.node)
+
+    def _cmd_restart(self, command: Command) -> None:
+        host = self.hosts[command.node]
+        if host.alive:
+            raise EngineError(f"{command.node} is already running")
+        self.proxy.mark_up(command.node)
+        host.start()
+
+    def _cmd_compact(self, command: Command) -> Any:
+        host = self._guard_alive(command.node)
+        return self._invoke(
+            command.node, "compaction", host.require_proc().compact
+        )
+
+    def _cmd_advance_clock(self, command: Command) -> int:
+        return self.clock.advance_ns(command.node, command.delta_ns)
+
+    # -- state commands (§A.4) --------------------------------------------------------
+
+    def _cmd_get_state(self, command: Command) -> Any:
+        if command.node is not None:
+            return self.hosts[command.node].extract_state()
+        return self.cluster_state()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def cluster_state(self) -> Dict[str, Any]:
+        """The whole cluster's state in spec-variable shape."""
+        state: Dict[str, Any] = {
+            "alive": {node: host.alive for node, host in self.hosts.items()},
+            "nodes": {
+                node: host.extract_state() for node, host in self.hosts.items()
+            },
+        }
+        state.update(self.proxy.snapshot())
+        return state
+
+    def frozen_cluster_state(self) -> Rec:
+        """The cluster state as a frozen record (conformance comparisons)."""
+        raw = self.cluster_state()
+        return Rec(
+            alive=freeze(raw["alive"]),
+            nodes=freeze(
+                {n: s for n, s in raw["nodes"].items() if s is not None}
+            ),
+            netMsgs=raw["netMsgs"],
+            netDisconnected=raw["netDisconnected"],
+        )
+
+    def resource_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            node: (host.proc.resource_stats() if host.alive else {})
+            for node, host in self.hosts.items()
+        }

@@ -1,0 +1,116 @@
+"""The interceptor: simulated POSIX interposition (§A.1).
+
+In the paper the interceptor is a shared library preloaded into the
+target system's address space via ``LD_PRELOAD``; it overrides libc
+syscall wrappers (time, network, logging I/O) and executes commands from
+the engine.  Here the same control surface is a Python object handed to
+each target-system process: every interaction the process has with the
+outside world — reading the clock, sending a message, arming a timer,
+persisting data, writing a log line — goes through it, and the engine
+observes and controls all of it.
+
+Per-call counters record which "syscalls" the process issued, and the
+log-line buffer supports the paper's log-parsing state-extraction path
+(§A.1 "states observation").
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Any, Dict, List, Optional, Pattern, Tuple
+
+from .clock import VirtualClock
+from .proxy import NetworkProxy
+from .wire import encode_payload
+
+__all__ = ["Interceptor"]
+
+
+class Interceptor:
+    """Per-node interposition layer between a target system and the engine."""
+
+    def __init__(
+        self,
+        node_id: str,
+        clock: VirtualClock,
+        proxy: NetworkProxy,
+        persistent: Dict[str, Any],
+    ):
+        self.node_id = node_id
+        self._clock = clock
+        self._proxy = proxy
+        self._persistent = persistent
+        self.syscalls: Counter = Counter()
+        self.timers: Dict[str, bool] = {}
+        self.log_lines: List[str] = []
+        self.sent_messages = 0
+
+    # -- time (clock_gettime / gettimeofday) ------------------------------------
+
+    def gettime_ns(self) -> int:
+        self.syscalls["clock_gettime"] += 1
+        return self._clock.now_ns(self.node_id)
+
+    # -- network (send/recv wrappers) ----------------------------------------------
+
+    def send(self, dst: str, payload: Any) -> bool:
+        """Frame and enqueue a message (the sendto/write override).
+
+        The interceptor adds the message-boundary header; the proxy
+        buffers the frame.  Returns False when the send was lost (broken
+        connection), which the target system cannot distinguish from a
+        successful send — exactly the TCP semantics under partition.
+        """
+        self.syscalls["sendto"] += 1
+        self.sent_messages += 1
+        frame = encode_payload(payload)
+        return self._proxy.enqueue(self.node_id, dst, frame)
+
+    # -- timers ------------------------------------------------------------------------
+
+    def set_timer(self, kind: str) -> None:
+        """Arm a named timer; it fires only via an engine timeout command."""
+        self.syscalls["timerfd_settime"] += 1
+        self.timers[kind] = True
+
+    def cancel_timer(self, kind: str) -> None:
+        self.syscalls["timerfd_settime"] += 1
+        self.timers[kind] = False
+
+    def timer_armed(self, kind: str) -> bool:
+        return self.timers.get(kind, False)
+
+    # -- durable storage (write/fsync on the journal) ---------------------------------------
+
+    def persist(self, key: str, value: Any) -> None:
+        self.syscalls["fsync"] += 1
+        self._persistent[key] = value
+
+    def load(self, key: str, default: Any = None) -> Any:
+        self.syscalls["read"] += 1
+        return self._persistent.get(key, default)
+
+    # -- logging (the state-observation channel) -----------------------------------------------
+
+    def log(self, line: str) -> None:
+        """A log write, captured by the logging-fd interception."""
+        self.syscalls["write"] += 1
+        self.log_lines.append(line)
+
+    def grep_log(self, pattern: str) -> List[Tuple[str, ...]]:
+        """Extract state from captured log lines via a regular expression
+        (the paper's log-parsing extraction method, §A.1)."""
+        compiled: Pattern[str] = re.compile(pattern)
+        return [m.groups() for line in self.log_lines for m in [compiled.search(line)] if m]
+
+    def last_logged(self, pattern: str) -> Optional[Tuple[str, ...]]:
+        matches = self.grep_log(pattern)
+        return matches[-1] if matches else None
+
+    def reset_volatile(self) -> None:
+        """Called on crash: timers and buffered log lines vanish with the
+        process; persistent storage and syscall statistics survive for
+        post-mortem inspection."""
+        self.timers = {}
+        self.log_lines = []

@@ -1,0 +1,70 @@
+"""Implementation-level latency model (the §5.3 substitution).
+
+The paper measures implementation-level trace replay on real clusters:
+cluster initialization (cleaning disks, restarting nodes) plus per-event
+execution and synchronization sleeps dominate, giving the Table 4
+averages (≈2 s/trace for the no-sleep drivers, 4.8 s for RaftOS, 24 s for
+Xraft, 28 s for ZooKeeper).
+
+Since this reproduction runs the cluster as in-process simulated POSIX
+nodes, those costs are modeled explicitly: each engine boot charges
+``init_seconds`` and each executed event charges ``event_seconds`` to a
+simulated-time account.  The per-system presets are calibrated against
+Table 4 (time = init + depth x event at the paper's average depths), so
+the speedup *shape* is preserved.  ``sleep_scale`` optionally converts a
+fraction of the simulated cost into real ``time.sleep`` for end-to-end
+demonstrations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict
+
+__all__ = ["LatencyModel", "PRESETS", "preset_for"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyModel:
+    """Simulated implementation-level cost accounting."""
+
+    init_seconds: float = 0.0
+    event_seconds: float = 0.0
+    sleep_scale: float = 0.0
+
+    def charge_init(self) -> float:
+        self._maybe_sleep(self.init_seconds)
+        return self.init_seconds
+
+    def charge_event(self) -> float:
+        self._maybe_sleep(self.event_seconds)
+        return self.event_seconds
+
+    def trace_seconds(self, depth: int) -> float:
+        """Predicted wall-clock for one replayed trace of ``depth`` events."""
+        return self.init_seconds + depth * self.event_seconds
+
+    def _maybe_sleep(self, seconds: float) -> None:
+        if self.sleep_scale > 0 and seconds > 0:
+            time.sleep(seconds * self.sleep_scale)
+
+
+#: per-system presets calibrated against Table 4's average trace times
+PRESETS: Dict[str, LatencyModel] = {
+    # no-sleep portable driver (§5.3): ~2 s per trace
+    "pysyncobj": LatencyModel(init_seconds=1.00, event_seconds=0.020),
+    "wraft": LatencyModel(init_seconds=1.56, event_seconds=0.020),
+    "redisraft": LatencyModel(init_seconds=0.90, event_seconds=0.020),
+    "daosraft": LatencyModel(init_seconds=1.16, event_seconds=0.020),
+    # RaftOS sleeps before asynchronous actions
+    "raftos": LatencyModel(init_seconds=1.00, event_seconds=0.123),
+    # Xraft and ZooKeeper sleep for initialization and synchronization
+    "xraft": LatencyModel(init_seconds=20.0, event_seconds=0.114),
+    "xraft-kv": LatencyModel(init_seconds=21.0, event_seconds=0.086),
+    "zookeeper": LatencyModel(init_seconds=22.0, event_seconds=0.140),
+}
+
+
+def preset_for(system: str) -> LatencyModel:
+    return PRESETS[system]

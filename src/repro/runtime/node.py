@@ -1,0 +1,105 @@
+"""Node hosts: one per target-system process (§A.1, §A.3).
+
+A host owns the process object, its interceptor, and its persistent
+storage.  Crashing a node discards the process and everything volatile —
+exactly the SIGQUIT-without-cleanup semantics the engine injects — while
+the persistent dict (the journal/snapshot files) survives for the
+restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..systems.base import SystemNode
+from .clock import VirtualClock
+from .interceptor import Interceptor
+from .proxy import NetworkProxy
+
+__all__ = ["NodeHost", "HostContext"]
+
+
+class HostContext:
+    """The :class:`NodeContext` a host hands to its process.
+
+    Thin veneer over the interceptor: the process believes it is doing
+    syscalls; everything lands in engine-controlled components.
+    """
+
+    def __init__(self, node_id: str, peers: Tuple[str, ...], interceptor: Interceptor):
+        self.node_id = node_id
+        self.peers = peers
+        self._interceptor = interceptor
+
+    def send(self, dst: str, payload: Dict[str, Any]) -> bool:
+        return self._interceptor.send(dst, payload)
+
+    def now_ns(self) -> int:
+        return self._interceptor.gettime_ns()
+
+    def set_timer(self, kind: str) -> None:
+        self._interceptor.set_timer(kind)
+
+    def cancel_timer(self, kind: str) -> None:
+        self._interceptor.cancel_timer(kind)
+
+    def persist(self, key: str, value: Any) -> None:
+        self._interceptor.persist(key, value)
+
+    def load(self, key: str, default: Any = None) -> Any:
+        return self._interceptor.load(key, default)
+
+    def log(self, line: str) -> None:
+        self._interceptor.log(line)
+
+
+class NodeHost:
+    """Lifecycle management for one target-system node."""
+
+    def __init__(
+        self,
+        node_id: str,
+        all_nodes: Sequence[str],
+        factory: Callable[..., SystemNode],
+        clock: VirtualClock,
+        proxy: NetworkProxy,
+        bugs: Sequence[str] = (),
+    ):
+        self.node_id = node_id
+        self.peers = tuple(n for n in all_nodes if n != node_id)
+        self.factory = factory
+        self.bugs = tuple(bugs)
+        self.persistent: Dict[str, Any] = {}
+        self.interceptor = Interceptor(node_id, clock, proxy, self.persistent)
+        self.proc: Optional[SystemNode] = None
+        self.crash_count = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None
+
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"{self.node_id} is already running")
+        self.interceptor.reset_volatile()
+        ctx = HostContext(self.node_id, self.peers, self.interceptor)
+        self.proc = self.factory(ctx, bugs=self.bugs)
+        self.proc.on_start()
+
+    def crash(self) -> None:
+        """SIGQUIT semantics: no cleanup, volatile state is gone."""
+        if not self.alive:
+            raise RuntimeError(f"{self.node_id} is not running")
+        self.proc = None
+        self.crash_count += 1
+        self.interceptor.reset_volatile()
+
+    def require_proc(self) -> SystemNode:
+        if self.proc is None:
+            raise RuntimeError(f"{self.node_id} is not running")
+        return self.proc
+
+    def extract_state(self) -> Optional[Dict[str, Any]]:
+        if self.proc is None:
+            return None
+        return self.proc.extract_state()

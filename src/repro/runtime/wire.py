@@ -1,0 +1,85 @@
+"""Wire framing for intercepted network traffic (§A.1).
+
+When a target system sends a message, the interceptor prepends a header
+with message-boundary information so the engine can enqueue whole
+messages in the network buffer.  This module implements that framing: a
+4-byte big-endian length prefix followed by a canonical JSON payload.
+
+Payloads are plain dicts/lists/scalars; tuples are serialized as JSON
+arrays and come back as tuples via :func:`repro.core.state.freeze` when
+the conformance checker compares network contents against the spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any
+
+__all__ = ["Frame", "encode_payload", "decode_payload", "WireError"]
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME_BYTES = 1 << 20
+
+
+class WireError(Exception):
+    """Raised on malformed frames."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One framed message as buffered by the proxy."""
+
+    data: bytes
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-friendly canonical form (tuples/frozensets become lists)."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical(v) for v in value), key=repr)
+    if hasattr(value, "items"):  # Rec and other mappings
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+def encode_payload(payload: Any) -> Frame:
+    """Serialize a message payload into a length-prefixed frame."""
+    body = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    return Frame(_HEADER.pack(len(body)) + body)
+
+
+def decode_payload(frame: Frame) -> Any:
+    """Parse a frame back into its payload, converting lists to tuples.
+
+    Tuple conversion keeps round-tripped payloads structurally identical
+    to the frozen message records used by the specifications.
+    """
+    if len(frame.data) < _HEADER.size:
+        raise WireError("truncated frame header")
+    (length,) = _HEADER.unpack_from(frame.data)
+    body = frame.data[_HEADER.size :]
+    if len(body) != length:
+        raise WireError(f"frame length mismatch: header {length}, body {len(body)}")
+    try:
+        parsed = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame body: {exc}") from exc
+    return _tupleize(parsed)
+
+
+def _tupleize(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tupleize(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tupleize(v) for k, v in value.items()}
+    return value

@@ -1,0 +1,34 @@
+"""Formal specifications of the eight target systems (§3.1, §4.2).
+
+``repro.specs.network`` provides the reusable TCP/UDP network modules;
+``repro.specs.raft`` the seven Raft-family system specs; and
+``repro.specs.zab`` the ZooKeeper/ZAB system spec.
+"""
+
+from .network import TcpModel, UdpModel, bipartitions
+from .raft import (
+    DaosRaftSpec,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    RaftSpec,
+    RedisRaftSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+
+__all__ = [
+    "DaosRaftSpec",
+    "PySyncObjSpec",
+    "RaftConfig",
+    "RaftOSSpec",
+    "RaftSpec",
+    "RedisRaftSpec",
+    "TcpModel",
+    "UdpModel",
+    "WRaftSpec",
+    "XraftKVSpec",
+    "XraftSpec",
+    "bipartitions",
+]

@@ -1,0 +1,26 @@
+"""Raft-family specifications for the seven Raft-based target systems."""
+
+from .base import CANDIDATE, FOLLOWER, LEADER, PRECANDIDATE, RaftConfig, RaftSpec
+from .daosraft import DaosRaftSpec
+from .pysyncobj import PySyncObjSpec
+from .raftos import RaftOSSpec
+from .redisraft import RedisRaftSpec
+from .wraft import WRaftSpec
+from .xraft import XraftSpec
+from .xraft_kv import XraftKVSpec
+
+__all__ = [
+    "CANDIDATE",
+    "DaosRaftSpec",
+    "FOLLOWER",
+    "LEADER",
+    "PRECANDIDATE",
+    "PySyncObjSpec",
+    "RaftConfig",
+    "RaftOSSpec",
+    "RaftSpec",
+    "RedisRaftSpec",
+    "WRaftSpec",
+    "XraftKVSpec",
+    "XraftSpec",
+]

@@ -1,0 +1,60 @@
+"""DaosRaft specification (§4.2, Table 2 bug DaosRaft#1).
+
+DaosRaft is the DAOS storage stack's downstream fork of WRaft with the
+PreVote extension.  Like RedisRaft it resolved WRaft's old bugs; the
+PreVote extension introduced one new bug.
+
+Seeded bug (flag):
+
+``D1``  Leader votes for others: on receiving a RequestVote with a newer
+        term, a buggy leader updates its term and grants the vote but
+        *stays leader* — the role reset is missing from that code path
+        (the upstream fix is "reject request vote if self is leader").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...core.spec import Invariant
+from ...core.state import Rec
+from . import messages as msg
+from .base import LEADER
+from .wraft import WRaftSpec
+
+__all__ = ["DaosRaftSpec"]
+
+
+class DaosRaftSpec(WRaftSpec):
+    name = "daosraft"
+    has_prevote = True
+    supported_bugs = frozenset({"W1", "W5", "W7", "D1"})
+
+    def _leader_vote_override(self, state: Rec, src: str, dst: str, m: Rec):
+        if "D1" not in self.bugs:
+            return None
+        if state["role"][dst] != LEADER or m["term"] <= state["currentTerm"][dst]:
+            return None
+        # Bug: the term advances and the vote may be granted, but the
+        # node never steps down from leadership.
+        up_to_date = self._log_up_to_date(
+            state, dst, m["lastLogTerm"], m["lastLogIndex"]
+        )
+        state = state.set("currentTerm", state["currentTerm"].set(dst, m["term"]))
+        if up_to_date:
+            state = state.set("votedFor", state["votedFor"].set(dst, src))
+        reply = msg.request_vote_response(m["term"], up_to_date)
+        return self._send(state, dst, src, reply), "rv-leader-grant"
+
+    def _build_invariants(self) -> List[Invariant]:
+        return super()._build_invariants() + [
+            Invariant("LeaderVotesForSelf", self._inv_leader_votes_self),
+        ]
+
+    def _inv_leader_votes_self(self, state: Rec) -> bool:
+        """A leader's vote for its current term is always itself."""
+        return all(
+            state["votedFor"][n] == n
+            for n in self.nodes
+            if state["role"][n] == LEADER
+        )

@@ -1,0 +1,113 @@
+"""Message constructors shared by the Raft specifications.
+
+Every message is a frozen :class:`~repro.core.state.Rec` with a ``type``
+field; the constructors keep field names consistent between the specs and
+the implementations so conformance checking can compare network contents
+directly.
+
+Field naming follows the paper's Figure 6/7 vocabulary: ``inext`` is the
+next-index hint carried by AppendEntries responses (``Inext``), and
+``icommit`` is the leader commit index (``Icommit``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...core.state import Rec
+
+__all__ = [
+    "REQUEST_VOTE",
+    "REQUEST_VOTE_RESPONSE",
+    "APPEND_ENTRIES",
+    "APPEND_ENTRIES_RESPONSE",
+    "INSTALL_SNAPSHOT",
+    "INSTALL_SNAPSHOT_RESPONSE",
+    "request_vote",
+    "request_vote_response",
+    "append_entries",
+    "append_entries_response",
+    "install_snapshot",
+    "install_snapshot_response",
+    "entry",
+]
+
+REQUEST_VOTE = "RequestVote"
+REQUEST_VOTE_RESPONSE = "RequestVoteResponse"
+APPEND_ENTRIES = "AppendEntries"
+APPEND_ENTRIES_RESPONSE = "AppendEntriesResponse"
+INSTALL_SNAPSHOT = "InstallSnapshot"
+INSTALL_SNAPSHOT_RESPONSE = "InstallSnapshotResponse"
+
+
+def entry(term: int, val: str) -> Rec:
+    """One log entry."""
+    return Rec(term=term, val=val)
+
+
+def request_vote(
+    term: int, last_log_index: int, last_log_term: int, prevote: bool = False
+) -> Rec:
+    return Rec(
+        type=REQUEST_VOTE,
+        term=term,
+        lastLogIndex=last_log_index,
+        lastLogTerm=last_log_term,
+        prevote=prevote,
+    )
+
+
+def request_vote_response(term: int, granted: bool, prevote: bool = False) -> Rec:
+    return Rec(
+        type=REQUEST_VOTE_RESPONSE,
+        term=term,
+        granted=granted,
+        prevote=prevote,
+    )
+
+
+def append_entries(
+    term: int,
+    prev_log_index: int,
+    prev_log_term: int,
+    entries: Tuple[Rec, ...],
+    icommit: int,
+    retry: bool = False,
+) -> Rec:
+    return Rec(
+        type=APPEND_ENTRIES,
+        term=term,
+        prevLogIndex=prev_log_index,
+        prevLogTerm=prev_log_term,
+        entries=tuple(entries),
+        icommit=icommit,
+        retry=retry,
+    )
+
+
+def append_entries_response(term: int, success: bool, inext: int) -> Rec:
+    return Rec(
+        type=APPEND_ENTRIES_RESPONSE,
+        term=term,
+        success=success,
+        inext=inext,
+    )
+
+
+def install_snapshot(term: int, last_index: int, last_term: int, icommit: int) -> Rec:
+    return Rec(
+        type=INSTALL_SNAPSHOT,
+        term=term,
+        lastIndex=last_index,
+        lastTerm=last_term,
+        icommit=icommit,
+    )
+
+
+def install_snapshot_response(term: int, success: bool, last_index: int) -> Rec:
+    return Rec(
+        type=INSTALL_SNAPSHOT_RESPONSE,
+        term=term,
+        success=success,
+        lastIndex=last_index,
+    )

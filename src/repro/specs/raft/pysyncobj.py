@@ -1,0 +1,88 @@
+"""PySyncObj specification (§4.2, Table 2 bugs #2–#5).
+
+PySyncObj is a TCP-based Raft library.  Its distinctive optimization —
+*aggressively* advancing the next index to the end of the log right after
+sending AppendEntries, and resetting it from the follower-provided
+``Inext`` hint on rejection — is modeled here because the paper identifies
+it as the unverified extension behind bugs #3 and #4 (Figure 6).
+
+Seeded bugs (flags):
+
+``P2``  Commit index is not monotonic: a follower assigns
+        ``min(leaderCommit, lastNew)`` without the forward-only check, so
+        a freshly elected leader with a stale commit index drags the
+        follower's commit index backwards.
+``P3``  Next index <= match index: the leader adopts the rejection hint
+        without clamping it above the match index.
+``P4``  Match index is not monotonic: the follower computes a wrong
+        ``Inext`` for AppendEntries that carry entries (off by one), and
+        the leader assigns ``Inext - 1`` to the match index without a
+        monotonicity check.
+``P5``  The leader commits log entries of older terms: the quorum
+        commitment rule skips the current-term check.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...core.state import Rec
+from .base import RaftSpec
+
+__all__ = ["PySyncObjSpec"]
+
+
+class PySyncObjSpec(RaftSpec):
+    name = "pysyncobj"
+    network_kind = "tcp"
+    supported_bugs = frozenset({"P2", "P3", "P4", "P5"})
+
+    # -- the aggressive next-index optimization -----------------------------
+
+    def _replicate_to(self, state: Rec, leader: str, peer: str, retry: bool = False) -> Rec:
+        state = super()._replicate_to(state, leader, peer, retry)
+        # After sending, PySyncObj optimistically assumes everything up to
+        # the end of the log will replicate.
+        last = self._last_index(state, leader)
+        return state.set(
+            "nextIndex",
+            state["nextIndex"].apply(leader, lambda r: r.set(peer, last + 1)),
+        )
+
+    # -- seeded bugs -----------------------------------------------------------
+
+    def _set_follower_commit(self, state: Rec, node: str, target: int) -> Rec:
+        if "P2" not in self.bugs:
+            return super()._set_follower_commit(state, node, target)
+        # Bug: unchecked assignment; the commit index can move backwards.
+        old = state["commitIndex"][node]
+        if target == old:
+            return state
+        state = state.set("commitIndex", state["commitIndex"].set(node, target))
+        if target > old:
+            state = self._on_commit_advance(state, node, old, target)
+        return state
+
+    def _success_hint(self, state: Rec, node: str, prev: int, entries: Tuple[Rec, ...]) -> int:
+        if self.bugs & {"P3", "P4"} and entries:
+            # Bug (shared root of #3/#4): when the AppendEntries carried
+            # entries the follower replies with an Inext that is one too
+            # small (Figure 6: AER3.Inext = 4 instead of 5).
+            return prev + len(entries)
+        return super()._success_hint(state, node, prev, entries)
+
+    def _update_match(self, old: int, new: int) -> int:
+        if "P4" in self.bugs:
+            # Bug: assignment without verifying monotonicity.
+            return new
+        return super()._update_match(old, new)
+
+    def _next_on_success(self, match: int, inext: int) -> int:
+        if "P3" in self.bugs:
+            # Bug: the raw (wrong) hint is adopted, landing at or below
+            # the match index.
+            return inext
+        return super()._next_on_success(match, inext)
+
+    def _commit_term_check(self) -> bool:
+        return "P5" not in self.bugs

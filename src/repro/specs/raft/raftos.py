@@ -1,0 +1,58 @@
+"""RaftOS specification (§4.2, Table 2 bugs #1, #2, #4).
+
+RaftOS is an asyncio-based Python Raft library that replicates Python
+objects over UDP; the paper applies the UDP failure model to it.
+
+Seeded bugs (flags):
+
+``R1``  Match index is not monotonic: the leader assigns the
+        response-provided index without any check, so a reordered stale
+        response rolls the match index back.
+``R2``  Incorrectly erasing log entries: the follower truncates its log
+        at ``prevLogIndex`` and appends unconditionally — a reordered old
+        AppendEntries erases already-matched (even committed) entries.
+``R4``  Prematurely stopping checking commitment: the commitment scan
+        ``break``s at the first old-term entry instead of skipping it
+        (the over-correction of the PySyncObj#5 class of bug), so the
+        cluster stops making progress.
+
+RaftOS#3 (a KeyError while handling a response from a node missing from
+the match-index map) is an implementation-only crash seeded in
+:mod:`repro.systems.raftos` and found by conformance checking.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...core.state import Rec
+from .base import RaftSpec
+
+__all__ = ["RaftOSSpec"]
+
+
+class RaftOSSpec(RaftSpec):
+    name = "raftos"
+    network_kind = "udp"
+    supported_bugs = frozenset({"R1", "R2", "R4"})
+
+    def _update_match(self, old: int, new: int) -> int:
+        if "R1" in self.bugs:
+            # Bug: assignment without the monotonicity check.
+            return new
+        return super()._update_match(old, new)
+
+    def _append_to_log(self, state: Rec, node: str, prev: int, entries: Tuple[Rec, ...]) -> Rec:
+        if "R2" not in self.bugs:
+            return super()._append_to_log(state, node, prev, entries)
+        # Bug: truncate-then-append without checking whether the existing
+        # entries already match.
+        log = state["log"][node]
+        base = prev - self._snap_index(state, node)
+        new_log = log[:base] + tuple(entries)
+        if new_log == log:
+            return state
+        return state.set("log", state["log"].set(node, new_log))
+
+    def _commit_break_on_old_term(self) -> bool:
+        return "R4" in self.bugs

@@ -1,0 +1,20 @@
+"""RedisRaft specification (§4.2).
+
+RedisRaft is a downstream adoption of WRaft by Redis.  It resolved WRaft's
+old bugs (#2, #4) and adds the PreVote extension; the paper found no
+RedisRaft-specific bugs, but the new WRaft bugs #1, #5 and #7 were
+confirmed by the RedisRaft developers, so those flags remain seedable.
+"""
+
+from __future__ import annotations
+
+from .wraft import WRaftSpec
+
+__all__ = ["RedisRaftSpec"]
+
+
+class RedisRaftSpec(WRaftSpec):
+    name = "redisraft"
+    has_prevote = True
+    # W2 and W4 were already fixed downstream; W1/W5/W7 still apply.
+    supported_bugs = frozenset({"W1", "W5", "W7"})

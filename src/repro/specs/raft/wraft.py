@@ -1,0 +1,121 @@
+"""WRaft specification (§4.2, Table 2 bugs).
+
+WRaft is a C Raft library with log compaction, making no assumptions about
+the network — the paper applies the UDP failure model (loss, duplication,
+reordering) to it.
+
+Seeded bugs (flags):
+
+``W1``  Incorrectly appending log entries: the follower's commit target
+        uses its *local* last index instead of the last entry the leader
+        actually sent, committing entries the leader never replicated
+        (Figure 7's acceptance side).
+``W2``  Inconsistent committed log: when the peer's next index falls at or
+        below the snapshot, the leader sends a (necessarily empty)
+        AppendEntries instead of the snapshot (Figure 7's sending side).
+``W4``  Current term is not monotonic: a stale AppendEntries response
+        overwrites the current term with its smaller value.
+``W5``  Retry messages include empty logs: the retry after a rejection
+        forgets to load the entries.
+``W7``  Next index <= match index: the rejection hint is adopted without
+        clamping above the match index.
+
+WRaft#3/#6/#8/#9 are liveness, resource-leak and modeling-stage bugs; they
+are seeded in the *implementation* (:mod:`repro.systems.wraft`) and
+surface during conformance checking, matching the paper's Stage column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...core.spec import Invariant
+from ...core.state import Rec
+from . import messages as msg
+from .base import RaftSpec
+
+__all__ = ["WRaftSpec"]
+
+
+class WRaftSpec(RaftSpec):
+    name = "wraft"
+    network_kind = "udp"
+    has_compaction = True
+    supported_bugs = frozenset({"W1", "W2", "W4", "W5", "W7"})
+
+    # -- seeded bugs ------------------------------------------------------------
+
+    def _follower_commit_target(
+        self, state: Rec, node: str, icommit: int, prev: int, n_entries: int
+    ) -> int:
+        if "W1" in self.bugs:
+            # Bug: commit up to min(leaderCommit, local last index); with
+            # an empty AppendEntries this commits entries the leader never
+            # sent (Figure 7).
+            return min(icommit, self._last_index(state, node))
+        return super()._follower_commit_target(state, node, icommit, prev, n_entries)
+
+    def _send_snapshot(self, state: Rec, leader: str, peer: str) -> Rec:
+        if "W2" not in self.bugs:
+            return super()._send_snapshot(state, leader, peer)
+        # Bug: an AppendEntries is sent although the needed entries are
+        # compacted away — it carries no entries but does carry the
+        # leader's commit index (Figure 7's AE1).
+        next_index = state["nextIndex"][leader][peer]
+        prev = next_index - 1
+        prev_term = self._term_at(state, leader, prev) or 0
+        entries = self._entries_from(state, leader, next_index)
+        message = msg.append_entries(
+            state["currentTerm"][leader],
+            prev,
+            prev_term,
+            entries,
+            state["commitIndex"][leader],
+        )
+        return self._send(state, leader, peer, message)
+
+    def _stale_term_overwrite(self, state: Rec, src: str, dst: str, m: Rec):
+        if "W4" not in self.bugs or m["term"] >= state["currentTerm"][dst]:
+            return None
+        # Bug: the response handler assigns the message term without
+        # comparing it, so a reordered stale response rolls the term back.
+        rolled = state.set(
+            "currentTerm", state["currentTerm"].set(dst, m["term"])
+        )
+        return rolled, "aer-term-overwrite"
+
+    def _select_entries(
+        self, state: Rec, leader: str, peer: str, entries: Tuple[Rec, ...], retry: bool
+    ) -> Tuple[Rec, ...]:
+        if "W5" in self.bugs and retry:
+            # Bug: the retry path forgets to load the entries.
+            return ()
+        return entries
+
+    def _next_on_reject(self, state: Rec, leader: str, peer: str, hint: int) -> int:
+        if "W7" in self.bugs:
+            return hint
+        return super()._next_on_reject(state, leader, peer, hint)
+
+    # -- system-specific safety property (§4.2) ------------------------------------
+
+    def _build_invariants(self) -> List[Invariant]:
+        return super()._build_invariants() + [
+            Invariant("RetryRequestsCarryEntries", self._inv_retry_nonempty),
+        ]
+
+    def _inv_retry_nonempty(self, state: Rec) -> bool:
+        """Retrying requests must not contain an empty log (paper §4.2)."""
+        for src, dst, message in state[self.net.MSGS]:
+            if message["type"] != msg.APPEND_ENTRIES or not message["retry"]:
+                continue
+            if message["entries"]:
+                continue
+            # An empty retry is only legitimate when the sender truly has
+            # nothing beyond prevLogIndex at that term.
+            if (
+                message["term"] == state["currentTerm"][src]
+                and message["prevLogIndex"] < self._last_index(state, src)
+            ):
+                return False
+        return True

@@ -1,0 +1,32 @@
+"""Xraft specification (§4.2, Table 2 bug Xraft#1).
+
+Xraft is an educational Raft implementation in Java over TCP with the
+PreVote extension.
+
+Seeded bug (flag):
+
+``X1``  More than one valid leader in the same term: the candidate counts
+        vote responses without checking that they belong to the current
+        election round, so a stale grant from a previous term pushes it
+        over quorum while the voter has since voted for someone else.
+
+Xraft#2 (a concurrent-modification exception under a thread race) is an
+implementation-only crash seeded in :mod:`repro.systems.xraft` and found
+by conformance checking.
+"""
+
+from __future__ import annotations
+
+from .base import RaftSpec
+
+__all__ = ["XraftSpec"]
+
+
+class XraftSpec(RaftSpec):
+    name = "xraft"
+    network_kind = "tcp"
+    has_prevote = True
+    supported_bugs = frozenset({"X1"})
+
+    def _accept_stale_votes(self) -> bool:
+        return "X1" in self.bugs

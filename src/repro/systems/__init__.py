@@ -1,0 +1,47 @@
+"""Runnable implementations of the eight target systems (§4.2).
+
+Each implementation mirrors its specification twin event-for-event and
+carries the same seeded bugs, plus the implementation-only bugs found
+during conformance checking.
+"""
+
+from typing import Callable, Dict
+
+from .base import NodeContext, SystemCrash, SystemNode
+from .daosraft import DaosRaftNode
+from .pysyncobj import PySyncObjNode
+from .raft_common import RaftNode
+from .raftos import RaftOSNode
+from .redisraft import RedisRaftNode
+from .wraft import WRaftNode
+from .xraft import XraftNode
+from .xraft_kv import XraftKVNode
+from .zookeeper import ZooKeeperNode
+
+#: system name -> node factory
+SYSTEMS: Dict[str, Callable] = {
+    "pysyncobj": PySyncObjNode,
+    "wraft": WRaftNode,
+    "redisraft": RedisRaftNode,
+    "daosraft": DaosRaftNode,
+    "raftos": RaftOSNode,
+    "xraft": XraftNode,
+    "xraft-kv": XraftKVNode,
+    "zookeeper": ZooKeeperNode,
+}
+
+__all__ = [
+    "DaosRaftNode",
+    "NodeContext",
+    "PySyncObjNode",
+    "RaftNode",
+    "RaftOSNode",
+    "RedisRaftNode",
+    "SYSTEMS",
+    "SystemCrash",
+    "SystemNode",
+    "WRaftNode",
+    "XraftKVNode",
+    "XraftNode",
+    "ZooKeeperNode",
+]

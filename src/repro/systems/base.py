@@ -1,0 +1,100 @@
+"""The target-system process model.
+
+Each target system is implemented as a :class:`SystemNode`: an
+event-driven process whose *only* interaction with the outside world goes
+through a :class:`NodeContext` — the surface the runtime's interceptor
+controls (§A.1).  The engine drives nodes exclusively through the
+node-level events the paper's specs model: message delivery, timeouts,
+client requests, crashes and restarts.
+
+``extract_state`` returns the node's protocol state under the *spec
+variable names* so the conformance checker can compare the two levels
+directly (§A.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Protocol, Sequence, Tuple
+
+__all__ = ["NodeContext", "SystemNode", "SystemCrash"]
+
+
+class SystemCrash(Exception):
+    """An unhandled exception escaping a target-system handler.
+
+    The engine treats it like the process aborting (the by-product bugs
+    found during conformance checking, e.g. PySyncObj#1, RaftOS#3,
+    Xraft#2).
+    """
+
+    def __init__(self, node_id: str, event: str, cause: BaseException):
+        super().__init__(f"{node_id} crashed handling {event}: {cause!r}")
+        self.node_id = node_id
+        self.event = event
+        self.cause = cause
+
+
+class NodeContext(Protocol):
+    """What a target system may do: the intercepted syscall surface."""
+
+    node_id: str
+    peers: Tuple[str, ...]
+
+    def send(self, dst: str, payload: Dict[str, Any]) -> bool: ...
+
+    def now_ns(self) -> int: ...
+
+    def set_timer(self, kind: str) -> None: ...
+
+    def cancel_timer(self, kind: str) -> None: ...
+
+    def persist(self, key: str, value: Any) -> None: ...
+
+    def load(self, key: str, default: Any = None) -> Any: ...
+
+    def log(self, line: str) -> None: ...
+
+
+class SystemNode(abc.ABC):
+    """Base class for target-system processes."""
+
+    def __init__(self, ctx: NodeContext, bugs: Sequence[str] = ()):
+        self.ctx = ctx
+        self.bugs = frozenset(bugs)
+
+    @property
+    def node_id(self) -> str:
+        return self.ctx.node_id
+
+    @property
+    def peers(self) -> Tuple[str, ...]:
+        return self.ctx.peers
+
+    # -- the event surface the engine drives ------------------------------------
+
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Process start/restart: recover persistent state, arm timers."""
+
+    @abc.abstractmethod
+    def on_message(self, src: str, message: Dict[str, Any]) -> None:
+        """A message delivered by the engine."""
+
+    @abc.abstractmethod
+    def on_timeout(self, kind: str) -> None:
+        """A timer fired (the engine advanced the virtual clock past it)."""
+
+    @abc.abstractmethod
+    def on_client_request(self, op: Any) -> Any:
+        """A client request (the paper converts these from shell commands)."""
+
+    # -- state observation (§A.4) ---------------------------------------------------
+
+    @abc.abstractmethod
+    def extract_state(self) -> Dict[str, Any]:
+        """Protocol state under spec variable names, for conformance."""
+
+    def resource_stats(self) -> Dict[str, int]:
+        """Resource accounting (detects leaks like WRaft#6)."""
+        return {}

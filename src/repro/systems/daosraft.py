@@ -1,0 +1,43 @@
+"""DaosRaft implementation: WRaft downstream with PreVote plus DaosRaft#1."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .raft_common import LEADER
+from .wraft import WRaftNode
+
+__all__ = ["DaosRaftNode"]
+
+
+class DaosRaftNode(WRaftNode):
+    system_name = "daosraft"
+    has_prevote = True
+    supported_bugs = frozenset({"W1", "W5", "W7", "D1"})
+
+    def _leader_vote_override(self, src: str, m: Dict[str, Any]) -> bool:
+        if "D1" not in self.bugs:
+            return False
+        if self.role != LEADER or m["term"] <= self.current_term:
+            return False
+        # Bug: the term advances and the vote may be granted, but the
+        # step-down is missing (fixed upstream as "reject request vote
+        # if self is leader").
+        up_to_date = (m["lastLogTerm"], m["lastLogIndex"]) >= (
+            self.last_term(),
+            self.last_index(),
+        )
+        self.current_term = m["term"]
+        if up_to_date:
+            self.voted_for = src
+        self._persist_term_vote()
+        self._send(
+            src,
+            {
+                "type": "RequestVoteResponse",
+                "term": m["term"],
+                "granted": up_to_date,
+                "prevote": False,
+            },
+        )
+        return True

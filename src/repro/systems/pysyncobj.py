@@ -1,0 +1,62 @@
+"""PySyncObj implementation (Table 2 bugs #1–#5).
+
+Mirrors :mod:`repro.specs.raft.pysyncobj`, including the aggressive
+next-index optimization; adds the implementation-only bug:
+
+``P1``  Unhandled exception during disconnection: a failed send on a
+        broken connection escapes the reconnect path and crashes the
+        node (found by conformance checking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .raft_common import RaftNode
+
+__all__ = ["PySyncObjNode"]
+
+
+class PySyncObjNode(RaftNode):
+    system_name = "pysyncobj"
+    network_kind = "tcp"
+    supported_bugs = frozenset({"P1", "P2", "P3", "P4", "P5"})
+
+    def _after_send_append(self, peer: str, entries: List[Dict[str, Any]]) -> None:
+        # The aggressive optimization: assume everything replicates.
+        self.next_index[peer] = self.last_index() + 1
+
+    def _on_send_failure(self, dst: str, payload: Dict[str, Any]) -> None:
+        if "P1" in self.bugs:
+            raise ConnectionError(
+                f"unhandled disconnection while sending to {dst}"
+            )
+
+    def _set_follower_commit(self, target: int) -> None:
+        if "P2" not in self.bugs:
+            super()._set_follower_commit(target)
+            return
+        old = self.commit_index
+        if target == old:
+            return
+        self.commit_index = target  # bug: no forward-only check
+        if target > old:
+            self._on_commit_advance(old, target)
+
+    def _success_hint(self, prev: int, entries: List[Dict[str, Any]]) -> int:
+        if self.bugs & {"P3", "P4"} and entries:
+            return prev + len(entries)  # bug: off by one (Figure 6)
+        return super()._success_hint(prev, entries)
+
+    def _update_match(self, old: int, new: int) -> int:
+        if "P4" in self.bugs:
+            return new  # bug: no monotonicity check
+        return super()._update_match(old, new)
+
+    def _next_on_success(self, match: int, inext: int) -> int:
+        if "P3" in self.bugs:
+            return inext  # bug: no clamp above the match index
+        return super()._next_on_success(match, inext)
+
+    def _commit_term_check(self) -> bool:
+        return "P5" not in self.bugs

@@ -1,0 +1,660 @@
+"""The shared Raft implementation the seven Raft-family targets build on.
+
+This is the *implementation level* counterpart of
+:mod:`repro.specs.raft.base`: an event-driven process class whose
+handlers mirror the spec's actions one-to-one, including the hook points
+where the documented bugs live.  Keeping the two levels structurally
+parallel is exactly the paper's §3.1 methodology (Figure 3): the spec
+abstracts this code's message decoding, logging and persistence, and
+models the same protocol transitions.
+
+Message payloads use the same field names as the spec's message records,
+so the conformance checker can compare buffered network traffic directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .base import NodeContext, SystemNode
+
+__all__ = ["RaftNode", "FOLLOWER", "CANDIDATE", "LEADER", "PRECANDIDATE"]
+
+FOLLOWER = "Follower"
+CANDIDATE = "Candidate"
+LEADER = "Leader"
+PRECANDIDATE = "PreCandidate"
+
+NOBODY = ""
+
+ELECTION_TIMER = "election"
+HEARTBEAT_TIMER = "heartbeat"
+
+
+class RaftNode(SystemNode):
+    """Correct Raft with per-system hook points (see the spec twin)."""
+
+    has_prevote = False
+    has_compaction = False
+
+    def __init__(self, ctx: NodeContext, bugs: Sequence[str] = ()):
+        super().__init__(ctx, bugs)
+        # Volatile state; on_start recovers the persistent part.
+        self.role = FOLLOWER
+        self.current_term = 0
+        self.voted_for = NOBODY
+        self.log: List[Dict[str, Any]] = []
+        self.commit_index = 0
+        self.snapshot_index = 0
+        self.snapshot_term = 0
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self.votes_granted: set = set()
+        self.pre_votes: set = set()
+        self._retained: List[Dict[str, Any]] = []  # WRaft#6 leak anchor
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.current_term = self.ctx.load("currentTerm", 0)
+        self.voted_for = self.ctx.load("votedFor", NOBODY)
+        self.log = [dict(e) for e in self.ctx.load("log", ())]
+        self.snapshot_index = self.ctx.load("snapshotIndex", 0)
+        self.snapshot_term = self.ctx.load("snapshotTerm", 0)
+        self.role = FOLLOWER
+        self.commit_index = self.snapshot_index
+        self.next_index = {p: 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        self.votes_granted = set()
+        self.pre_votes = set()
+        self.ctx.set_timer(ELECTION_TIMER)
+        self._log_state()
+
+    def _log_state(self) -> None:
+        self.ctx.log(
+            f"state role={self.role} term={self.current_term}"
+            f" commit={self.commit_index} last={self.last_index()}"
+        )
+
+    # ------------------------------------------------------------------
+    # log accessors (absolute 1-based indices, compaction-aware)
+    # ------------------------------------------------------------------
+
+    def quorum(self) -> int:
+        return (len(self.peers) + 1) // 2 + 1
+
+    def last_index(self) -> int:
+        return self.snapshot_index + len(self.log)
+
+    def last_term(self) -> int:
+        if self.log:
+            return self.log[-1]["term"]
+        return self.snapshot_term
+
+    def term_at(self, index: int) -> Optional[int]:
+        if index == 0:
+            return 0
+        if index == self.snapshot_index:
+            return self.snapshot_term
+        if index < self.snapshot_index:
+            return None
+        pos = index - self.snapshot_index - 1
+        if pos >= len(self.log):
+            return None
+        return self.log[pos]["term"]
+
+    def entries_from(self, start: int) -> List[Dict[str, Any]]:
+        pos = max(0, start - self.snapshot_index - 1)
+        return [dict(e) for e in self.log[pos:]]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _persist_term_vote(self) -> None:
+        self.ctx.persist("currentTerm", self.current_term)
+        self.ctx.persist("votedFor", self.voted_for)
+
+    def _persist_log(self) -> None:
+        self.ctx.persist("log", tuple(dict(e) for e in self.log))
+
+    def _persist_snapshot(self) -> None:
+        self.ctx.persist("snapshotIndex", self.snapshot_index)
+        self.ctx.persist("snapshotTerm", self.snapshot_term)
+
+    # ------------------------------------------------------------------
+    # role transitions
+    # ------------------------------------------------------------------
+
+    def _set_role(self, role: str) -> None:
+        if role == self.role:
+            return
+        self.role = role
+        if role == LEADER:
+            self.ctx.cancel_timer(ELECTION_TIMER)
+            self.ctx.set_timer(HEARTBEAT_TIMER)
+        else:
+            self.ctx.cancel_timer(HEARTBEAT_TIMER)
+            self.ctx.set_timer(ELECTION_TIMER)
+        self._log_state()
+
+    def _observe_term(self, term: int) -> None:
+        if term <= self.current_term:
+            return
+        self.current_term = term
+        self.voted_for = NOBODY
+        self._persist_term_vote()
+        self._set_role(FOLLOWER)
+
+    # ------------------------------------------------------------------
+    # timeouts
+    # ------------------------------------------------------------------
+
+    def on_timeout(self, kind: str) -> None:
+        if kind == ELECTION_TIMER:
+            if self.role == LEADER:
+                return
+            if self.has_prevote and self.role != CANDIDATE:
+                self._begin_prevote()
+            else:
+                self._become_candidate()
+        elif kind == HEARTBEAT_TIMER:
+            if self.role == LEADER:
+                self._replicate_all()
+        else:
+            raise ValueError(f"unknown timer: {kind}")
+
+    def _begin_prevote(self) -> None:
+        self._set_role(PRECANDIDATE)
+        self.pre_votes = {self.node_id}
+        if 1 >= self.quorum():
+            self._become_candidate()
+            return
+        self._broadcast(
+            {
+                "type": "RequestVote",
+                "term": self.current_term + 1,
+                "lastLogIndex": self.last_index(),
+                "lastLogTerm": self.last_term(),
+                "prevote": True,
+            }
+        )
+
+    def _become_candidate(self) -> None:
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._persist_term_vote()
+        self.votes_granted = {self.node_id}
+        self.pre_votes = set()
+        self._set_role(CANDIDATE)
+        if len(self.votes_granted) >= self.quorum():
+            self._become_leader()
+            return
+        self._broadcast(
+            {
+                "type": "RequestVote",
+                "term": self.current_term,
+                "lastLogIndex": self.last_index(),
+                "lastLogTerm": self.last_term(),
+                "prevote": False,
+            }
+        )
+
+    def _become_leader(self) -> None:
+        last = self.last_index()
+        self.next_index = {p: last + 1 for p in self.peers}
+        self.match_index = {p: 0 for p in self.peers}
+        self._set_role(LEADER)
+        self._replicate_all()
+
+    # ------------------------------------------------------------------
+    # client requests
+    # ------------------------------------------------------------------
+
+    def on_client_request(self, op: Any) -> Any:
+        if self.role != LEADER:
+            return {"ok": False, "error": "not leader"}
+        value = op["value"] if isinstance(op, dict) else op
+        self.log.append({"term": self.current_term, "val": value})
+        self._persist_log()
+        self._after_client_request(value)
+        return {"ok": True, "index": self.last_index()}
+
+    def _after_client_request(self, value: str) -> None:
+        """Hook: variant bookkeeping (Xraft#2's race lives here)."""
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def _send(self, dst: str, payload: Dict[str, Any]) -> bool:
+        delivered = self.ctx.send(dst, payload)
+        if not delivered:
+            self._on_send_failure(dst, payload)
+        return delivered
+
+    def _on_send_failure(self, dst: str, payload: Dict[str, Any]) -> None:
+        """Hook: PySyncObj#1 raises out of the disconnection path."""
+
+    def _broadcast(self, payload: Dict[str, Any]) -> None:
+        for dst in self.peers:
+            delivered = self._send(dst, payload)
+            if not delivered and self._broadcast_stops_on_failure():
+                # WRaft#8: one failed send aborts the whole broadcast.
+                break
+
+    def _broadcast_stops_on_failure(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+
+    def _replicate_all(self) -> None:
+        for peer in self.peers:
+            delivered = self._replicate_to(peer)
+            if not delivered and self._broadcast_stops_on_failure():
+                break
+
+    def _replicate_to(self, peer: str, retry: bool = False) -> bool:
+        next_index = self.next_index[peer]
+        if self.has_compaction and next_index <= self.snapshot_index:
+            return self._send_snapshot(peer)
+        prev = next_index - 1
+        prev_term = self.term_at(prev) or 0
+        entries = self.entries_from(next_index)
+        entries = self._select_entries(peer, entries, retry)
+        delivered = self._send(
+            peer,
+            {
+                "type": "AppendEntries",
+                "term": self.current_term,
+                "prevLogIndex": prev,
+                "prevLogTerm": prev_term,
+                "entries": entries,
+                "icommit": self.commit_index,
+                "retry": retry,
+            },
+        )
+        self._after_send_append(peer, entries)
+        return delivered
+
+    def _select_entries(
+        self, peer: str, entries: List[Dict[str, Any]], retry: bool
+    ) -> List[Dict[str, Any]]:
+        """Hook: WRaft#5 sends empty entries on retries."""
+        return entries
+
+    def _after_send_append(self, peer: str, entries: List[Dict[str, Any]]) -> None:
+        """Hook: PySyncObj's aggressive next-index optimization."""
+
+    def _send_snapshot(self, peer: str) -> bool:
+        """Hook point for WRaft#2 (AppendEntries instead of snapshot)."""
+        return self._send(
+            peer,
+            {
+                "type": "InstallSnapshot",
+                "term": self.current_term,
+                "lastIndex": self.snapshot_index,
+                "lastTerm": self.snapshot_term,
+                "icommit": self.commit_index,
+            },
+        )
+
+    def compact(self) -> bool:
+        """Engine-triggered log compaction (the WRaft-family module)."""
+        if not self.has_compaction or self.commit_index <= self.snapshot_index:
+            return False
+        term = self.term_at(self.commit_index)
+        self.log = self.entries_from(self.commit_index + 1)
+        self.snapshot_index = self.commit_index
+        self.snapshot_term = term
+        self._persist_log()
+        self._persist_snapshot()
+        return True
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: str, message: Dict[str, Any]) -> None:
+        handlers = {
+            "RequestVote": self._on_request_vote,
+            "RequestVoteResponse": self._on_request_vote_response,
+            "AppendEntries": self._on_append_entries,
+            "AppendEntriesResponse": self._on_append_entries_response,
+            "InstallSnapshot": self._on_install_snapshot,
+            "InstallSnapshotResponse": self._on_install_snapshot_response,
+        }
+        handler = handlers.get(message["type"])
+        if handler is None:
+            raise ValueError(f"unknown message type: {message['type']}")
+        handler(src, message)
+        if self._leaks_messages():
+            self._retained.append(dict(message))  # WRaft#6: never released
+
+    def _leaks_messages(self) -> bool:
+        return False
+
+    def resource_stats(self) -> Dict[str, int]:
+        return {"retained_messages": len(self._retained)}
+
+    # -- RequestVote --------------------------------------------------------------
+
+    def _on_request_vote(self, src: str, m: Dict[str, Any]) -> None:
+        if m["prevote"]:
+            self._on_prevote_request(src, m)
+            return
+        if self._leader_vote_override(src, m):
+            return
+        self._observe_term(m["term"])
+        up_to_date = (m["lastLogTerm"], m["lastLogIndex"]) >= (
+            self.last_term(),
+            self.last_index(),
+        )
+        grant = (
+            m["term"] == self.current_term
+            and self.voted_for in (NOBODY, src)
+            and self.role in (FOLLOWER, PRECANDIDATE)
+            and up_to_date
+        )
+        if grant:
+            self.voted_for = src
+            self._persist_term_vote()
+        self._send(
+            src,
+            {
+                "type": "RequestVoteResponse",
+                "term": self.current_term,
+                "granted": grant,
+                "prevote": False,
+            },
+        )
+
+    def _leader_vote_override(self, src: str, m: Dict[str, Any]) -> bool:
+        """Hook: DaosRaft#1 (a leader grants without stepping down)."""
+        return False
+
+    def _on_prevote_request(self, src: str, m: Dict[str, Any]) -> None:
+        grant = (
+            m["term"] > self.current_term
+            and self.role != LEADER
+            and (m["lastLogTerm"], m["lastLogIndex"])
+            >= (self.last_term(), self.last_index())
+        )
+        self._send(
+            src,
+            {
+                "type": "RequestVoteResponse",
+                "term": m["term"],
+                "granted": grant,
+                "prevote": True,
+            },
+        )
+
+    def _on_request_vote_response(self, src: str, m: Dict[str, Any]) -> None:
+        if m["prevote"]:
+            self._on_prevote_response(src, m)
+            return
+        if m["term"] > self.current_term:
+            self._observe_term(m["term"])
+            return
+        if m["term"] != self.current_term and not self._accept_stale_votes():
+            return
+        if self.role != CANDIDATE or not m["granted"]:
+            return
+        self.votes_granted.add(src)
+        if len(self.votes_granted) >= self.quorum():
+            self._become_leader()
+
+    def _accept_stale_votes(self) -> bool:
+        """Hook: Xraft#1 counts grants from older election rounds."""
+        return False
+
+    def _on_prevote_response(self, src: str, m: Dict[str, Any]) -> None:
+        if self.role != PRECANDIDATE:
+            return
+        if m["term"] != self.current_term + 1 or not m["granted"]:
+            return
+        self.pre_votes.add(src)
+        if len(self.pre_votes) >= self.quorum():
+            self._become_candidate()
+
+    # -- AppendEntries ----------------------------------------------------------------
+
+    def _on_append_entries(self, src: str, m: Dict[str, Any]) -> None:
+        if m["term"] < self.current_term:
+            self._reply_append(src, False, self._reject_hint(m))
+            return
+        self._observe_term(m["term"])
+        if self.role != FOLLOWER:
+            self._set_role(FOLLOWER)
+
+        prev = m["prevLogIndex"]
+        entries = [dict(e) for e in m["entries"]]
+        if prev < self.snapshot_index:
+            overlap = self.snapshot_index - prev
+            entries = entries[overlap:]
+            prev = self.snapshot_index
+        prev_term = self.term_at(prev)
+        matched = prev == 0 or (prev_term is not None and prev_term == m["prevLogTerm"])
+        if not matched:
+            self._reply_append(src, False, self._reject_hint(m))
+            return
+        self._append_to_log(prev, entries)
+        target = self._follower_commit_target(m["icommit"], prev, len(entries))
+        self._set_follower_commit(target)
+        self._reply_append(src, True, self._success_hint(prev, entries))
+
+    def _reply_append(self, src: str, success: bool, inext: int) -> None:
+        self._send(
+            src,
+            {
+                "type": "AppendEntriesResponse",
+                "term": self.current_term,
+                "success": success,
+                "inext": inext,
+            },
+        )
+
+    def _append_to_log(self, prev: int, entries: List[Dict[str, Any]]) -> None:
+        base = prev - self.snapshot_index
+        changed = False
+        for offset, incoming in enumerate(entries):
+            pos = base + offset
+            if pos < len(self.log):
+                if self.log[pos]["term"] == incoming["term"]:
+                    continue
+                del self.log[pos:]
+                self.log.append(incoming)
+                changed = True
+            else:
+                self.log.append(incoming)
+                changed = True
+        if changed:
+            self._persist_log()
+
+    def _follower_commit_target(self, icommit: int, prev: int, n_entries: int) -> int:
+        return min(icommit, prev + n_entries)
+
+    def _set_follower_commit(self, target: int) -> None:
+        if target > self.commit_index:
+            old = self.commit_index
+            self.commit_index = target
+            self._on_commit_advance(old, target)
+
+    def _success_hint(self, prev: int, entries: List[Dict[str, Any]]) -> int:
+        return prev + len(entries) + 1
+
+    def _reject_hint(self, m: Dict[str, Any]) -> int:
+        return max(1, min(self.last_index() + 1, m["prevLogIndex"]))
+
+    # -- AppendEntriesResponse ------------------------------------------------------------
+
+    def _on_append_entries_response(self, src: str, m: Dict[str, Any]) -> None:
+        if m["term"] > self.current_term:
+            self._observe_term(m["term"])
+            return
+        if self._stale_term_overwrite(src, m):
+            return
+        if self.role != LEADER or m["term"] != self.current_term:
+            self._on_ignored_response(src, m)
+            return
+        if m["success"]:
+            new_match = m["inext"] - 1
+            match = self._update_match(self.match_index[src], new_match)
+            self.match_index[src] = match
+            self.next_index[src] = self._next_on_success(match, m["inext"])
+            self._advance_commit()
+        else:
+            self.next_index[src] = self._next_on_reject(src, m["inext"])
+            self._replicate_to(src, retry=True)
+
+    def _on_ignored_response(self, src: str, m: Dict[str, Any]) -> None:
+        """Hook: RaftOS#3 crashes here with a KeyError."""
+
+    def _stale_term_overwrite(self, src: str, m: Dict[str, Any]) -> bool:
+        """Hook: WRaft#4 assigns a stale term."""
+        return False
+
+    def _update_match(self, old: int, new: int) -> int:
+        return max(old, new)
+
+    def _next_on_success(self, match: int, inext: int) -> int:
+        return max(match + 1, inext)
+
+    def _next_on_reject(self, peer: str, hint: int) -> int:
+        return max(self.match_index[peer] + 1, min(hint, self.last_index() + 1))
+
+    # -- commitment ------------------------------------------------------------------------
+
+    def _commit_term_check(self) -> bool:
+        return True
+
+    def _commit_break_on_old_term(self) -> bool:
+        return False
+
+    def _advance_commit(self) -> None:
+        best = self.commit_index
+        for index in range(self.commit_index + 1, self.last_index() + 1):
+            replicas = 1 + sum(1 for p in self.peers if self.match_index[p] >= index)
+            if replicas < self.quorum():
+                break
+            if self._commit_term_check() and self.term_at(index) != self.current_term:
+                if self._commit_break_on_old_term():
+                    break
+                continue
+            best = index
+        if best != self.commit_index:
+            old = self.commit_index
+            self.commit_index = best
+            self._log_state()
+            self._on_commit_advance(old, best)
+
+    def _on_commit_advance(self, old: int, new: int) -> None:
+        """Hook: apply committed entries (the KV layer)."""
+
+    # -- snapshots ---------------------------------------------------------------------------
+
+    def _on_install_snapshot(self, src: str, m: Dict[str, Any]) -> None:
+        if m["term"] < self.current_term:
+            self._send(
+                src,
+                {
+                    "type": "InstallSnapshotResponse",
+                    "term": self.current_term,
+                    "success": False,
+                    "lastIndex": self.last_index(),
+                },
+            )
+            return
+        self._observe_term(m["term"])
+        if self.role != FOLLOWER:
+            self._set_role(FOLLOWER)
+        if m["lastIndex"] <= self.snapshot_index:
+            self._send(
+                src,
+                {
+                    "type": "InstallSnapshotResponse",
+                    "term": self.current_term,
+                    "success": True,
+                    "lastIndex": self.last_index(),
+                },
+            )
+            return
+        if self._reject_snapshot_on_conflict(m):
+            # WRaft#3: the snapshot is refused because local entries
+            # conflict; the follower lags until the next snapshot.
+            self._send(
+                src,
+                {
+                    "type": "InstallSnapshotResponse",
+                    "term": self.current_term,
+                    "success": False,
+                    "lastIndex": self.last_index(),
+                },
+            )
+            return
+        suffix: List[Dict[str, Any]] = []
+        local_term = self.term_at(m["lastIndex"])
+        if local_term is not None and local_term == m["lastTerm"]:
+            suffix = self.entries_from(m["lastIndex"] + 1)
+        old_commit = self.commit_index
+        self.snapshot_index = m["lastIndex"]
+        self.snapshot_term = m["lastTerm"]
+        self.log = suffix
+        self.commit_index = max(old_commit, m["lastIndex"])
+        self._persist_log()
+        self._persist_snapshot()
+        if self.commit_index > old_commit:
+            self._on_commit_advance(old_commit, self.commit_index)
+        self._send(
+            src,
+            {
+                "type": "InstallSnapshotResponse",
+                "term": self.current_term,
+                "success": True,
+                "lastIndex": m["lastIndex"],
+            },
+        )
+
+    def _reject_snapshot_on_conflict(self, m: Dict[str, Any]) -> bool:
+        """Hook: WRaft#3."""
+        return False
+
+    def _on_install_snapshot_response(self, src: str, m: Dict[str, Any]) -> None:
+        if m["term"] > self.current_term:
+            self._observe_term(m["term"])
+            return
+        if self.role != LEADER or m["term"] != self.current_term:
+            return
+        if not m["success"]:
+            return
+        match = self._update_match(self.match_index[src], m["lastIndex"])
+        self.match_index[src] = match
+        self.next_index[src] = match + 1
+        self._advance_commit()
+
+    # ------------------------------------------------------------------
+    # state observation (§A.4)
+    # ------------------------------------------------------------------
+
+    def extract_state(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {
+            "role": self.role,
+            "currentTerm": self.current_term,
+            "votedFor": self.voted_for,
+            "log": tuple({"term": e["term"], "val": e["val"]} for e in self.log),
+            "commitIndex": self.commit_index,
+            "nextIndex": dict(self.next_index),
+            "matchIndex": dict(self.match_index),
+            "votesGranted": frozenset(self.votes_granted),
+        }
+        if self.has_prevote:
+            state["preVotes"] = frozenset(self.pre_votes)
+        if self.has_compaction:
+            state["snapshotIndex"] = self.snapshot_index
+            state["snapshotTerm"] = self.snapshot_term
+        return state

@@ -1,0 +1,49 @@
+"""RaftOS implementation (Table 2 bugs #1–#4).
+
+Mirrors :mod:`repro.specs.raft.raftos` (UDP semantics) and adds the
+implementation-only bug:
+
+``R3``  KeyError while handling an AppendEntries response that arrives
+        when the node is no longer (or not yet) leader — the handler
+        touches the match-index map before checking its role (found by
+        conformance checking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .raft_common import LEADER, RaftNode
+
+__all__ = ["RaftOSNode"]
+
+
+class RaftOSNode(RaftNode):
+    system_name = "raftos"
+    network_kind = "udp"
+    supported_bugs = frozenset({"R1", "R2", "R3", "R4"})
+
+    def _update_match(self, old: int, new: int) -> int:
+        if "R1" in self.bugs:
+            return new  # bug: plain assignment
+        return super()._update_match(old, new)
+
+    def _append_to_log(self, prev: int, entries: List[Dict[str, Any]]) -> None:
+        if "R2" not in self.bugs:
+            super()._append_to_log(prev, entries)
+            return
+        # Bug: truncate-then-append without checking for a match.
+        base = prev - self.snapshot_index
+        new_log = self.log[:base] + [dict(e) for e in entries]
+        if new_log != self.log:
+            self.log = new_log
+            self._persist_log()
+
+    def _commit_break_on_old_term(self) -> bool:
+        return "R4" in self.bugs
+
+    def _on_ignored_response(self, src: str, m: Dict[str, Any]) -> None:
+        if "R3" in self.bugs and self.role != LEADER:
+            # Bug: the stale-response path indexes a map that only
+            # exists while leading.
+            raise KeyError(src)

@@ -1,0 +1,14 @@
+"""RedisRaft implementation: WRaft downstream with PreVote, old bugs fixed."""
+
+from __future__ import annotations
+
+from .wraft import WRaftNode
+
+__all__ = ["RedisRaftNode"]
+
+
+class RedisRaftNode(WRaftNode):
+    system_name = "redisraft"
+    has_prevote = True
+    # W2/W4/W6/W8 were fixed downstream; W1/W5/W7 still apply.
+    supported_bugs = frozenset({"W1", "W5", "W7"})

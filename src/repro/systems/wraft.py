@@ -1,0 +1,82 @@
+"""WRaft implementation (Table 2 bugs #1–#9).
+
+Mirrors :mod:`repro.specs.raft.wraft` (UDP semantics, log compaction) and
+adds the implementation-only bugs the paper found during conformance
+checking:
+
+``W3``  The follower rejects the leader's snapshot when its log
+        conflicts, lagging behind until the next snapshot.
+``W6``  Memory leak: handled messages are retained forever.
+``W8``  A failed send prematurely stops the heartbeat broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .raft_common import RaftNode
+
+__all__ = ["WRaftNode"]
+
+
+class WRaftNode(RaftNode):
+    system_name = "wraft"
+    network_kind = "udp"
+    has_compaction = True
+    supported_bugs = frozenset({"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"})
+
+    def _follower_commit_target(self, icommit: int, prev: int, n_entries: int) -> int:
+        if "W1" in self.bugs:
+            return min(icommit, self.last_index())  # bug (Figure 7)
+        return super()._follower_commit_target(icommit, prev, n_entries)
+
+    def _send_snapshot(self, peer: str) -> bool:
+        if "W2" not in self.bugs:
+            return super()._send_snapshot(peer)
+        # Bug: the compacted range is "replicated" with a plain (and
+        # necessarily empty) AppendEntries (Figure 7's AE1).
+        next_index = self.next_index[peer]
+        prev = next_index - 1
+        return self._send(
+            peer,
+            {
+                "type": "AppendEntries",
+                "term": self.current_term,
+                "prevLogIndex": prev,
+                "prevLogTerm": self.term_at(prev) or 0,
+                "entries": self.entries_from(next_index),
+                "icommit": self.commit_index,
+                "retry": False,
+            },
+        )
+
+    def _stale_term_overwrite(self, src: str, m: Dict[str, Any]) -> bool:
+        if "W4" in self.bugs and m["term"] < self.current_term:
+            self.current_term = m["term"]  # bug: unchecked assignment
+            self._persist_term_vote()
+            return True
+        return False
+
+    def _select_entries(
+        self, peer: str, entries: List[Dict[str, Any]], retry: bool
+    ) -> List[Dict[str, Any]]:
+        if "W5" in self.bugs and retry:
+            return []  # bug: the retry forgets to load entries
+        return entries
+
+    def _next_on_reject(self, peer: str, hint: int) -> int:
+        if "W7" in self.bugs:
+            return hint
+        return super()._next_on_reject(peer, hint)
+
+    def _reject_snapshot_on_conflict(self, m: Dict[str, Any]) -> bool:
+        if "W3" not in self.bugs:
+            return False
+        local_term = self.term_at(m["lastIndex"])
+        return local_term is not None and local_term != m["lastTerm"]
+
+    def _leaks_messages(self) -> bool:
+        return "W6" in self.bugs
+
+    def _broadcast_stops_on_failure(self) -> bool:
+        return "W8" in self.bugs

@@ -1,0 +1,33 @@
+"""Xraft implementation (Table 2 bugs Xraft#1, Xraft#2).
+
+Mirrors :mod:`repro.specs.raft.xraft` (TCP, PreVote) and adds the
+implementation-only bug:
+
+``X2``  An unhandled concurrent-modification exception: a client request
+        arriving while a previous request is still replicating trips the
+        thread race (found by conformance checking).
+"""
+
+from __future__ import annotations
+
+from .raft_common import RaftNode
+
+__all__ = ["XraftNode"]
+
+
+class XraftNode(RaftNode):
+    system_name = "xraft"
+    network_kind = "tcp"
+    has_prevote = True
+    supported_bugs = frozenset({"X1", "X2"})
+
+    def _accept_stale_votes(self) -> bool:
+        return "X1" in self.bugs
+
+    def _after_client_request(self, value: str) -> None:
+        if "X2" in self.bugs and self.commit_index < self.last_index() - 1:
+            # The race: the new request mutates the replication state the
+            # in-flight request's task is still iterating.
+            raise RuntimeError(
+                "ConcurrentModificationException in replication state"
+            )

@@ -1,0 +1,60 @@
+"""Xraft-KV implementation (Table 2 bug Xraft-KV#1).
+
+The key-value store on top of the Xraft core (without PreVote, per the
+paper).  Put operations replicate through the log; Get operations are
+served from the leader's applied state machine.
+
+The correct system confirms leadership with a ReadIndex-style round
+before serving a read; that round is abstracted as a guard at the
+specification level (see :mod:`repro.specs.raft.xraft_kv`), so the
+implementation's read path simply serves the applied value once the
+engine delivers the read event.  With ``XKV1`` the read is served
+unconditionally — a deposed leader returns stale data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .raft_common import LEADER, RaftNode
+
+__all__ = ["XraftKVNode", "UNWRITTEN"]
+
+UNWRITTEN = ""
+
+
+class XraftKVNode(RaftNode):
+    system_name = "xraft-kv"
+    network_kind = "tcp"
+    has_prevote = False
+    supported_bugs = frozenset({"XKV1"})
+
+    def __init__(self, ctx, bugs=()):
+        super().__init__(ctx, bugs)
+        self.applied_value = UNWRITTEN
+
+    def on_start(self) -> None:
+        super().on_start()
+        # The state machine is volatile; it is rebuilt as the commit
+        # index re-advances after restart.
+        self.applied_value = UNWRITTEN
+
+    def _on_commit_advance(self, old: int, new: int) -> None:
+        for index in range(old + 1, new + 1):
+            pos = index - self.snapshot_index - 1
+            if 0 <= pos < len(self.log):
+                self.applied_value = self.log[pos]["val"]
+        self.ctx.log(f"applied value={self.applied_value} commit={new}")
+
+    def on_client_request(self, op: Any) -> Any:
+        if isinstance(op, dict) and op.get("op") == "get":
+            if self.role != LEADER:
+                return {"ok": False, "error": "not leader"}
+            return {"ok": True, "value": self.applied_value}
+        value = op["value"] if isinstance(op, dict) else op
+        return super().on_client_request({"value": value})
+
+    def extract_state(self) -> Dict[str, Any]:
+        state = super().extract_state()
+        state["appliedValue"] = self.applied_value
+        return state

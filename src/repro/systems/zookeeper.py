@@ -1,0 +1,461 @@
+"""ZooKeeper implementation (Table 2 bug ZooKeeper#1).
+
+The imperative twin of :mod:`repro.specs.zab`: fast leader election,
+discovery, synchronization and broadcast, handled one message per event
+(as in the paper's adaptation, worker-thread interleavings are not
+modeled — Figure 3's receiver enqueues and the processing happens in the
+same event).
+
+``ZK1`` selects the v3.4.3 vote comparator that ignores the proposer
+epoch (ZOOKEEPER-1419); without it the comparator is the fixed,
+epoch-aware total order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .base import NodeContext, SystemNode
+
+__all__ = ["ZooKeeperNode"]
+
+LOOKING = "LOOKING"
+FOLLOWING = "FOLLOWING"
+LEADING = "LEADING"
+
+ELECTION = "ELECTION"
+DISCOVERY = "DISCOVERY"
+SYNC = "SYNC"
+BROADCAST = "BROADCAST"
+
+NOBODY = ""
+ELECTION_TIMER = "election"
+
+
+class ZooKeeperNode(SystemNode):
+    system_name = "zookeeper"
+    network_kind = "tcp"
+    supported_bugs = frozenset({"ZK1"})
+
+    def __init__(self, ctx: NodeContext, bugs: Sequence[str] = ()):
+        super().__init__(ctx, bugs)
+        self.zb_role = LOOKING
+        self.phase = ELECTION
+        self.logical_clock = 0
+        self.current_vote: Dict[str, Any] = {}
+        self.recv_votes: Dict[str, Dict[str, Any]] = {}
+        self.accepted_epoch = 0
+        self.current_epoch = 0
+        self.history: List[Dict[str, Any]] = []
+        self.last_committed = 0
+        self.leader_of = NOBODY
+        self.follower_infos: set = set()
+        self.epoch_acks: set = set()
+        self.sync_acks: set = set()
+        self.txn_acks: Dict[Tuple[int, int], set] = {}
+        self.txn_counter = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.accepted_epoch = self.ctx.load("acceptedEpoch", 0)
+        self.current_epoch = self.ctx.load("currentEpoch", 0)
+        self.history = [dict(t) for t in self.ctx.load("history", ())]
+        self.last_committed = min(
+            self.ctx.load("lastCommitted", 0), len(self.history)
+        )
+        self.zb_role = LOOKING
+        self.phase = ELECTION
+        self.logical_clock = 0
+        self.current_vote = self._self_vote(round_=0)
+        self.recv_votes = {}
+        self.leader_of = NOBODY
+        self.follower_infos = set()
+        self.epoch_acks = set()
+        self.sync_acks = set()
+        self.txn_acks = {}
+        self.txn_counter = 0
+        self.ctx.set_timer(ELECTION_TIMER)
+        self._log_state()
+
+    def _log_state(self) -> None:
+        self.ctx.log(
+            f"state role={self.zb_role} phase={self.phase}"
+            f" epoch={self.current_epoch} committed={self.last_committed}"
+        )
+
+    def _last_zxid(self) -> Tuple[int, int]:
+        return tuple(self.history[-1]["zxid"]) if self.history else (0, 0)
+
+    def _self_vote(self, round_: int) -> Dict[str, Any]:
+        return {
+            "leader": self.node_id,
+            "zxid": self._last_zxid(),
+            "epoch": self.current_epoch,
+            "round": round_,
+        }
+
+    def quorum(self) -> int:
+        return (len(self.peers) + 1) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # the vote comparator (ZooKeeper#1 lives here)
+    # ------------------------------------------------------------------
+
+    def _beats(self, new: Dict[str, Any], cur: Dict[str, Any]) -> bool:
+        if "ZK1" in self.bugs:
+            return (tuple(new["zxid"]), new["leader"]) > (
+                tuple(cur["zxid"]),
+                cur["leader"],
+            )
+        return (new["epoch"], tuple(new["zxid"]), new["leader"]) > (
+            cur["epoch"],
+            tuple(cur["zxid"]),
+            cur["leader"],
+        )
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def on_timeout(self, kind: str) -> None:
+        if kind != ELECTION_TIMER:
+            raise ValueError(f"unknown timer: {kind}")
+        self._enter_election()
+
+    def _enter_election(self) -> None:
+        self.logical_clock += 1
+        self.zb_role = LOOKING
+        self.phase = ELECTION
+        self.current_vote = self._self_vote(self.logical_clock)
+        self.recv_votes = {
+            self.node_id: {"vote": dict(self.current_vote), "state": LOOKING}
+        }
+        self.leader_of = NOBODY
+        self.follower_infos = set()
+        self.epoch_acks = set()
+        self.sync_acks = set()
+        self.txn_acks = {}
+        self._log_state()
+        self._broadcast_notification()
+
+    def _broadcast_notification(self) -> None:
+        message = self._notification()
+        for dst in self.peers:
+            self.ctx.send(dst, message)
+
+    def _notification(self) -> Dict[str, Any]:
+        return {
+            "type": "Notification",
+            "vote": dict(self.current_vote),
+            "round": self.logical_clock,
+            "state": self.zb_role,
+        }
+
+    def on_client_request(self, op: Any) -> Any:
+        if self.zb_role != LEADING or self.phase != BROADCAST:
+            return {"ok": False, "error": "not a broadcasting leader"}
+        value = op["value"] if isinstance(op, dict) else op
+        zxid = (self.current_epoch, self.txn_counter + 1)
+        txn = {"zxid": zxid, "val": value}
+        self.history.append(txn)
+        self.txn_counter = zxid[1]
+        self.txn_acks[zxid] = {self.node_id}
+        self._persist_history()
+        for dst in self.peers:
+            self.ctx.send(dst, {"type": "Propose", "txn": dict(txn)})
+        return {"ok": True, "zxid": list(zxid)}
+
+    def _persist_history(self) -> None:
+        self.ctx.persist("history", tuple(dict(t) for t in self.history))
+        self.ctx.persist("lastCommitted", self.last_committed)
+
+    def on_message(self, src: str, message: Dict[str, Any]) -> None:
+        handlers = {
+            "Notification": self._on_notification,
+            "FollowerInfo": self._on_follower_info,
+            "LeaderInfo": self._on_leader_info,
+            "AckEpoch": self._on_ack_epoch,
+            "NewLeader": self._on_new_leader,
+            "AckLeader": self._on_ack_leader,
+            "UpToDate": self._on_up_to_date,
+            "Propose": self._on_propose,
+            "Ack": self._on_ack,
+            "Commit": self._on_commit,
+        }
+        handler = handlers.get(message["type"])
+        if handler is None:
+            raise ValueError(f"unknown ZAB message: {message['type']}")
+        handler(src, message)
+
+    # ------------------------------------------------------------------
+    # fast leader election
+    # ------------------------------------------------------------------
+
+    def _on_notification(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != LOOKING:
+            if m["state"] == LOOKING:
+                self.ctx.send(src, self._notification())
+            return
+
+        if m["state"] == LOOKING:
+            if m["round"] > self.logical_clock:
+                self.logical_clock = m["round"]
+                if self._beats(m["vote"], self.current_vote):
+                    self.current_vote = dict(m["vote"])
+                self.recv_votes = {
+                    self.node_id: {"vote": dict(self.current_vote), "state": LOOKING},
+                    src: {"vote": dict(m["vote"]), "state": m["state"]},
+                }
+                self._broadcast_notification()
+            elif m["round"] < self.logical_clock:
+                self.ctx.send(src, self._notification())
+                return
+            else:
+                adopted = False
+                if self._beats(m["vote"], self.current_vote):
+                    self.current_vote = dict(m["vote"])
+                    adopted = True
+                self.recv_votes[src] = {"vote": dict(m["vote"]), "state": m["state"]}
+                self.recv_votes[self.node_id] = {
+                    "vote": dict(self.current_vote),
+                    "state": LOOKING,
+                }
+                if adopted:
+                    self._broadcast_notification()
+        else:
+            self.recv_votes[src] = {"vote": dict(m["vote"]), "state": m["state"]}
+
+        self._try_decide()
+
+    def _try_decide(self) -> None:
+        leader = self.current_vote["leader"]
+        backers = {
+            peer
+            for peer, record in self.recv_votes.items()
+            if record["vote"]["leader"] == leader
+        }
+        if len(backers) < self.quorum():
+            return
+        if not self._check_leader(leader):
+            return
+        if leader == self.node_id:
+            self._become_leading()
+        else:
+            self._become_following(leader)
+
+    def _check_leader(self, leader: str) -> bool:
+        # The fixed CheckLeader (Figure 4's green line): electing oneself
+        # needs no round check.
+        if leader == self.node_id:
+            return True
+        record = self.recv_votes.get(leader)
+        if record is None:
+            return False
+        return record["state"] in (LOOKING, LEADING)
+
+    def _become_leading(self) -> None:
+        self.zb_role = LEADING
+        self.phase = DISCOVERY
+        self.leader_of = self.node_id
+        self.accepted_epoch += 1
+        self.ctx.persist("acceptedEpoch", self.accepted_epoch)
+        self.follower_infos = {self.node_id}
+        self.epoch_acks = {self.node_id}
+        self.sync_acks = {self.node_id}
+        self._log_state()
+
+    def _become_following(self, leader: str) -> None:
+        self.zb_role = FOLLOWING
+        self.phase = DISCOVERY
+        self.leader_of = leader
+        self._log_state()
+        self.ctx.send(
+            leader, {"type": "FollowerInfo", "acceptedEpoch": self.accepted_epoch}
+        )
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+
+    def _on_follower_info(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != LEADING:
+            return
+        epoch = max(self.accepted_epoch, m["acceptedEpoch"] + 1)
+        self.accepted_epoch = epoch
+        self.ctx.persist("acceptedEpoch", epoch)
+        self.follower_infos.add(src)
+        self.ctx.send(src, {"type": "LeaderInfo", "epoch": epoch})
+
+    def _on_leader_info(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != FOLLOWING or self.leader_of != src:
+            return
+        if m["epoch"] < self.accepted_epoch:
+            self._enter_election()
+            return
+        self.accepted_epoch = m["epoch"]
+        self.ctx.persist("acceptedEpoch", m["epoch"])
+        self.ctx.send(
+            src,
+            {
+                "type": "AckEpoch",
+                "currentEpoch": self.current_epoch,
+                "lastZxid": list(self._last_zxid()),
+            },
+        )
+
+    def _on_ack_epoch(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != LEADING or self.phase != DISCOVERY:
+            return
+        self.epoch_acks.add(src)
+        self.ctx.send(
+            src,
+            {
+                "type": "NewLeader",
+                "epoch": self.accepted_epoch,
+                "history": [dict(t) for t in self.history],
+            },
+        )
+        if len(self.epoch_acks) >= self.quorum():
+            self.phase = SYNC
+            self._log_state()
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+
+    def _on_new_leader(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != FOLLOWING or self.leader_of != src:
+            return
+        if m["epoch"] < self.accepted_epoch:
+            self._enter_election()
+            return
+        self.accepted_epoch = max(self.accepted_epoch, m["epoch"])
+        self.ctx.persist("acceptedEpoch", self.accepted_epoch)
+        self.current_epoch = m["epoch"]
+        self.ctx.persist("currentEpoch", m["epoch"])
+        self.history = [dict(t) for t in m["history"]]
+        self.last_committed = min(self.last_committed, len(self.history))
+        self._persist_history()
+        self.ctx.send(src, {"type": "AckLeader", "epoch": m["epoch"]})
+
+    def _on_ack_leader(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != LEADING:
+            return
+        self.sync_acks.add(src)
+        if len(self.sync_acks) >= self.quorum() and self.phase != BROADCAST:
+            self.phase = BROADCAST
+            self.current_epoch = self.accepted_epoch
+            self.ctx.persist("currentEpoch", self.current_epoch)
+            self.last_committed = len(self.history)
+            self.txn_counter = 0
+            self._persist_history()
+            self._log_state()
+            for peer in self.peers:
+                if self._is_my_follower(peer):
+                    self.ctx.send(
+                        peer, {"type": "UpToDate", "epoch": self.current_epoch}
+                    )
+
+    def _is_my_follower(self, peer: str) -> bool:
+        # The leader only pushes phase messages to peers that registered
+        # with it (sent FOLLOWERINFO).
+        return peer in self.follower_infos
+
+    def _on_up_to_date(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != FOLLOWING or self.leader_of != src:
+            return
+        self.phase = BROADCAST
+        self.last_committed = len(self.history)
+        self._persist_history()
+        self._log_state()
+
+    # ------------------------------------------------------------------
+    # broadcast
+    # ------------------------------------------------------------------
+
+    def _on_propose(self, src: str, m: Dict[str, Any]) -> None:
+        if self.leader_of != src or self.zb_role != FOLLOWING:
+            return
+        txn = dict(m["txn"])
+        txn["zxid"] = tuple(txn["zxid"])
+        self.history.append(txn)
+        self._persist_history()
+        self.ctx.send(src, {"type": "Ack", "zxid": list(txn["zxid"])})
+
+    def _on_ack(self, src: str, m: Dict[str, Any]) -> None:
+        if self.zb_role != LEADING:
+            return
+        zxid = tuple(m["zxid"])
+        ackers = self.txn_acks.setdefault(zxid, set())
+        ackers.update({src, self.node_id})
+        if len(ackers) >= self.quorum():
+            position = self._zxid_position(zxid)
+            if position is not None and position > self.last_committed:
+                self.last_committed = position
+                self._persist_history()
+                self._log_state()
+                for peer in self.peers:
+                    if self._is_my_follower(peer):
+                        self.ctx.send(peer, {"type": "Commit", "zxid": list(zxid)})
+
+    def _zxid_position(self, zxid: Tuple[int, int]) -> Optional[int]:
+        for position, txn in enumerate(self.history, start=1):
+            if tuple(txn["zxid"]) == zxid:
+                return position
+        return None
+
+    def _on_commit(self, src: str, m: Dict[str, Any]) -> None:
+        if self.leader_of != src:
+            return
+        position = self._zxid_position(tuple(m["zxid"]))
+        if position is None or position <= self.last_committed:
+            return
+        self.last_committed = position
+        self._persist_history()
+        self._log_state()
+
+    # ------------------------------------------------------------------
+    # state observation
+    # ------------------------------------------------------------------
+
+    def extract_state(self) -> Dict[str, Any]:
+        return {
+            "zbRole": self.zb_role,
+            "phase": self.phase,
+            "logicalClock": self.logical_clock,
+            "currentVote": {
+                "leader": self.current_vote["leader"],
+                "zxid": tuple(self.current_vote["zxid"]),
+                "epoch": self.current_vote["epoch"],
+                "round": self.current_vote["round"],
+            },
+            "recvVotes": {
+                peer: {
+                    "vote": {
+                        "leader": record["vote"]["leader"],
+                        "zxid": tuple(record["vote"]["zxid"]),
+                        "epoch": record["vote"]["epoch"],
+                        "round": record["vote"]["round"],
+                    },
+                    "state": record["state"],
+                }
+                for peer, record in self.recv_votes.items()
+            },
+            "acceptedEpoch": self.accepted_epoch,
+            "currentEpoch": self.current_epoch,
+            "history": tuple(
+                {"zxid": tuple(t["zxid"]), "val": t["val"]} for t in self.history
+            ),
+            "lastCommitted": self.last_committed,
+            "leaderOf": self.leader_of,
+            "followerInfos": frozenset(self.follower_infos),
+            "epochAcks": frozenset(self.epoch_acks),
+            "syncAcks": frozenset(self.sync_acks),
+            "txnAcks": {
+                zxid: frozenset(ackers) for zxid, ackers in self.txn_acks.items()
+            },
+            "txnCounter": self.txn_counter,
+        }

@@ -1,0 +1,179 @@
+"""The end-to-end SandTable workflow (Figure 1).
+
+One call wires the four phases together for a target system:
+
+1. **Conformance checking** (§3.2) — random-walk traces are replayed
+   against the implementation until the quiet period passes; any
+   discrepancy aborts the run with the triggering event sequence.
+2. **Constraint selection** (§3.3, Algorithm 1) — candidate budget
+   constraints are ranked by random-walk coverage metrics, and the top
+   ones are kept for checking.
+3. **Model checking** — BFS explores each selected constraint's space
+   until a safety violation, exhaustion, or budget expiry.
+4. **Bug confirmation** (§3.4) — each violation's trace is replayed
+   deterministically at the implementation level; only confirmed
+   violations are reported as bugs.
+
+The result object carries everything a bug report needs, including the
+Markdown rendering from :mod:`repro.conformance.report`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from .conformance import (
+    BugConfirmation,
+    BugReplayer,
+    ConformanceChecker,
+    ConformanceReport,
+    mapping_for,
+)
+from .conformance.report import BugReport
+from .core import bfs_explore, rank_constraints
+from .core.explorer import BFSResult
+from .core.ranking import RankedConstraints
+from .systems import SYSTEMS
+
+__all__ = ["WorkflowResult", "CheckOutcome", "run_workflow"]
+
+
+@dataclasses.dataclass
+class CheckOutcome:
+    """Model checking + confirmation for one selected constraint."""
+
+    constraint: Mapping[str, Any]
+    exploration: BFSResult
+    confirmation: Optional[BugConfirmation] = None
+
+    @property
+    def found_bug(self) -> bool:
+        return self.confirmation is not None and self.confirmation.confirmed
+
+
+@dataclasses.dataclass
+class WorkflowResult:
+    """Everything one SandTable run produced."""
+
+    system: str
+    conformance: ConformanceReport
+    ranking: Optional[RankedConstraints]
+    checks: List[CheckOutcome]
+
+    @property
+    def passed_conformance(self) -> bool:
+        return self.conformance.passed
+
+    @property
+    def confirmed_bugs(self) -> List[CheckOutcome]:
+        return [c for c in self.checks if c.found_bug]
+
+    def bug_reports(self, consequence: str = "", watch: Sequence[str] = ()) -> List[BugReport]:
+        """Markdown-ready reports for every confirmed bug."""
+        reports = []
+        for outcome in self.confirmed_bugs:
+            violation = outcome.confirmation.violation
+            reports.append(
+                BugReport(
+                    title=f"{self.system}: {violation.invariant} violated",
+                    system=self.system,
+                    consequence=consequence or violation.invariant,
+                    violation=violation,
+                    confirmation=outcome.confirmation,
+                    watch=watch,
+                )
+            )
+        return reports
+
+    def summary(self) -> str:
+        lines = [
+            f"SandTable workflow for {self.system}:",
+            f"  conformance: {'PASSED' if self.passed_conformance else 'FAILED'}"
+            f" ({self.conformance.traces_checked} traces)",
+        ]
+        if not self.passed_conformance:
+            failure = self.conformance.failure
+            reason = (
+                failure.crash
+                or failure.engine_error
+                or failure.resource_leak
+                or (failure.discrepancies and failure.discrepancies[0].describe())
+            )
+            lines.append(f"  discrepancy: {reason}")
+            return "\n".join(lines)
+        for outcome in self.checks:
+            stats = outcome.exploration.stats
+            verdict = "clean"
+            if outcome.exploration.found_violation:
+                verdict = outcome.exploration.violation.invariant
+                if outcome.confirmation is not None:
+                    verdict += (
+                        " (CONFIRMED)" if outcome.confirmation.confirmed
+                        else " (not reproduced)"
+                    )
+            lines.append(
+                f"  {dict(outcome.constraint)}: {stats.distinct_states} states,"
+                f" {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def run_workflow(
+    system: str,
+    spec_factory: Callable[[Mapping[str, Any]], Any],
+    constraints: Sequence[Mapping[str, Any]],
+    impl_bugs: Optional[Sequence[str]] = None,
+    conformance_quiet: float = 3.0,
+    conformance_traces: Optional[int] = 100,
+    rank_walks: int = 30,
+    top_constraints: int = 2,
+    max_states: int = 200_000,
+    time_budget: float = 60.0,
+    seed: int = 0,
+) -> WorkflowResult:
+    """Run the Figure 1 workflow for one target system.
+
+    ``spec_factory(constraint)`` builds the spec for a candidate budget
+    constraint; the first constraint is used for the conformance phase.
+    """
+    factory = SYSTEMS[system]
+
+    # -- phase 1: conformance checking -------------------------------------
+    conformance_spec = spec_factory(constraints[0])
+    checker = ConformanceChecker(
+        conformance_spec,
+        factory,
+        mapping_for(system, conformance_spec.nodes),
+        impl_bugs=impl_bugs,
+    )
+    conformance = checker.run(
+        quiet_period=conformance_quiet, max_traces=conformance_traces, seed=seed
+    )
+    if not conformance.passed:
+        return WorkflowResult(system, conformance, None, [])
+
+    # -- phase 2: constraint selection (Algorithm 1) ------------------------
+    ranked = rank_constraints(
+        lambda _config, constraint: spec_factory(constraint),
+        configs=[{}],
+        constraints=constraints,
+        n_walks=rank_walks,
+        seed=seed,
+    )[0]
+
+    # -- phases 3 and 4: model checking + confirmation ----------------------
+    checks: List[CheckOutcome] = []
+    for score in ranked.top(top_constraints):
+        spec = spec_factory(score.constraint)
+        exploration = bfs_explore(
+            spec, max_states=max_states, time_budget=time_budget
+        )
+        confirmation = None
+        if exploration.found_violation:
+            bug_checker = ConformanceChecker(
+                spec, factory, mapping_for(system, spec.nodes), impl_bugs=impl_bugs
+            )
+            confirmation = BugReplayer(bug_checker).confirm(exploration.violation)
+        checks.append(CheckOutcome(score.constraint, exploration, confirmation))
+    return WorkflowResult(system, conformance, ranked, checks)

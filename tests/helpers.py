@@ -1,0 +1,43 @@
+"""Shared scenario helpers for the spec and conformance tests."""
+
+from __future__ import annotations
+
+from repro.core.guided import run_scenario
+
+__all__ = ["elect_leader_picks", "replicate_once_picks", "drive"]
+
+
+def elect_leader_picks(leader="n1", voter="n2", prevote=False):
+    """Picks that elect ``leader`` with ``voter``'s vote (3-node TCP)."""
+    picks = [("ElectionTimeout", leader)]
+    if prevote:
+        picks += [
+            ("ReceiveMessage", leader, voter),  # PreVote request
+            ("ReceiveMessage", voter, leader),  # PreVote grant -> candidate
+        ]
+    picks += [
+        ("ReceiveMessage", leader, voter),  # RequestVote
+        ("ReceiveMessage", voter, leader),  # grant -> leader
+    ]
+    return picks
+
+
+def replicate_once_picks(leader="n1", follower="n2", value_arg=None):
+    """Picks that append one entry and fully replicate/commit it with one
+    follower (after an election; assumes empty leader->follower queue)."""
+    request = ("ClientRequest", leader) if value_arg is None else (
+        "ClientRequest",
+        leader,
+        value_arg,
+    )
+    return [
+        request,
+        ("HeartbeatTimeout", leader),
+        ("ReceiveMessage", leader, follower),  # AppendEntries with the entry
+        ("ReceiveMessage", follower, leader),  # success -> commit
+    ]
+
+
+def drive(spec, picks, **kwargs):
+    """run_scenario with ambiguity allowed (first match wins)."""
+    return run_scenario(spec, picks, allow_ambiguous=True, **kwargs)

@@ -1,0 +1,83 @@
+"""Integrity tests for the Table 2 bug registry."""
+
+import pytest
+
+from repro.bugs import BUGS, bugs_for_system, get_bug, verification_bugs
+from repro.bugs.registry import CONFORMANCE, MODELING, VERIFICATION
+
+
+class TestTable2Shape:
+    def test_twenty_three_bugs(self):
+        assert len(BUGS) == 23
+
+    def test_stage_counts_match_paper(self):
+        stages = [b.stage for b in BUGS.values()]
+        assert stages.count(VERIFICATION) == 16
+        assert stages.count(CONFORMANCE) == 6
+        assert stages.count(MODELING) == 1
+
+    def test_new_old_counts_match_paper(self):
+        statuses = [b.status for b in BUGS.values()]
+        assert statuses.count("new") == 18
+        assert statuses.count("old") == 5
+
+    def test_per_system_counts(self):
+        expected = {
+            "pysyncobj": 5,
+            "wraft": 9,
+            "daosraft": 1,
+            "raftos": 4,
+            "xraft": 2,
+            "xraft-kv": 1,
+            "zookeeper": 1,
+        }
+        for system, count in expected.items():
+            assert len(bugs_for_system(system)) == count, system
+
+    def test_verification_bugs_have_metrics(self):
+        for bug in verification_bugs():
+            assert bug.invariant, bug.bug_id
+            assert bug.paper_depth is not None, bug.bug_id
+            assert bug.paper_states is not None, bug.bug_id
+            assert bug.spec_factory is not None, bug.bug_id
+            assert bug.config is not None, bug.bug_id
+
+    def test_non_verification_bugs_have_no_exploration_metrics(self):
+        for bug in BUGS.values():
+            if bug.stage != VERIFICATION:
+                assert bug.paper_states is None, bug.bug_id
+                assert bug.method == "conformance", bug.bug_id
+
+
+class TestSeeding:
+    def test_every_verification_bug_spec_instantiates(self):
+        for bug in verification_bugs():
+            spec = bug.make_spec()
+            assert bug.flag in spec.bugs
+            # The targeted invariant survived the filter.
+            names = {i.name for i in spec.invariants()} | {
+                i.name for i in spec.transition_invariants()
+            }
+            assert names == {bug.invariant}, bug.bug_id
+
+    def test_make_spec_without_filter_keeps_all_invariants(self):
+        bug = get_bug("Xraft#1")
+        spec = bug.make_spec(only_invariant=False)
+        assert len(spec.invariants()) >= 4
+
+    def test_flags_unique_per_system(self):
+        seen = set()
+        for bug in BUGS.values():
+            key = (bug.system, bug.flag)
+            assert key not in seen, key
+            seen.add(key)
+
+    def test_conformance_bug_without_spec_raises(self):
+        with pytest.raises(ValueError):
+            get_bug("WRaft#6").make_spec()
+
+    def test_paper_depths_are_plausible(self):
+        # Table 2: depths range from 8 to 41.
+        depths = [b.paper_depth for b in verification_bugs()]
+        assert min(depths) == 8
+        assert max(depths) == 41

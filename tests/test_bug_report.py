@@ -1,0 +1,81 @@
+"""Tests for the Markdown bug-report generator."""
+
+import pytest
+
+from repro.bugs.scenarios import FIG6_CONFIG, run_fig6
+from repro.conformance import BugReplayer, ConformanceChecker, mapping_for
+from repro.conformance.report import BugReport, render_report
+from repro.specs.raft import PySyncObjSpec
+from repro.systems import PySyncObjNode
+
+
+@pytest.fixture(scope="module")
+def confirmed_fig6():
+    scenario = run_fig6("P4")
+    spec = PySyncObjSpec(FIG6_CONFIG, bugs={"P4"})
+    checker = ConformanceChecker(
+        spec, PySyncObjNode, mapping_for("pysyncobj", spec.nodes)
+    )
+    confirmation = BugReplayer(checker).confirm(scenario.violation)
+    return scenario, confirmation
+
+
+@pytest.fixture
+def report(confirmed_fig6):
+    scenario, confirmation = confirmed_fig6
+    return BugReport(
+        title="PySyncObj#4: match index is not monotonic",
+        system="pysyncobj",
+        consequence="Match index is not monotonic",
+        violation=scenario.violation,
+        confirmation=confirmation,
+        watch=("matchIndex", "nextIndex", "commitIndex"),
+        notes="Reproduces Figure 6 of the paper.",
+    )
+
+
+class TestRenderReport:
+    def test_header_fields(self, report):
+        text = render_report(report)
+        assert "# PySyncObj#4" in text
+        assert "`MatchIndexMonotonic`" in text
+        assert "confirmed by deterministic replay" in text
+        assert "Reproduces Figure 6" in text
+
+    def test_every_event_listed(self, report):
+        text = render_report(report)
+        for index in range(1, report.violation.depth + 1):
+            assert f"{index:3d}. `" in text
+
+    def test_watched_variables_annotated(self, report):
+        text = render_report(report)
+        assert "matchIndex=" in text
+
+    def test_final_state_section_respects_watch(self, report):
+        text = render_report(report)
+        final_section = text.split("## Final state")[1]
+        assert "matchIndex" in final_section
+        assert "votedFor" not in final_section
+
+    def test_markdown_method(self, report):
+        assert report.to_markdown() == render_report(report)
+
+    def test_unconfirmed_report_shows_divergence(self, confirmed_fig6):
+        scenario, _ = confirmed_fig6
+        spec = PySyncObjSpec(FIG6_CONFIG, bugs={"P4"})
+        fixed_impl = ConformanceChecker(
+            spec, PySyncObjNode, mapping_for("pysyncobj", spec.nodes), impl_bugs=()
+        )
+        confirmation = BugReplayer(fixed_impl).confirm(scenario.violation)
+        assert not confirmation.confirmed
+        text = render_report(
+            BugReport(
+                title="t",
+                system="pysyncobj",
+                consequence="c",
+                violation=scenario.violation,
+                confirmation=confirmation,
+            )
+        )
+        assert "NOT reproduced" in text
+        assert "## Replay divergence" in text

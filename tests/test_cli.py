@@ -1,0 +1,130 @@
+"""Tests for the ``sandtable`` command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBugsCommand:
+    def test_lists_all_bugs(self, capsys):
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert "PySyncObj#4" in out
+        assert "ZooKeeper#1" in out
+        assert out.count("\n") >= 24  # header + 23 bugs
+
+
+class TestCheckCommand:
+    def test_correct_system_is_clean(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--max-states",
+                "5000",
+                "--time-budget",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_seeded_bug_found(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "raftos",
+                "--nodes",
+                "2",
+                "--bug",
+                "R1",
+                "--invariant",
+                "MatchIndexMonotonic",
+                "--max-states",
+                "100000",
+                "--time-budget",
+                "60",
+            ]
+        )
+        assert code == 1
+        assert "MatchIndexMonotonic" in capsys.readouterr().out
+
+    def test_symmetry_flag(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "xraft",
+                "--max-states",
+                "2000",
+                "--symmetry",
+                "--time-budget",
+                "20",
+            ]
+        )
+        assert code == 0
+
+
+class TestSimulateCommand:
+    def test_reports_walk_metrics(self, capsys):
+        code = main(
+            ["simulate", "--system", "wraft", "--walks", "50", "--depth", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "walks" in out and "ms/trace" in out
+
+
+class TestConformanceCommand:
+    def test_conforming_pair_passes(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--system",
+                "xraft",
+                "--quiet-period",
+                "1.5",
+                "--max-traces",
+                "30",
+            ]
+        )
+        assert code == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_impl_only_bug_fails(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--system",
+                "pysyncobj",
+                "--impl-bug",
+                "P4",
+                "--quiet-period",
+                "10",
+                "--max-traces",
+                "200",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestDetectAndReplay:
+    def test_detect(self, capsys):
+        assert main(["detect", "RaftOS#1", "--time-budget", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "found=True" in out and "paper" in out
+
+    def test_replay_confirms(self, capsys):
+        assert main(["replay", "DaosRaft#1", "--time-budget", "90"]) == 0
+        assert "CONFIRMED" in capsys.readouterr().out
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "NoSuch#1"])

@@ -1,0 +1,235 @@
+"""Tests for conformance checking, trace conversion and bug replay."""
+
+import pytest
+
+from repro.bugs import BUGS
+from repro.bugs.scenarios import FIG7_CONFIG, run_fig6, run_fig7, wraft3_picks
+from repro.conformance import (
+    BugReplayer,
+    ConformanceChecker,
+    TraceConverter,
+    mapping_for,
+)
+from repro.core import Rec, TraceStep, bfs_explore
+from repro.core.guided import run_scenario
+from repro.specs.raft import (
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    WRaftSpec,
+    XraftSpec,
+)
+from repro.specs.zab import ZabConfig, ZabSpec
+from repro.systems import SYSTEMS
+
+NODES = ("n1", "n2", "n3")
+
+
+def checker_for(spec, system, **kwargs):
+    return ConformanceChecker(spec, SYSTEMS[system], mapping_for(system, NODES), **kwargs)
+
+
+class TestTraceConverter:
+    def setup_method(self):
+        self.converter = TraceConverter(network_kind="tcp")
+
+    def step(self, action, *args):
+        return TraceStep(action, args, Rec())
+
+    def test_message_delivery(self):
+        cmd = self.converter.convert_step(
+            self.step("ReceiveMessage", "n1", "n2", Rec(type="X"))
+        )
+        assert cmd.kind == "deliver" and (cmd.src, cmd.dst) == ("n1", "n2")
+        assert cmd.payload is None  # TCP: head of channel
+
+    def test_udp_delivery_carries_payload(self):
+        udp = TraceConverter(network_kind="udp")
+        cmd = udp.convert_step(self.step("ReceiveMessage", "n1", "n2", Rec(type="X")))
+        assert cmd.payload == {"type": "X"}
+
+    def test_timeouts(self):
+        assert self.converter.convert_step(self.step("ElectionTimeout", "n1")).timer == "election"
+        assert self.converter.convert_step(self.step("HeartbeatTimeout", "n1")).timer == "heartbeat"
+
+    def test_client_request_defaults_to_put(self):
+        cmd = self.converter.convert_step(self.step("ClientRequest", "n1", "v1"))
+        assert cmd.op == {"op": "put", "value": "v1"}
+
+    def test_client_read(self):
+        cmd = self.converter.convert_step(self.step("ClientRead", "n1", "v1"))
+        assert cmd.op == {"op": "get"}
+
+    def test_failures(self):
+        assert self.converter.convert_step(self.step("NodeCrash", "n1")).kind == "crash"
+        assert self.converter.convert_step(self.step("NodeRestart", "n1")).kind == "restart"
+        assert self.converter.convert_step(self.step("PartitionHeal")).kind == "heal"
+        part = self.converter.convert_step(self.step("PartitionStart", ("n1", "n2")))
+        assert part.group == ("n1", "n2")
+
+    def test_custom_extra_actions(self):
+        from repro.runtime import commands as C
+
+        converter = TraceConverter(extra={"Reboot": lambda s: C.restart(s.args[0])})
+        assert converter.convert_step(self.step("Reboot", "n2")).kind == "restart"
+
+    def test_unknown_action_rejected(self):
+        from repro.conformance import ConversionError
+
+        with pytest.raises(ConversionError):
+            self.converter.convert_step(self.step("Quantum"))
+
+
+class TestConformancePasses:
+    @pytest.mark.parametrize(
+        "system,spec_cls",
+        [
+            ("pysyncobj", PySyncObjSpec),
+            ("wraft", WRaftSpec),
+            ("raftos", RaftOSSpec),
+            ("xraft", XraftSpec),
+        ],
+    )
+    def test_correct_systems_conform(self, system, spec_cls):
+        spec = spec_cls(RaftConfig(nodes=NODES))
+        checker = checker_for(spec, system)
+        report = checker.run(quiet_period=4.0, max_traces=15, max_depth=25, seed=3)
+        assert report.passed, report.failure and report.failure.discrepancies
+
+    def test_zookeeper_conforms(self):
+        spec = ZabSpec(ZabConfig(nodes=NODES))
+        checker = checker_for(spec, "zookeeper")
+        report = checker.run(quiet_period=4.0, max_traces=15, max_depth=30, seed=3)
+        assert report.passed
+
+    def test_seeded_bug_still_conforms_when_seeded_both_sides(self):
+        spec = PySyncObjSpec(RaftConfig(nodes=NODES), bugs={"P4"})
+        checker = checker_for(spec, "pysyncobj")  # impl bugs default to spec's
+        report = checker.run(quiet_period=4.0, max_traces=15, max_depth=25, seed=3)
+        assert report.passed
+
+
+class TestConformanceCatchesDivergence:
+    def find_failure(self, spec, system, impl_bugs, seeds=30, max_depth=30):
+        checker = checker_for(spec, system, impl_bugs=impl_bugs)
+        for seed in range(seeds):
+            report = checker.run(quiet_period=2.0, max_traces=20, max_depth=max_depth, seed=seed)
+            if not report.passed:
+                return report.failure
+        return None
+
+    def test_unseeded_spec_vs_buggy_impl_diverges(self):
+        spec = PySyncObjSpec(RaftConfig(nodes=NODES))
+        failure = self.find_failure(spec, "pysyncobj", impl_bugs=("P4",))
+        assert failure is not None
+        assert failure.discrepancies  # state divergence, not a crash
+
+    def test_impl_crash_reported(self):
+        spec = XraftSpec(RaftConfig(nodes=NODES))
+        failure = self.find_failure(spec, "xraft", impl_bugs=("X2",))
+        assert failure is not None
+        assert failure.crash and "ConcurrentModification" in failure.crash
+
+    def test_raftos_keyerror_reported(self):
+        spec = RaftOSSpec(RaftConfig(nodes=NODES))
+        failure = self.find_failure(spec, "raftos", impl_bugs=("R3",))
+        assert failure is not None
+        assert failure.crash and "KeyError" in failure.crash
+
+    def test_memory_leak_reported(self):
+        spec = WRaftSpec(RaftConfig(nodes=NODES))
+        failure = self.find_failure(spec, "wraft", impl_bugs=("W6",), seeds=5)
+        assert failure is not None
+        assert failure.resource_leak and "retained_messages" in failure.resource_leak
+
+    def test_fig4_spec_discrepancy_detected(self):
+        spec = ZabSpec(ZabConfig(nodes=NODES), bugs={"FIG4"})
+        checker = checker_for(spec, "zookeeper", impl_bugs=())
+        for seed in range(30):
+            report = checker.run(quiet_period=2.0, max_traces=20, max_depth=30, seed=seed)
+            if not report.passed:
+                assert report.failure.discrepancies
+                variables = {d.variable for d in report.failure.discrepancies}
+                assert variables & {"zbRole", "phase", "netMsgs", "leaderOf"}
+                return
+        pytest.fail("the Figure 4 discrepancy was never observed")
+
+    def test_w3_snapshot_reject_diverges_on_directed_trace(self):
+        spec = WRaftSpec(FIG7_CONFIG)
+        scenario = run_scenario(spec, wraft3_picks(), allow_ambiguous=True)
+        checker = checker_for(spec, "wraft", impl_bugs=("W3",))
+        report = checker.replay(scenario.trace)
+        assert not report.conforms
+        variables = {d.variable for d in report.discrepancies}
+        assert variables & {"snapshotIndex", "snapshotTerm", "log", "netMsgs", "commitIndex"}
+
+
+class TestBugReplay:
+    def test_fig6_confirmed_at_impl_level(self):
+        scenario = run_fig6("P4")
+        spec = PySyncObjSpec(
+            RaftConfig(nodes=NODES, values=("v1",), max_timeouts=5, max_requests=1,
+                       max_partitions=1, max_buffer=3),
+            bugs={"P4"},
+        )
+        checker = checker_for(spec, "pysyncobj")
+        confirmation = BugReplayer(checker).confirm(scenario.violation)
+        assert confirmation.confirmed
+        assert "CONFIRMED" in confirmation.describe()
+
+    def test_fig7_confirmed_at_impl_level(self):
+        scenario = run_fig7()
+        spec = WRaftSpec(FIG7_CONFIG, bugs={"W1", "W2"})
+        checker = checker_for(spec, "wraft")
+        confirmation = BugReplayer(checker).confirm(scenario.violation)
+        assert confirmation.confirmed
+
+    def test_bfs_violation_confirmed(self):
+        bug = BUGS["DaosRaft#1"]
+        spec = bug.make_spec()
+        result = bfs_explore(spec, max_states=200_000, time_budget=90)
+        assert result.found_violation
+        checker = checker_for(spec, "daosraft")
+        confirmation = BugReplayer(checker).confirm(result.violation)
+        assert confirmation.confirmed
+
+    def test_unseeded_impl_fails_to_reproduce(self):
+        """Replaying a buggy-spec trace against the *fixed* implementation
+        diverges — the false-alarm filter of §3.4."""
+        scenario = run_fig6("P4")
+        spec = PySyncObjSpec(
+            RaftConfig(nodes=NODES, values=("v1",), max_timeouts=5, max_requests=1,
+                       max_partitions=1, max_buffer=3),
+            bugs={"P4"},
+        )
+        checker = checker_for(spec, "pysyncobj", impl_bugs=())
+        confirmation = BugReplayer(checker).confirm(scenario.violation)
+        assert not confirmation.confirmed
+        assert "NOT REPRODUCED" in confirmation.describe()
+
+
+class TestFixValidation:
+    def test_validate_fix_passes_for_fixed_pair(self):
+        bug = BUGS["RaftOS#1"]
+        fixed_spec = bug.spec_factory(bug.config, bugs=(), only_invariants=[bug.invariant])
+        checker = ConformanceChecker(
+            fixed_spec, SYSTEMS["raftos"], mapping_for("raftos", fixed_spec.nodes)
+        )
+        replayer = BugReplayer(checker)
+        validation = replayer.validate_fix(
+            checker, quiet_period=2.0, max_traces=15, max_states=30_000, time_budget=30
+        )
+        assert validation.passed
+
+    def test_validate_fix_fails_if_bug_remains(self):
+        bug = BUGS["RaftOS#1"]
+        still_buggy = bug.make_spec()
+        checker = ConformanceChecker(
+            still_buggy, SYSTEMS["raftos"], mapping_for("raftos", still_buggy.nodes)
+        )
+        replayer = BugReplayer(checker)
+        validation = replayer.validate_fix(
+            checker, quiet_period=2.0, max_traces=15, max_states=60_000, time_budget=60
+        )
+        assert not validation.passed
+        assert validation.model_checking.found_violation

@@ -1,0 +1,142 @@
+"""Unit tests for the spec-variable <-> implementation-state mapping."""
+
+import pytest
+
+from repro.conformance.mapping import (
+    ConformanceMapping,
+    Discrepancy,
+    SYSTEM_VARS,
+    freeze_eq,
+    mapping_for,
+)
+from repro.core import Rec, freeze
+
+NODES = ("n1", "n2")
+
+
+def spec_state(**overrides):
+    base = {
+        "alive": Rec(n1=True, n2=True),
+        "role": Rec(n1="Leader", n2="Follower"),
+        "currentTerm": Rec(n1=1, n2=1),
+        "netMsgs": Rec({("n1", "n2"): (), ("n2", "n1"): ()}),
+        "netDisconnected": frozenset(),
+        "eventCounter": Rec(timeouts=1),
+    }
+    base.update(overrides)
+    return Rec(base)
+
+
+def impl_state(**overrides):
+    base = {
+        "alive": freeze({"n1": True, "n2": True}),
+        "nodes": freeze(
+            {
+                "n1": {"role": "Leader", "currentTerm": 1},
+                "n2": {"role": "Follower", "currentTerm": 1},
+            }
+        ),
+        "netMsgs": Rec({("n1", "n2"): (), ("n2", "n1"): ()}),
+        "netDisconnected": frozenset(),
+    }
+    base.update(overrides)
+    return Rec(base)
+
+
+@pytest.fixture
+def mapping():
+    return ConformanceMapping(NODES, ("role", "currentTerm"))
+
+
+class TestComparison:
+    def test_identical_states_conform(self, mapping):
+        assert mapping.discrepancies(spec_state(), impl_state()) == []
+
+    def test_per_node_divergence_found(self, mapping):
+        impl = impl_state(
+            nodes=freeze(
+                {
+                    "n1": {"role": "Candidate", "currentTerm": 1},
+                    "n2": {"role": "Follower", "currentTerm": 1},
+                }
+            )
+        )
+        found = mapping.discrepancies(spec_state(), impl)
+        assert len(found) == 1
+        assert found[0].variable == "role" and found[0].node == "n1"
+        assert "Candidate" in found[0].describe()
+
+    def test_alive_divergence_found(self, mapping):
+        impl = impl_state(alive=freeze({"n1": True, "n2": False}))
+        found = mapping.discrepancies(spec_state(), impl)
+        assert any(d.variable == "alive" for d in found)
+
+    def test_dead_nodes_not_compared(self, mapping):
+        spec = spec_state(
+            alive=Rec(n1=True, n2=False),
+            role=Rec(n1="Leader", n2="Candidate"),  # stale spec value
+        )
+        impl = impl_state(alive=freeze({"n1": True, "n2": False}))
+        impl = impl.set("nodes", freeze({"n1": {"role": "Leader", "currentTerm": 1}}))
+        assert mapping.discrepancies(spec, impl) == []
+
+    def test_network_divergence_found(self, mapping):
+        impl = impl_state(
+            netMsgs=Rec({("n1", "n2"): (Rec(type="X"),), ("n2", "n1"): ()})
+        )
+        found = mapping.discrepancies(spec_state(), impl)
+        assert [d.variable for d in found] == ["netMsgs"]
+
+    def test_network_comparison_can_be_disabled(self):
+        mapping = ConformanceMapping(NODES, ("role",), compare_network=False)
+        impl = impl_state(
+            netMsgs=Rec({("n1", "n2"): (Rec(type="X"),), ("n2", "n1"): ()})
+        )
+        assert mapping.discrepancies(spec_state(), impl) == []
+
+    def test_missing_variable_reported(self):
+        mapping = ConformanceMapping(NODES, ("role", "zxid"))
+        found = mapping.discrepancies(spec_state(zxid=Rec(n1=0, n2=0)), impl_state())
+        assert any(d.variable == "zxid" and d.impl_value == "<missing>" for d in found)
+
+    def test_skipped_vars_ignored(self):
+        mapping = ConformanceMapping(NODES, ("role", "eventCounter"))
+        # eventCounter is model bookkeeping: skipped even when listed.
+        assert mapping.discrepancies(spec_state(), impl_state()) == []
+
+
+class TestFreezeEq:
+    def test_plain_vs_frozen(self):
+        assert freeze_eq((1, 2), [1, 2])
+        assert freeze_eq(Rec(a=1), {"a": 1})
+        assert freeze_eq(frozenset({"x"}), {"x"})
+
+    def test_mismatch(self):
+        assert not freeze_eq(Rec(a=1), {"a": 2})
+
+    def test_unfreezable_is_unequal(self):
+        assert not freeze_eq(Rec(a=1), object())
+
+
+class TestSystemTables:
+    def test_all_eight_systems_mapped(self):
+        assert set(SYSTEM_VARS) == {
+            "pysyncobj",
+            "wraft",
+            "redisraft",
+            "daosraft",
+            "raftos",
+            "xraft",
+            "xraft-kv",
+            "zookeeper",
+        }
+
+    def test_mapping_for_builds(self):
+        mapping = mapping_for("zookeeper", ("n1", "n2", "n3"))
+        assert "currentVote" in mapping.per_node_vars
+        assert "txnCounter" in mapping.skip
+
+    def test_discrepancy_describe_includes_step(self):
+        d = Discrepancy("role", "n1", "Leader", "Follower", 4, "ReceiveMessage(...)")
+        text = d.describe()
+        assert "after step 4" in text and "role[n1]" in text

@@ -1,0 +1,147 @@
+"""Tests for the stateful BFS explorer."""
+
+import math
+
+import pytest
+
+from repro.core import bfs_explore
+from repro.core.explorer import BFSExplorer
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+
+class TestExhaustiveExploration:
+    @pytest.mark.parametrize("n_nodes,maximum", [(1, 3), (2, 3), (3, 2)])
+    def test_counts_full_state_space(self, n_nodes, maximum):
+        spec = CounterSpec(n_nodes=n_nodes, maximum=maximum)
+        result = bfs_explore(spec)
+        assert result.exhausted
+        assert result.stats.distinct_states == (maximum + 1) ** n_nodes
+
+    def test_max_depth_matches_longest_path(self):
+        spec = CounterSpec(n_nodes=2, maximum=3)
+        result = bfs_explore(spec)
+        assert result.stats.max_depth == 6  # both counters from 0 to 3
+
+    def test_symmetry_reduces_to_multisets(self):
+        n_nodes, maximum = 3, 3
+        spec = CounterSpec(n_nodes=n_nodes, maximum=maximum)
+        result = bfs_explore(spec, symmetry=True)
+        expected = math.comb(maximum + n_nodes, n_nodes)
+        assert result.exhausted
+        assert result.stats.distinct_states == expected
+
+    def test_stateful_no_reexpansion(self):
+        # Each state is expanded once: the number of transitions explored
+        # equals the number of edges in the state graph.
+        spec = CounterSpec(n_nodes=2, maximum=2)
+        result = bfs_explore(spec)
+        # Each node with counter < max contributes one edge per node.
+        # Total edges: for each state, number of counters below max.
+        expected_edges = sum(
+            sum(1 for c in (a, b) if c < 2) for a in range(3) for b in range(3)
+        )
+        assert result.stats.transitions == expected_edges
+
+
+class TestViolationDetection:
+    def test_finds_state_invariant_violation(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        result = bfs_explore(spec)
+        assert result.found_violation
+        assert result.violation.invariant == "MutualExclusion"
+
+    def test_counterexample_has_minimal_depth(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        result = bfs_explore(spec)
+        # Minimal: token holder enters, buggy node enters.
+        assert result.violation.depth == 2
+
+    def test_no_violation_when_bug_fixed(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=False)
+        result = bfs_explore(spec)
+        assert not result.found_violation
+        assert result.exhausted
+
+    def test_counterexample_trace_replays(self):
+        """The reconstructed trace must be a real path through the spec."""
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        result = bfs_explore(spec)
+        trace = result.violation.trace
+        state = trace.initial
+        for step in trace:
+            successors = {t.target for t in spec.successors(state)}
+            assert step.state in successors
+            state = step.state
+        # And the final state actually violates the invariant.
+        assert len(state["critical"]) > 1
+
+    def test_violation_in_initial_state(self):
+        spec = CounterSpec(n_nodes=2, maximum=1, bound=-1)
+        result = bfs_explore(spec)
+        assert result.found_violation
+        assert result.violation.depth == 0
+
+    def test_transition_invariant_violation_has_trace(self):
+        class BrokenRing(TokenRingSpec):
+            def transition_invariants(self):
+                from repro.core import TransitionInvariant
+
+                return (
+                    TransitionInvariant(
+                        "NoPassing", lambda pre, t: t.action != "PassToken"
+                    ),
+                )
+
+        result = bfs_explore(BrokenRing(n_nodes=3))
+        assert result.found_violation
+        assert result.violation.invariant == "NoPassing"
+        assert result.violation.kind == "transition"
+        assert result.violation.trace.steps[-1].action == "PassToken"
+
+    def test_collect_all_violations(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        explorer = BFSExplorer(spec, stop_on_violation=False)
+        result = explorer.run()
+        assert result.exhausted
+        assert len(explorer.violations) > 1
+
+
+class TestBounds:
+    def test_max_states_bound(self):
+        spec = CounterSpec(n_nodes=3, maximum=5)
+        result = bfs_explore(spec, max_states=50)
+        assert not result.exhausted
+        assert result.stop_reason == "max_states"
+        assert result.stats.distinct_states == 50
+
+    def test_max_depth_bound(self):
+        spec = CounterSpec(n_nodes=2, maximum=10)
+        result = bfs_explore(spec, max_depth=2)
+        # States reachable within 2 steps: sums 0..2 -> 1 + 2 + 3 = 6.
+        assert result.stats.distinct_states == 6
+
+    def test_time_budget_stops_search(self):
+        spec = CounterSpec(n_nodes=4, maximum=30)
+        result = bfs_explore(spec, time_budget=0.0)
+        assert result.stop_reason in ("time_budget", "exhausted")
+
+    def test_state_constraint_prunes(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=False, max_steps=3)
+        small = bfs_explore(spec).stats.distinct_states
+        spec_large = TokenRingSpec(n_nodes=3, buggy=False, max_steps=6)
+        large = bfs_explore(spec_large).stats.distinct_states
+        assert small < large
+
+
+class TestStats:
+    def test_states_per_second_positive(self):
+        result = bfs_explore(CounterSpec(n_nodes=2, maximum=4))
+        assert result.stats.states_per_second > 0
+        assert result.stats.elapsed >= 0
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        spec = CounterSpec(n_nodes=3, maximum=4)
+        bfs_explore(spec, progress=calls.append, progress_interval=10)
+        assert calls

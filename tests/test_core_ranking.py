@@ -1,0 +1,97 @@
+"""Tests for constraint ranking (Algorithm 1)."""
+
+from repro.core import rank_constraints
+from repro.core.ranking import default_sort_key
+
+from toy_specs import TokenRingSpec
+
+
+def spec_factory(config, constraint):
+    return TokenRingSpec(
+        n_nodes=config["n_nodes"],
+        buggy=False,
+        max_steps=constraint["max_steps"],
+    )
+
+
+class TestRankConstraints:
+    def test_one_ranking_per_config(self):
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 2}, {"n_nodes": 3}],
+            constraints=[{"max_steps": 3}, {"max_steps": 6}],
+            n_walks=10,
+            max_depth=20,
+        )
+        assert len(ranked) == 2
+        assert all(len(r.scores) == 2 for r in ranked)
+
+    def test_scores_sorted_best_first(self):
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 3}],
+            constraints=[{"max_steps": 2}, {"max_steps": 8}, {"max_steps": 4}],
+            n_walks=20,
+            max_depth=20,
+        )
+        scores = ranked[0].scores
+        keys = [default_sort_key(s) for s in scores]
+        assert keys == sorted(keys)
+
+    def test_prefers_smaller_depth_at_equal_coverage(self):
+        # Both constraints reach full coverage of this tiny spec; the
+        # smaller max_steps bounds the walk shallower, so it ranks first.
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 3}],
+            constraints=[{"max_steps": 12}, {"max_steps": 6}],
+            n_walks=40,
+            max_depth=40,
+            seed=2,
+        )
+        best = ranked[0].best
+        other = ranked[0].scores[-1]
+        if best.branch_coverage == other.branch_coverage and (
+            best.event_diversity == other.event_diversity
+        ):
+            assert best.max_depth <= other.max_depth
+            assert best.constraint == {"max_steps": 6}
+
+    def test_top_n(self):
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 2}],
+            constraints=[{"max_steps": k} for k in (2, 4, 6, 8)],
+            n_walks=5,
+            max_depth=20,
+        )
+        assert len(ranked[0].top(3)) == 3
+
+    def test_custom_sort_key(self):
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 2}],
+            constraints=[{"max_steps": 2}, {"max_steps": 8}],
+            n_walks=10,
+            max_depth=20,
+            sort_key=lambda s: -s.max_depth,  # deepest first instead
+        )
+        scores = ranked[0].scores
+        assert scores[0].max_depth >= scores[1].max_depth
+
+    def test_score_row_rendering(self):
+        ranked = rank_constraints(
+            spec_factory,
+            configs=[{"n_nodes": 2}],
+            constraints=[{"max_steps": 4}],
+            n_walks=5,
+            max_depth=10,
+        )
+        row = ranked[0].best.as_row()
+        assert set(row) == {
+            "constraint",
+            "branch_coverage",
+            "event_diversity",
+            "mean_depth",
+            "max_depth",
+        }

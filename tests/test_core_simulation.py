@@ -1,0 +1,98 @@
+"""Tests for random-walk exploration (TLC simulation-mode analogue)."""
+
+import random
+
+from repro.core import random_walk, simulate
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+
+class TestRandomWalk:
+    def test_walk_is_a_valid_path(self):
+        spec = TokenRingSpec(n_nodes=3)
+        walk = random_walk(spec, random.Random(1), max_depth=10)
+        state = walk.trace.initial
+        for step in walk.trace:
+            successors = {t.target for t in spec.successors(state)}
+            assert step.state in successors
+            state = step.state
+
+    def test_walk_terminates_at_max_depth(self):
+        spec = CounterSpec(n_nodes=3, maximum=100)
+        walk = random_walk(spec, random.Random(0), max_depth=5)
+        assert walk.depth == 5
+        assert walk.terminated == "max_depth"
+
+    def test_walk_terminates_on_deadlock(self):
+        spec = CounterSpec(n_nodes=1, maximum=2)
+        walk = random_walk(spec, random.Random(0), max_depth=50)
+        assert walk.depth == 2
+        assert walk.terminated == "deadlock"
+
+    def test_walk_respects_state_constraint(self):
+        spec = TokenRingSpec(n_nodes=3, max_steps=4)
+        walk = random_walk(spec, random.Random(0), max_depth=100)
+        assert walk.terminated in ("constraint", "deadlock")
+        assert walk.depth <= 4 + 1
+
+    def test_walk_detects_violation(self):
+        spec = TokenRingSpec(n_nodes=2, buggy=True)
+        found = False
+        rng = random.Random(7)
+        for _ in range(200):
+            walk = random_walk(spec, rng, max_depth=10)
+            if walk.violation is not None:
+                found = True
+                assert walk.terminated == "violation"
+                assert walk.violation.invariant == "MutualExclusion"
+                break
+        assert found
+
+    def test_branch_coverage_collected(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        rng = random.Random(3)
+        branches = set()
+        for _ in range(50):
+            walk = random_walk(spec, rng, max_depth=10, check_invariants=False)
+            branches |= walk.branches
+        names = {action for action, _ in branches}
+        assert "PassToken" in names
+        assert "Enter" in names
+
+    def test_determinism_given_seed(self):
+        spec = TokenRingSpec(n_nodes=3)
+        a = random_walk(spec, random.Random(42), max_depth=8)
+        b = random_walk(spec, random.Random(42), max_depth=8)
+        assert a.trace.labels() == b.trace.labels()
+
+
+class TestSimulate:
+    def test_aggregates_walks(self):
+        spec = TokenRingSpec(n_nodes=3)
+        result = simulate(spec, n_walks=20, max_depth=8, seed=1)
+        assert result.n_walks == 20
+        assert result.branch_coverage >= 2
+        assert 0 < result.mean_depth <= 8
+        assert result.max_depth <= 8
+        assert result.elapsed >= 0
+
+    def test_stop_on_violation(self):
+        spec = TokenRingSpec(n_nodes=2, buggy=True)
+        result = simulate(spec, n_walks=500, max_depth=10, seed=5, stop_on_violation=True)
+        assert result.first_violation is not None
+        assert result.n_walks < 500
+
+    def test_time_budget(self):
+        spec = CounterSpec(n_nodes=3, maximum=50)
+        result = simulate(spec, n_walks=10**6, max_depth=50, time_budget=0.05)
+        assert result.n_walks < 10**6
+
+    def test_invariant_checking_can_be_disabled(self):
+        spec = TokenRingSpec(n_nodes=2, buggy=True)
+        result = simulate(spec, n_walks=100, max_depth=10, seed=5, check_invariants=False)
+        assert result.first_violation is None
+
+    def test_mean_walk_time_positive(self):
+        spec = TokenRingSpec(n_nodes=3)
+        result = simulate(spec, n_walks=5, max_depth=10)
+        assert result.mean_walk_time >= 0

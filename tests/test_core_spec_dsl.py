@@ -1,0 +1,145 @@
+"""Unit tests for the specification DSL machinery itself."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Action, Invariant, Rec, Spec, SpecError, TransitionInvariant
+from repro.core.spec import Transition, enumerate_transitions
+
+
+class TickSpec(Spec):
+    """One counter; transitions optionally tagged with branches."""
+
+    name = "tick"
+
+    def __init__(self, limit=3, with_branches=False, bad_yield=False):
+        self.limit = limit
+        self.with_branches = with_branches
+        self.bad_yield = bad_yield
+
+    def init_states(self):
+        yield Rec(n=0)
+
+    def actions(self):
+        return [Action("Tick", self._tick, kind="timeout")]
+
+    def _tick(self, state):
+        if state["n"] >= self.limit:
+            return
+        nxt = state.set("n", state["n"] + 1)
+        if self.bad_yield:
+            yield ((), nxt, "x", "y")  # malformed 4-tuple
+        elif self.with_branches:
+            yield (), nxt, ("even" if nxt["n"] % 2 == 0 else "odd")
+        else:
+            yield (), nxt
+
+    def invariants(self):
+        return (Invariant("Bounded", lambda s: s["n"] <= self.limit),)
+
+    def transition_invariants(self):
+        return (
+            TransitionInvariant("Increasing", lambda pre, t: t.target["n"] > pre["n"]),
+        )
+
+
+class TestTransition:
+    def test_label_rendering(self):
+        t = Transition("Send", ("n1", "n2"), Rec(), branch="fast")
+        assert t.label == "Send(n1, n2) [fast]"
+        assert Transition("Tick", (), Rec()).label == "Tick()"
+
+
+class TestAction:
+    def test_two_tuple_yield(self):
+        spec = TickSpec()
+        transitions = enumerate_transitions(spec, next(spec.init_states()))
+        assert len(transitions) == 1
+        assert transitions[0].branch == ""
+
+    def test_three_tuple_yield_carries_branch(self):
+        spec = TickSpec(with_branches=True)
+        transitions = enumerate_transitions(spec, next(spec.init_states()))
+        assert transitions[0].branch == "odd"
+
+    def test_malformed_yield_rejected(self):
+        spec = TickSpec(bad_yield=True)
+        with pytest.raises(SpecError):
+            enumerate_transitions(spec, next(spec.init_states()))
+
+    def test_non_rec_target_rejected(self):
+        action = Action("Bad", lambda s: iter([((), {"n": 1})]))
+        with pytest.raises(SpecError):
+            list(action.transitions(Rec(n=0)))
+
+    def test_kind_recorded(self):
+        assert TickSpec().actions()[0].kind == "timeout"
+        assert "timeout" in repr(TickSpec().actions()[0])
+
+
+class TestSpecHelpers:
+    def test_action_by_name(self):
+        spec = TickSpec()
+        assert spec.action_by_name("Tick").name == "Tick"
+        with pytest.raises(KeyError):
+            spec.action_by_name("Tock")
+
+    def test_check_state_names_first_violated(self):
+        spec = TickSpec(limit=1)
+        assert spec.check_state(Rec(n=5)) == "Bounded"
+        assert spec.check_state(Rec(n=1)) is None
+
+    def test_check_transition(self):
+        spec = TickSpec()
+        shrink = Transition("Tick", (), Rec(n=0))
+        assert spec.check_transition(Rec(n=2), shrink) == "Increasing"
+        grow = Transition("Tick", (), Rec(n=3))
+        assert spec.check_transition(Rec(n=2), grow) is None
+
+    def test_describe(self):
+        info = TickSpec().describe()
+        assert info == {"name": "tick", "variables": 1, "actions": 1, "invariants": 2}
+
+    def test_default_constraint_and_symmetry(self):
+        spec = TickSpec()
+        assert spec.state_constraint(Rec(n=99))
+        assert spec.symmetry_sets() == ()
+
+    def test_successors_cross_all_actions(self):
+        class TwoActions(TickSpec):
+            def actions(self):
+                return [
+                    Action("A", self._tick),
+                    Action("B", self._tick),
+                ]
+
+        spec = TwoActions()
+        names = [t.action for t in spec.successors(next(spec.init_states()))]
+        assert names == ["A", "B"]
+
+
+class TestRecAlgebraicLaws:
+    @given(st.dictionaries(st.text(max_size=4), st.integers(), max_size=5),
+           st.text(max_size=4), st.integers())
+    def test_set_then_get(self, mapping, key, value):
+        rec = Rec(mapping)
+        assert rec.set(key, value)[key] == value
+
+    @given(st.dictionaries(st.text(max_size=4), st.integers(), min_size=1, max_size=5),
+           st.integers())
+    def test_set_is_idempotent(self, mapping, value):
+        rec = Rec(mapping)
+        key = next(iter(mapping))
+        once = rec.set(key, value)
+        assert once.set(key, value) == once
+
+    @given(st.dictionaries(st.text(max_size=4), st.integers(), min_size=1, max_size=5))
+    def test_update_with_self_is_identity(self, mapping):
+        rec = Rec(mapping)
+        assert rec.update(rec) == rec
+
+    @given(st.dictionaries(st.text(max_size=4), st.integers(), min_size=1, max_size=5))
+    def test_remove_then_set_roundtrip(self, mapping):
+        rec = Rec(mapping)
+        key = next(iter(mapping))
+        assert rec.remove(key).set(key, mapping[key]) == rec

@@ -1,0 +1,74 @@
+"""Tests for traces and violations."""
+
+import json
+
+from repro.core import Rec, Trace, TraceStep, Violation, bfs_explore
+
+from toy_specs import TokenRingSpec
+
+
+def make_trace():
+    s0 = Rec(x=0)
+    s1 = Rec(x=1)
+    s2 = Rec(x=2)
+    return Trace(
+        s0,
+        [
+            TraceStep("Inc", ("n1",), s1),
+            TraceStep("Inc", ("n2",), s2, branch="fast"),
+        ],
+    )
+
+
+class TestTrace:
+    def test_depth_and_iteration(self):
+        trace = make_trace()
+        assert trace.depth == len(trace) == 2
+        assert [s.action for s in trace] == ["Inc", "Inc"]
+
+    def test_states_includes_initial(self):
+        trace = make_trace()
+        states = list(trace.states())
+        assert len(states) == 3
+        assert states[0]["x"] == 0
+        assert states[-1]["x"] == 2
+
+    def test_final_state(self):
+        assert make_trace().final_state["x"] == 2
+        assert Trace(Rec(x=9)).final_state["x"] == 9
+
+    def test_extend_is_persistent(self):
+        trace = make_trace()
+        longer = trace.extend(TraceStep("Inc", ("n1",), Rec(x=3)))
+        assert trace.depth == 2
+        assert longer.depth == 3
+
+    def test_labels(self):
+        assert make_trace().labels() == ["Inc(n1)", "Inc(n2)"]
+
+    def test_json_serialization(self):
+        data = json.loads(make_trace().to_json())
+        assert data["initial"] == {"x": 0}
+        assert data["steps"][1]["branch"] == "fast"
+        assert data["steps"][1]["state"] == {"x": 2}
+
+    def test_summary_mentions_every_step(self):
+        summary = make_trace().summary()
+        assert "Inc(n1)" in summary
+        assert "Inc(n2)" in summary
+
+    def test_indexing(self):
+        assert make_trace()[0].action == "Inc"
+
+
+class TestViolation:
+    def test_describe_includes_invariant_and_depth(self):
+        result = bfs_explore(TokenRingSpec(n_nodes=3, buggy=True))
+        text = result.violation.describe()
+        assert "MutualExclusion" in text
+        assert "depth 2" in text
+
+    def test_violation_repr(self):
+        violation = Violation("Inv", make_trace())
+        assert "Inv" in repr(violation)
+        assert violation.depth == 2

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "no violation: True" in out
+    assert "MutualExclusion" in out
+    assert "canonical states" in out
+
+
+def test_figure_traces():
+    out = run_example("figure_traces.py")
+    assert "Figure 6" in out and "Figure 7" in out
+    assert out.count("CONFIRMED") == 2
+
+
+def test_constraint_ranking():
+    out = run_example("constraint_ranking.py")
+    assert "model check with" in out
+    assert out.count("== configuration") == 2
+
+
+@pytest.mark.slow
+def test_find_raft_bug():
+    out = run_example("find_raft_bug.py")
+    assert "CONFIRMED" in out
+    assert "model checking clean: True" in out
+
+
+@pytest.mark.slow
+def test_conformance_workflow():
+    out = run_example("conformance_workflow.py")
+    assert "discrepancy" in out
+    assert "conformance PASSED" in out

@@ -1,0 +1,152 @@
+"""Tests for the approximate liveness checking module (§3.1)."""
+
+from repro.core.liveness import (
+    LivenessProperty,
+    compare_progress,
+    entry_committed,
+    leader_elected,
+    measure_progress,
+    quorum_commit,
+)
+from repro.specs.raft import RaftConfig, RaftOSSpec, RaftSpec
+
+NODES = ("n1", "n2", "n3")
+
+#: generous budgets so progress is likely when the system is healthy
+CFG = RaftConfig(
+    nodes=NODES,
+    values=("v1",),
+    max_timeouts=5,
+    max_requests=2,
+    max_crashes=0,
+    max_restarts=0,
+    max_partitions=0,
+    max_drops=0,
+    max_dups=0,
+    max_buffer=5,
+    max_term=3,
+)
+
+
+class TestProperties:
+    def test_leader_elected_predicate(self):
+        prop = leader_elected(NODES)
+        spec = RaftSpec(CFG)
+        init = next(spec.init_states())
+        assert not prop.predicate(init)
+        led = init.set("role", init["role"].set("n1", "Leader"))
+        assert prop.predicate(led)
+
+    def test_quorum_commit_counts_majority(self):
+        prop = quorum_commit(NODES, 1)
+        spec = RaftSpec(CFG)
+        init = next(spec.init_states())
+        one = init.set("commitIndex", init["commitIndex"].set("n1", 1))
+        assert not prop.predicate(one)
+        two = one.set("commitIndex", one["commitIndex"].set("n2", 1))
+        assert prop.predicate(two)
+
+
+class TestMeasurement:
+    def test_healthy_raft_elects_leaders(self):
+        stats = measure_progress(
+            RaftSpec(CFG), leader_elected(NODES), n_walks=100, max_depth=30, seed=1
+        )
+        assert stats.rate > 0.5
+        assert "EventuallyLeaderElected" in stats.describe()
+
+    def test_healthy_raft_commits(self):
+        # A full replication chain is a rare event in uniform random
+        # walks (the reason the paper's BFS matters); a few percent of
+        # walks reach a commit under these budgets.
+        stats = measure_progress(
+            RaftSpec(CFG), entry_committed(NODES), n_walks=200, max_depth=50, seed=1
+        )
+        assert stats.rate > 0.01
+
+    def test_impossible_property_has_zero_rate_and_witness(self):
+        impossible = LivenessProperty("Never", lambda state: False)
+        stats = measure_progress(
+            RaftSpec(CFG), impossible, n_walks=30, max_depth=20, seed=0
+        )
+        assert stats.rate == 0.0
+        assert stats.failure_example is not None
+
+
+class TestRaftOS4Liveness:
+    """RaftOS#4 breaks the commitment scan; the paper reports the cluster
+    'fails to make progress'.  A deterministic scenario shows the loss:
+    a new leader inheriting an old-term entry can never commit anything
+    again, because the scan breaks at the inherited entry."""
+
+    CFG = RaftConfig(
+        nodes=("n1", "n2"),
+        values=("v1", "v2"),
+        max_timeouts=6,
+        max_requests=2,
+        max_crashes=0,
+        max_restarts=0,
+        max_partitions=0,
+        max_drops=1,
+        max_dups=0,
+        max_buffer=5,
+        max_term=3,
+    )
+
+    PICKS = [
+        ("ElectionTimeout", "n1"),       # n1 leads term 1
+        ("ReceiveMessage", "n1", "n2"),
+        ("ReceiveMessage", "n2", "n1"),
+        ("ClientRequest", "n1"),         # e1 at term 1
+        ("HeartbeatTimeout", "n1"),
+        lambda t: t.action == "ReceiveMessage"
+        and t.args[:2] == ("n1", "n2")
+        and t.args[2]["type"] == "AppendEntries"
+        and len(t.args[2]["entries"]) == 1,
+        ("DropMessage", "n2", "n1"),     # the ack is lost: e1 uncommitted
+        ("ElectionTimeout", "n2"),       # n2 leads term 2, inheriting e1
+        lambda t: t.action == "ReceiveMessage"
+        and t.args[:2] == ("n2", "n1")
+        and t.args[2]["type"] == "RequestVote",
+        lambda t: t.action == "ReceiveMessage"
+        and t.args[:2] == ("n1", "n2")
+        and t.args[2]["type"] == "RequestVoteResponse",
+        ("ClientRequest", "n2"),         # e2 at term 2
+        ("HeartbeatTimeout", "n2"),
+        lambda t: t.action == "ReceiveMessage"
+        and t.args[:2] == ("n2", "n1")
+        and t.args[2]["type"] == "AppendEntries"
+        and t.args[2]["entries"],
+        lambda t: t.action == "ReceiveMessage"
+        and t.args[:2] == ("n1", "n2")
+        and t.args[2]["type"] == "AppendEntriesResponse"
+        and t.args[2]["success"],
+    ]
+
+    def run(self, bugs):
+        from repro.core.guided import run_scenario
+
+        spec = RaftOSSpec(self.CFG, bugs=bugs, only_invariants=[])
+        return run_scenario(spec, self.PICKS, allow_ambiguous=True)
+
+    def test_fixed_leader_commits_inherited_entry(self):
+        result = self.run(bugs=())
+        assert result.final_state["commitIndex"]["n2"] == 2
+
+    def test_buggy_leader_never_commits(self):
+        result = self.run(bugs={"R4"})
+        assert result.final_state["commitIndex"]["n2"] == 0
+
+    def test_progress_rates_reflect_the_gap(self):
+        prop = quorum_commit(("n1", "n2"), 1)
+        fixed, buggy = compare_progress(
+            RaftOSSpec(self.CFG),
+            RaftOSSpec(self.CFG, bugs={"R4"}),
+            prop,
+            n_walks=250,
+            max_depth=40,
+            seed=2,
+        )
+        # Commits of current-term entries still happen in both; the
+        # buggy variant can only be worse, never better.
+        assert buggy.achieved <= fixed.achieved

@@ -1,0 +1,199 @@
+"""Tests for the reusable TCP/UDP specification network modules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Rec
+from repro.specs.network import TcpModel, UdpModel, bipartitions
+
+NODES = ("n1", "n2", "n3")
+
+
+def msg(tag):
+    return Rec(type="M", tag=tag)
+
+
+@pytest.fixture
+def tcp_state():
+    model = TcpModel(NODES)
+    return model, Rec(model.init_vars())
+
+
+@pytest.fixture
+def udp_state():
+    model = UdpModel(NODES)
+    return model, Rec(model.init_vars())
+
+
+class TestBipartitions:
+    def test_three_nodes(self):
+        splits = bipartitions(NODES)
+        assert len(splits) == 3  # {1}, {1,2}, {1,3}
+        assert all("n1" in group for group in splits)
+
+    def test_two_nodes(self):
+        assert bipartitions(("a", "b")) == [frozenset({"a"})]
+
+    def test_no_full_group(self):
+        for group in bipartitions(NODES):
+            assert 0 < len(group) < len(NODES)
+
+
+class TestTcpModel:
+    def test_kind(self):
+        assert TcpModel(NODES).kind == "tcp"
+
+    def test_send_appends_fifo(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n1", "n2", msg(2))
+        queue = state[model.MSGS][("n1", "n2")]
+        assert [m["tag"] for m in queue] == [1, 2]
+
+    def test_only_head_deliverable(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n1", "n2", msg(2))
+        deliverable = list(model.deliverable(state))
+        assert len(deliverable) == 1
+        assert deliverable[0][2]["tag"] == 1
+
+    def test_consume_pops_head(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n1", "n2", msg(2))
+        popped, state = model.consume(state, "n1", "n2")
+        assert popped["tag"] == 1
+        assert len(state[model.MSGS][("n1", "n2")]) == 1
+
+    def test_consume_empty_raises(self, tcp_state):
+        model, state = tcp_state
+        with pytest.raises(ValueError):
+            model.consume(state, "n1", "n2")
+
+    def test_partition_clears_crossing_queues(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n2", "n3", msg(2))
+        state = model.apply_partition(state, frozenset({"n1"}))
+        assert state[model.MSGS][("n1", "n2")] == ()
+        assert len(state[model.MSGS][("n2", "n3")]) == 1  # same side
+
+    def test_partition_blocks_sends(self, tcp_state):
+        model, state = tcp_state
+        state = model.apply_partition(state, frozenset({"n1"}))
+        state = model.send(state, "n1", "n2", msg(1))
+        assert state[model.MSGS][("n1", "n2")] == ()
+
+    def test_heal_restores_connectivity(self, tcp_state):
+        model, state = tcp_state
+        state = model.apply_partition(state, frozenset({"n1"}))
+        assert model.is_partitioned(state)
+        state = model.heal(state)
+        assert not model.is_partitioned(state)
+        state = model.send(state, "n1", "n2", msg(1))
+        assert len(state[model.MSGS][("n1", "n2")]) == 1
+
+    def test_clear_node_drops_both_directions(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n2", "n1", msg(2))
+        state = model.send(state, "n2", "n3", msg(3))
+        state = model.clear_node(state, "n1")
+        assert state[model.MSGS][("n1", "n2")] == ()
+        assert state[model.MSGS][("n2", "n1")] == ()
+        assert len(state[model.MSGS][("n2", "n3")]) == 1
+
+    def test_queue_metrics(self, tcp_state):
+        model, state = tcp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n1", "n2", msg(2))
+        state = model.send(state, "n3", "n2", msg(3))
+        assert model.max_queue_length(state) == 2
+        assert model.pending_count(state) == 3
+
+    @given(st.lists(st.integers(0, 5), min_size=0, max_size=8))
+    def test_fifo_order_preserved(self, tags):
+        model = TcpModel(NODES)
+        state = Rec(model.init_vars())
+        for tag in tags:
+            state = model.send(state, "n1", "n2", msg(tag))
+        received = []
+        while state[model.MSGS][("n1", "n2")]:
+            popped, state = model.consume(state, "n1", "n2")
+            received.append(popped["tag"])
+        assert received == tags
+
+
+class TestUdpModel:
+    def test_kind(self):
+        assert UdpModel(NODES).kind == "udp"
+
+    def test_all_messages_deliverable(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n1", "n2", msg(2))
+        deliverable = {m["tag"] for _, _, m in model.deliverable(state)}
+        assert deliverable == {1, 2}
+
+    def test_send_order_is_canonical(self, udp_state):
+        model, _ = udp_state
+        a = Rec(model.init_vars())
+        a = model.send(a, "n1", "n2", msg(1))
+        a = model.send(a, "n1", "n2", msg(2))
+        b = Rec(model.init_vars())
+        b = model.send(b, "n1", "n2", msg(2))
+        b = model.send(b, "n1", "n2", msg(1))
+        assert a == b  # multiset semantics: states identical
+
+    def test_consume_removes_one_occurrence(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.duplicate(state, "n1", "n2", msg(1))
+        state = model.consume(state, "n1", "n2", msg(1))
+        assert len(state[model.MSGS]) == 1
+
+    def test_duplicates_collapse_in_deliverable(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.duplicate(state, "n1", "n2", msg(1))
+        assert len(list(model.deliverable(state))) == 1
+
+    def test_drop(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.drop(state, "n1", "n2", msg(1))
+        assert state[model.MSGS] == ()
+
+    def test_drop_missing_raises(self, udp_state):
+        model, state = udp_state
+        with pytest.raises(ValueError):
+            model.drop(state, "n1", "n2", msg(9))
+
+    def test_partition_drops_crossing_datagrams(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        state = model.send(state, "n2", "n3", msg(2))
+        state = model.apply_partition(state, frozenset({"n1"}))
+        tags = {m["tag"] for _, _, m in state[model.MSGS]}
+        assert tags == {2}
+
+    def test_crash_keeps_datagrams_in_flight(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n1", "n2", msg(1))
+        assert model.clear_node(state, "n2") == state
+
+    def test_blocked_not_deliverable(self, udp_state):
+        model, state = udp_state
+        state = model.send(state, "n2", "n3", msg(1))
+        state = model.apply_partition(state, frozenset({"n1", "n2"}))
+        # n2->n3 crosses the partition: dropped by apply_partition
+        assert list(model.deliverable(state)) == []
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=6))
+    def test_pending_count_matches_sends(self, tags):
+        model = UdpModel(NODES)
+        state = Rec(model.init_vars())
+        for tag in tags:
+            state = model.send(state, "n1", "n3", msg(tag))
+        assert model.pending_count(state) == len(tags)

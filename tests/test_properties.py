@@ -1,0 +1,117 @@
+"""Property-based tests over random explorations of the system specs.
+
+Random walks with arbitrary seeds must never violate a safety property
+on a *correct* (bug-free) spec, and core structural invariants of the
+state representation must hold along any path.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import random
+
+from repro.core import random_walk
+from repro.specs.raft import (
+    LEADER,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+from repro.specs.zab import ZabConfig, ZabSpec
+
+CFG = RaftConfig(nodes=("n1", "n2", "n3"))
+
+SPEC_FACTORIES = {
+    "pysyncobj": lambda: PySyncObjSpec(CFG),
+    "wraft": lambda: WRaftSpec(CFG),
+    "raftos": lambda: RaftOSSpec(CFG),
+    "xraft": lambda: XraftSpec(CFG),
+    "xraft-kv": lambda: XraftKVSpec(CFG),
+    "zookeeper": lambda: ZabSpec(ZabConfig(nodes=("n1", "n2", "n3"))),
+}
+
+relaxed = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000), system=st.sampled_from(sorted(SPEC_FACTORIES)))
+def test_correct_specs_never_violate_safety(seed, system):
+    spec = SPEC_FACTORIES[system]()
+    walk = random_walk(spec, random.Random(seed), max_depth=25, check_invariants=True)
+    assert walk.violation is None, walk.violation and walk.violation.describe()
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_raft_structural_invariants_along_walks(seed):
+    """Invariants beyond the declared safety properties: log entries have
+    positive terms bounded by the highest current term, the commit index
+    never exceeds the log, and vote sets only contain cluster members."""
+    spec = PySyncObjSpec(CFG)
+    walk = random_walk(spec, random.Random(seed), max_depth=25, check_invariants=False)
+    nodes = set(CFG.nodes)
+    for state in walk.trace.states():
+        max_term = max(state["currentTerm"][n] for n in CFG.nodes)
+        for n in CFG.nodes:
+            log = state["log"][n]
+            assert state["commitIndex"][n] <= len(log)
+            assert all(0 < e["term"] <= max_term for e in log)
+            assert set(state["votesGranted"][n]) <= nodes
+            assert state["votedFor"][n] in nodes | {""}
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_leader_append_only_along_walks(seed):
+    """The Leader Append-Only property from the Raft paper: a leader
+    never overwrites or deletes entries in its own log."""
+    spec = PySyncObjSpec(CFG)
+    walk = random_walk(spec, random.Random(seed), max_depth=25, check_invariants=False)
+    previous = None
+    for state in walk.trace.states():
+        if previous is not None:
+            for n in CFG.nodes:
+                if previous["role"][n] == LEADER and state["role"][n] == LEADER:
+                    old = previous["log"][n]
+                    new = state["log"][n]
+                    assert new[: len(old)] == old
+        previous = state
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_udp_multiset_stays_canonical(seed):
+    """The WRaft spec's in-flight datagram multiset must remain sorted by
+    its canonical key at every state (state identity depends on it)."""
+    from repro.specs.network import _msg_key
+
+    spec = WRaftSpec(CFG)
+    walk = random_walk(spec, random.Random(seed), max_depth=20, check_invariants=False)
+    for state in walk.trace.states():
+        packets = state["netMsgs"]
+        keys = [_msg_key(p) for p in packets]
+        assert keys == sorted(keys)
+
+
+@relaxed
+@given(seed=st.integers(0, 10_000))
+def test_zab_committed_is_prefix_of_history(seed):
+    spec = ZabSpec(ZabConfig(nodes=("n1", "n2", "n3")))
+    walk = random_walk(spec, random.Random(seed), max_depth=25, check_invariants=False)
+    for state in walk.trace.states():
+        for n in ("n1", "n2", "n3"):
+            assert 0 <= state["lastCommitted"][n] <= len(state["history"][n])
+
+
+@relaxed
+@given(seed=st.integers(0, 2_000))
+def test_walks_are_reproducible(seed):
+    spec = XraftSpec(CFG)
+    a = random_walk(spec, random.Random(seed), max_depth=15, check_invariants=False)
+    b = random_walk(spec, random.Random(seed), max_depth=15, check_invariants=False)
+    assert a.trace.labels() == b.trace.labels()
+    assert a.trace.final_state == b.trace.final_state

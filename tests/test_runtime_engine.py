@@ -1,0 +1,227 @@
+"""Tests for the deterministic execution engine, clock and interceptor."""
+
+import pytest
+
+from repro.runtime import ExecutionEngine, LatencyModel, VirtualClock, commands as C
+from repro.runtime.engine import EngineError
+from repro.systems import PySyncObjNode, RaftOSNode, WRaftNode
+
+
+def tcp_engine(**kwargs):
+    return ExecutionEngine(PySyncObjNode, ("n1", "n2", "n3"), network_kind="tcp", **kwargs)
+
+
+def elect_n1(engine):
+    engine.execute(C.timeout("n1", "election"))
+    engine.execute(C.deliver("n1", "n2"))
+    engine.execute(C.deliver("n2", "n1"))
+
+
+class TestVirtualClock:
+    def test_reads_are_monotonic(self):
+        clock = VirtualClock(("n1",))
+        assert clock.now_ns("n1") < clock.now_ns("n1")
+
+    def test_engine_advancement(self):
+        clock = VirtualClock(("n1", "n2"))
+        clock.advance_ns("n1", 5_000)
+        assert clock.peek_ns("n1") == 5_000
+        assert clock.peek_ns("n2") == 0
+
+    def test_time_never_goes_backwards(self):
+        clock = VirtualClock(("n1",))
+        with pytest.raises(ValueError):
+            clock.advance_ns("n1", -1)
+
+    def test_read_counting(self):
+        clock = VirtualClock(("n1",))
+        clock.now_ns("n1")
+        clock.now_ns("n1")
+        assert clock.reads["n1"] == 2
+
+
+class TestDeterministicExecution:
+    def test_same_commands_same_state(self):
+        script = [
+            C.timeout("n1", "election"),
+            C.deliver("n1", "n2"),
+            C.deliver("n2", "n1"),
+            C.client("n1", {"op": "put", "value": "v1"}),
+            C.timeout("n1", "heartbeat"),
+            C.deliver("n1", "n2"),
+        ]
+        a = tcp_engine()
+        b = tcp_engine()
+        a.run(script)
+        b.run(script)
+        assert a.frozen_cluster_state() == b.frozen_cluster_state()
+
+    def test_election_through_commands(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        state = engine.cluster_state()
+        assert state["nodes"]["n1"]["role"] == "Leader"
+        assert state["nodes"]["n2"]["votedFor"] == "n1"
+
+    def test_replication_and_commit(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        engine.execute(C.deliver("n1", "n2"))  # initial empty AE
+        engine.execute(C.deliver("n2", "n1"))
+        engine.execute(C.client("n1", {"op": "put", "value": "v1"}))
+        engine.execute(C.timeout("n1", "heartbeat"))
+        engine.execute(C.deliver("n1", "n2"))
+        engine.execute(C.deliver("n2", "n1"))
+        state = engine.cluster_state()
+        assert state["nodes"]["n1"]["commitIndex"] == 1
+        assert state["nodes"]["n2"]["log"][0]["val"] == "v1"
+
+
+class TestCommandGuards:
+    def test_timeout_requires_armed_timer(self):
+        engine = tcp_engine()
+        # heartbeat timers are only armed on leaders
+        with pytest.raises(EngineError):
+            engine.execute(C.timeout("n1", "heartbeat"))
+
+    def test_deliver_requires_pending_message(self):
+        engine = tcp_engine()
+        with pytest.raises(EngineError):
+            engine.execute(C.deliver("n1", "n2"))
+
+    def test_commands_to_dead_nodes_rejected(self):
+        engine = tcp_engine()
+        engine.execute(C.crash("n2"))
+        with pytest.raises(EngineError):
+            engine.execute(C.timeout("n2", "election"))
+        with pytest.raises(EngineError):
+            engine.execute(C.crash("n2"))
+
+    def test_double_restart_rejected(self):
+        engine = tcp_engine()
+        engine.execute(C.crash("n2"))
+        engine.execute(C.restart("n2"))
+        with pytest.raises(EngineError):
+            engine.execute(C.restart("n2"))
+
+    def test_unknown_command_rejected(self):
+        engine = tcp_engine()
+        with pytest.raises(EngineError):
+            engine.execute(C.Command("teleport"))
+
+
+class TestCrashSemantics:
+    def test_crash_loses_volatile_keeps_persistent(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        engine.execute(C.crash("n1"))
+        assert engine.cluster_state()["nodes"]["n1"] is None
+        engine.execute(C.restart("n1"))
+        state = engine.cluster_state()["nodes"]["n1"]
+        assert state["role"] == "Follower"  # volatile reset
+        assert state["currentTerm"] == 1  # persisted
+        assert state["votedFor"] == "n1"  # persisted
+
+    def test_crash_breaks_tcp_connections(self):
+        engine = tcp_engine()
+        engine.execute(C.timeout("n1", "election"))  # RV messages queued
+        engine.execute(C.crash("n2"))
+        assert engine.proxy.pending("n1", "n2") == 0
+
+    def test_handler_exception_is_a_crash(self):
+        engine = ExecutionEngine(
+            RaftOSNode, ("n1", "n2"), network_kind="udp", bugs=("R3",)
+        )
+        engine.execute(C.timeout("n1", "election"))
+        engine.execute(C.deliver("n1", "n2"))  # RequestVote, n2 grants
+        engine.execute(C.deliver("n2", "n1"))  # n1 leads
+        # n1 sends an AE; n2 acks; crash n1's leadership so the response
+        # arrives at a non-leader (R3's KeyError path).
+        engine.execute(C.deliver("n1", "n2"))  # initial AE
+        engine.execute(C.crash("n1"))
+        engine.execute(C.restart("n1"))  # follower now
+        result = engine.execute(C.deliver("n2", "n1"))  # stale AER
+        assert result.crashed
+        assert not engine.hosts["n1"].alive
+        assert engine.crashes
+
+
+class TestPersistenceAndLogs:
+    def test_fsync_counted(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        assert engine.hosts["n1"].interceptor.syscalls["fsync"] > 0
+
+    def test_log_lines_parseable(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        role = engine.hosts["n1"].interceptor.last_logged(r"role=(\w+) term=(\d+)")
+        assert role == ("Leader", "1")
+
+    def test_log_lines_cleared_on_crash(self):
+        engine = tcp_engine()
+        elect_n1(engine)
+        engine.execute(C.crash("n1"))
+        assert engine.hosts["n1"].interceptor.log_lines == []
+
+
+class TestLatencyModel:
+    def test_simulated_time_accumulates(self):
+        latency = LatencyModel(init_seconds=2.0, event_seconds=0.5)
+        engine = tcp_engine(latency=latency)
+        assert engine.sim_seconds == 2.0
+        engine.execute(C.timeout("n1", "election"))
+        engine.execute(C.deliver("n1", "n2"))
+        assert engine.sim_seconds == 3.0
+
+    def test_trace_cost_prediction(self):
+        latency = LatencyModel(init_seconds=1.0, event_seconds=0.02)
+        assert latency.trace_seconds(40) == pytest.approx(1.8)
+
+    def test_presets_match_table4_shape(self):
+        from repro.runtime.latency import PRESETS
+
+        fast = PRESETS["pysyncobj"].trace_seconds(40)
+        slow = PRESETS["zookeeper"].trace_seconds(46)
+        assert fast == pytest.approx(1.8, rel=0.05)
+        assert slow == pytest.approx(28.44, rel=0.05)
+        assert slow / fast > 10
+
+
+class TestUdpEngine:
+    def test_selective_delivery(self):
+        engine = ExecutionEngine(WRaftNode, ("n1", "n2", "n3"), network_kind="udp")
+        engine.execute(C.timeout("n1", "election"))
+        # two RequestVotes in flight; deliver the n3 one while n2's waits
+        engine.execute(C.deliver("n1", "n3"))
+        assert engine.proxy.pending("n1", "n2") == 1
+
+    def test_drop_and_duplicate_commands(self):
+        engine = ExecutionEngine(WRaftNode, ("n1", "n2", "n3"), network_kind="udp")
+        engine.execute(C.timeout("n1", "election"))
+        engine.execute(C.duplicate("n1", "n2"))
+        assert engine.proxy.pending("n1", "n2") == 2
+        engine.execute(C.drop("n1", "n2"))
+        assert engine.proxy.pending("n1", "n2") == 1
+
+    def test_compaction_command(self):
+        engine = ExecutionEngine(WRaftNode, ("n1", "n2"), network_kind="udp")
+        engine.execute(C.timeout("n1", "election"))
+        engine.execute(C.deliver("n1", "n2"))
+        engine.execute(C.deliver("n2", "n1"))  # n1 leads
+        engine.execute(C.client("n1", {"op": "put", "value": "v1"}))
+        engine.execute(C.timeout("n1", "heartbeat"))
+        for _ in range(2):  # initial AE + entry AE, any order
+            pass
+        # deliver both AEs and their responses
+        engine.execute(C.deliver("n1", "n2"))
+        engine.execute(C.deliver("n1", "n2"))
+        engine.execute(C.deliver("n2", "n1"))
+        engine.execute(C.deliver("n2", "n1"))
+        state = engine.cluster_state()["nodes"]["n1"]
+        assert state["commitIndex"] == 1
+        result = engine.execute(C.compact("n1"))
+        assert result.detail is True
+        state = engine.cluster_state()["nodes"]["n1"]
+        assert state["snapshotIndex"] == 1
+        assert state["log"] == ()

@@ -1,0 +1,94 @@
+"""Tests for the §5.3 latency model and command descriptions."""
+
+import time
+
+import pytest
+
+from repro.runtime import LatencyModel, PRESETS, commands as C, preset_for
+
+
+class TestLatencyModel:
+    def test_default_is_free(self):
+        model = LatencyModel()
+        assert model.charge_init() == 0.0
+        assert model.charge_event() == 0.0
+
+    def test_charges_return_configured_costs(self):
+        model = LatencyModel(init_seconds=2.5, event_seconds=0.25)
+        assert model.charge_init() == 2.5
+        assert model.charge_event() == 0.25
+
+    def test_trace_prediction_linear(self):
+        model = LatencyModel(init_seconds=1.0, event_seconds=0.1)
+        assert model.trace_seconds(0) == 1.0
+        assert model.trace_seconds(10) == pytest.approx(2.0)
+
+    def test_sleep_scale_actually_sleeps(self):
+        model = LatencyModel(init_seconds=0.2, sleep_scale=0.1)
+        started = time.monotonic()
+        model.charge_init()
+        assert time.monotonic() - started >= 0.015
+
+    def test_no_sleep_without_scale(self):
+        model = LatencyModel(init_seconds=100.0)
+        started = time.monotonic()
+        model.charge_init()
+        assert time.monotonic() - started < 0.05
+
+
+class TestPresets:
+    def test_all_eight_systems(self):
+        assert set(PRESETS) == {
+            "pysyncobj",
+            "wraft",
+            "redisraft",
+            "daosraft",
+            "raftos",
+            "xraft",
+            "xraft-kv",
+            "zookeeper",
+        }
+
+    def test_preset_for(self):
+        assert preset_for("raftos") is PRESETS["raftos"]
+        with pytest.raises(KeyError):
+            preset_for("etcd")
+
+    @pytest.mark.parametrize(
+        "system,depth,paper_ms",
+        [
+            ("pysyncobj", 40, 1798.53),
+            ("wraft", 47, 2496.53),
+            ("redisraft", 45, 1802.40),
+            ("daosraft", 48, 2115.82),
+            ("raftos", 31, 4813.74),
+            ("xraft", 38, 24338.57),
+            ("xraft-kv", 35, 24032.17),
+            ("zookeeper", 46, 28441.65),
+        ],
+    )
+    def test_calibration_against_table4(self, system, depth, paper_ms):
+        predicted = preset_for(system).trace_seconds(depth) * 1000
+        assert predicted == pytest.approx(paper_ms, rel=0.06)
+
+
+class TestCommandDescriptions:
+    @pytest.mark.parametrize(
+        "command,expected",
+        [
+            (C.deliver("n1", "n2"), "deliver n1->n2"),
+            (C.timeout("n1", "election"), "timeout n1 election"),
+            (C.crash("n2"), "crash n2"),
+            (C.restart("n2"), "restart n2"),
+            (C.partition(("n1", "n3")), "partition n1|n3"),
+            (C.heal(), "heal"),
+            (C.drop("n1", "n2"), "drop n1->n2"),
+            (C.duplicate("n1", "n2"), "duplicate n1->n2"),
+            (C.compact("n3"), "compact n3"),
+        ],
+    )
+    def test_describe(self, command, expected):
+        assert command.describe() == expected
+
+    def test_client_describe_includes_op(self):
+        assert "put" in C.client("n1", {"op": "put", "value": "v"}).describe()

@@ -1,0 +1,146 @@
+"""Tests for the transparent network proxy (§A.2, §A.3)."""
+
+import pytest
+
+from repro.core.state import Rec
+from repro.runtime.proxy import NetworkProxy, ProxyError
+from repro.runtime.wire import encode_payload
+
+NODES = ("n1", "n2", "n3")
+
+
+def frame(tag):
+    return encode_payload({"type": "M", "tag": tag})
+
+
+class TestTcpProxy:
+    def test_fifo_head_only(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.enqueue("n1", "n2", frame(2))
+        available = proxy.deliverable()
+        assert len(available) == 1
+        taken = proxy.deliver("n1", "n2")
+        assert taken == frame(1)
+
+    def test_deliver_empty_raises(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        with pytest.raises(ProxyError):
+            proxy.deliver("n1", "n2")
+
+    def test_tcp_delivery_must_take_head(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.enqueue("n1", "n2", frame(2))
+        with pytest.raises(ProxyError):
+            proxy.deliver("n1", "n2", frame(2))
+
+    def test_partition_clears_and_blocks(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.partition(("n1",))
+        assert proxy.pending("n1", "n2") == 0
+        assert not proxy.enqueue("n1", "n2", frame(2))
+        assert proxy.is_partitioned()
+
+    def test_heal_restores(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.partition(("n1",))
+        proxy.heal()
+        assert proxy.enqueue("n1", "n2", frame(1))
+
+    def test_down_node_refuses_connections(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.mark_down("n2")
+        assert proxy.pending("n1", "n2") == 0
+        assert not proxy.enqueue("n1", "n2", frame(2))
+        proxy.mark_up("n2")
+        assert proxy.enqueue("n1", "n2", frame(3))
+
+    def test_tcp_rejects_udp_failures(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", frame(1))
+        with pytest.raises(ProxyError):
+            proxy.drop("n1", "n2")
+        with pytest.raises(ProxyError):
+            proxy.duplicate("n1", "n2")
+
+    def test_partition_needs_two_sides(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        with pytest.raises(ProxyError):
+            proxy.partition(NODES)
+
+    def test_snapshot_matches_spec_shape(self):
+        proxy = NetworkProxy(NODES, kind="tcp")
+        proxy.enqueue("n1", "n2", encode_payload({"type": "M", "entries": [{"term": 1, "val": "v"}]}))
+        snap = proxy.snapshot()
+        assert isinstance(snap["netMsgs"], Rec)
+        message = snap["netMsgs"][("n1", "n2")][0]
+        assert message["entries"][0]["term"] == 1
+        assert snap["netDisconnected"] == frozenset()
+
+
+class TestUdpProxy:
+    def test_all_datagrams_deliverable(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.enqueue("n1", "n2", frame(2))
+        assert len(proxy.deliverable()) == 2
+
+    def test_out_of_order_delivery(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.enqueue("n1", "n2", frame(2))
+        taken = proxy.deliver("n1", "n2", frame(2))
+        assert taken == frame(2)
+        assert proxy.pending("n1", "n2") == 1
+
+    def test_drop_and_duplicate(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.duplicate("n1", "n2", frame(1))
+        assert proxy.pending("n1", "n2") == 2
+        proxy.drop("n1", "n2", frame(1))
+        assert proxy.pending("n1", "n2") == 1
+
+    def test_drop_missing_raises(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        with pytest.raises(ProxyError):
+            proxy.drop("n1", "n2", frame(9))
+
+    def test_crash_keeps_datagrams(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.mark_down("n2")
+        assert proxy.pending("n1", "n2") == 1  # delivered after restart
+
+    def test_udp_sends_to_down_node_buffered(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.mark_down("n2")
+        assert proxy.enqueue("n1", "n2", frame(1))
+
+    def test_snapshot_sorted_multiset(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(2))
+        proxy.enqueue("n1", "n2", frame(1))
+        snap = proxy.snapshot()
+        # Matches the spec UDP module: a canonically sorted tuple.
+        tags = [m["tag"] for _, _, m in snap["netMsgs"]]
+        assert tags == sorted(tags)
+
+    def test_counters(self):
+        proxy = NetworkProxy(NODES, kind="udp")
+        proxy.enqueue("n1", "n2", frame(1))
+        proxy.duplicate("n1", "n2")
+        proxy.deliver("n1", "n2")
+        proxy.drop("n1", "n2")
+        assert proxy.duplicated == 1
+        assert proxy.delivered == 1
+        assert proxy.dropped == 1
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkProxy(NODES, kind="carrier-pigeon")

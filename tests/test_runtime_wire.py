@@ -1,0 +1,66 @@
+"""Tests for wire framing (the interceptor's message-boundary header)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.wire import Frame, WireError, decode_payload, encode_payload
+
+
+class TestFraming:
+    def test_roundtrip_dict(self):
+        payload = {"type": "AppendEntries", "term": 3, "entries": [{"term": 1, "val": "v"}]}
+        decoded = decode_payload(encode_payload(payload))
+        assert decoded["type"] == "AppendEntries"
+        assert decoded["term"] == 3
+        assert decoded["entries"] == ({"term": 1, "val": "v"},)
+
+    def test_lists_become_tuples(self):
+        assert decode_payload(encode_payload({"zxid": [1, 2]}))["zxid"] == (1, 2)
+
+    def test_tuples_survive_roundtrip(self):
+        assert decode_payload(encode_payload({"zxid": (1, 2)}))["zxid"] == (1, 2)
+
+    def test_header_carries_length(self):
+        frame = encode_payload({"a": 1})
+        assert len(frame.data) >= 4
+        assert int.from_bytes(frame.data[:4], "big") == len(frame.data) - 4
+
+    def test_equal_payloads_equal_frames(self):
+        # Canonical JSON: key order does not matter.
+        a = encode_payload({"x": 1, "y": 2})
+        b = encode_payload({"y": 2, "x": 1})
+        assert a == b
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(WireError):
+            decode_payload(Frame(b"\x00\x00"))
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_payload({"a": 1})
+        with pytest.raises(WireError):
+            decode_payload(Frame(frame.data[:-1]))
+
+    def test_garbage_body_rejected(self):
+        with pytest.raises(WireError):
+            decode_payload(Frame(b"\x00\x00\x00\x03abc"))
+
+    def test_bools_survive(self):
+        decoded = decode_payload(encode_payload({"granted": True, "prevote": False}))
+        assert decoded["granted"] is True
+        assert decoded["prevote"] is False
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6),
+            st.recursive(
+                st.one_of(st.integers(-5, 5), st.text(max_size=4), st.booleans(), st.none()),
+                lambda c: st.lists(c, max_size=3),
+                max_leaves=8,
+            ),
+            max_size=5,
+        )
+    )
+    def test_roundtrip_property(self, payload):
+        decoded = decode_payload(encode_payload(payload))
+        reencoded = encode_payload(decoded)
+        assert reencoded == encode_payload(payload)

@@ -1,0 +1,132 @@
+"""The paper's timing diagrams as executable scenarios (Figures 6 & 7)."""
+
+import pytest
+
+from repro.bugs.scenarios import (
+    FIG6_CONFIG,
+    FIG7_CONFIG,
+    fig6_picks,
+    fig7_picks,
+    run_fig6,
+    run_fig7,
+    run_zk1,
+    wraft3_picks,
+    zk1_picks,
+)
+from repro.core.guided import ScenarioError, run_scenario
+from repro.specs.raft import PySyncObjSpec, WRaftSpec
+
+
+class TestFigure6:
+    def test_p4_match_index_regresses(self):
+        result = run_fig6("P4")
+        assert result.found_violation
+        assert result.violation.invariant == "MatchIndexMonotonic"
+
+    def test_p3_next_at_or_below_match(self):
+        result = run_fig6("P3")
+        assert result.found_violation
+        assert result.violation.invariant == "NextIndexAboveMatchIndex"
+
+    def test_match_index_sequence_matches_figure(self):
+        """The figure's essence: match rises via the empty AE's response
+        then falls via the buggy entries response."""
+        spec = PySyncObjSpec(FIG6_CONFIG, bugs={"P4"}, only_invariants=[])
+        result = run_scenario(spec, fig6_picks(), allow_ambiguous=True)
+        matches = [s["matchIndex"]["n1"]["n2"] for s in result.trace.states()]
+        assert matches[-2] == 1  # after AER2
+        assert matches[-1] == 0  # after the buggy AER3
+
+    def test_fixed_spec_rejects_final_regression(self):
+        """Without the bug the same interleaving cannot even be driven:
+        the follower's hints differ, so the scenario diverges."""
+        spec = PySyncObjSpec(FIG6_CONFIG, bugs=(), only_invariants=[])
+        result = run_scenario(spec, fig6_picks(), allow_ambiguous=True)
+        matches = [s["matchIndex"]["n1"]["n2"] for s in result.trace.states()]
+        assert matches[-1] >= matches[-2]  # monotone when fixed
+
+    def test_depth_matches_paper_scale(self):
+        # Paper: depth 25 with two more entries; our one-entry variant: 20.
+        assert len(fig6_picks()) == 20
+
+
+class TestFigure7:
+    def test_w1_w2_commit_conflicting_entries(self):
+        result = run_fig7()
+        assert result.found_violation
+        assert result.violation.invariant == "CommittedLogConsistency"
+
+    def test_final_state_matches_figure(self):
+        result = run_fig7()
+        state = result.final_state
+        # A compacted e2 at index 1 (term 2); C committed e1 (term 1).
+        assert state["snapshotIndex"]["n1"] == 1
+        assert state["snapshotTerm"]["n1"] == 2
+        assert state["commitIndex"]["n1"] == 1
+        assert state["commitIndex"]["n3"] == 1
+        assert state["log"]["n3"][0]["term"] == 1
+
+    def test_w2_alone_sends_append_but_no_commit_violation(self):
+        """Without W1 the follower accepts the AppendEntries but does not
+        advance its commit over the unsent entry."""
+        result = run_fig7(bugs=("W2",))
+        assert not result.found_violation
+        assert result.final_state["commitIndex"]["n3"] == 0
+
+    def test_fixed_leader_sends_snapshot(self):
+        spec = WRaftSpec(FIG7_CONFIG, bugs=(), only_invariants=[])
+        picks = fig7_picks()[:-1]  # up to the post-heal heartbeat
+        result = run_scenario(spec, picks, allow_ambiguous=True)
+        in_flight = [m["type"] for _, dst, m in result.final_state["netMsgs"] if dst == "n3"]
+        assert "InstallSnapshot" in in_flight
+
+    def test_wraft3_scenario_reaches_snapshot_delivery(self):
+        spec = WRaftSpec(FIG7_CONFIG, bugs=(), only_invariants=[])
+        result = run_scenario(spec, wraft3_picks(), allow_ambiguous=True)
+        # The correct spec installs the snapshot: C's log is truncated
+        # and its snapshot matches the leader's.
+        state = result.final_state
+        assert state["snapshotIndex"]["n3"] == 1
+        assert state["snapshotTerm"]["n3"] == 2
+
+
+class TestZooKeeper1:
+    def test_vote_total_order_violated(self):
+        result = run_zk1()
+        assert result.found_violation
+        assert result.violation.invariant == "VoteTotalOrder"
+
+    def test_two_votes_differ_only_in_epoch(self):
+        result = run_zk1()
+        state = result.final_state
+        stale = state["currentVote"]["n1"]
+        fresh = state["currentVote"]["n3"]
+        assert stale["leader"] == fresh["leader"] == "n3"
+        assert stale["zxid"] == fresh["zxid"]
+        assert stale["epoch"] != fresh["epoch"]
+
+    def test_depth_is_nine(self):
+        assert len(zk1_picks()) == 9
+
+
+class TestScenarioDriver:
+    def test_unmatched_pick_raises(self):
+        spec = PySyncObjSpec(FIG6_CONFIG)
+        with pytest.raises(ScenarioError):
+            run_scenario(spec, [("NodeCrash", "n1")])  # crashes disabled
+
+    def test_ambiguous_pick_raises_without_flag(self):
+        spec = PySyncObjSpec(FIG6_CONFIG)
+        with pytest.raises(ScenarioError):
+            run_scenario(spec, ["ElectionTimeout"])  # three nodes match
+
+    def test_callable_picks(self):
+        spec = PySyncObjSpec(FIG6_CONFIG)
+        result = run_scenario(
+            spec, [lambda t: t.action == "ElectionTimeout" and t.args[0] == "n2"]
+        )
+        assert result.trace.steps[0].args == ("n2",)
+
+    def test_stops_at_first_violation(self):
+        result = run_fig6("P4")
+        assert result.trace.depth <= len(fig6_picks())

@@ -1,0 +1,126 @@
+"""Direct tests of the ZooKeeper implementation."""
+
+from repro.runtime import ExecutionEngine, commands as C
+from repro.systems import ZooKeeperNode
+
+NODES = ("n1", "n2", "n3")
+
+
+def make_engine(bugs=()):
+    return ExecutionEngine(ZooKeeperNode, NODES, network_kind="tcp", bugs=bugs)
+
+
+def node_state(engine, node):
+    return engine.cluster_state()["nodes"][node]
+
+
+def elect_n3(engine):
+    engine.execute(C.timeout("n3", "election"))
+    engine.execute(C.deliver("n3", "n1"))  # n1 adopts + follows
+    engine.execute(C.deliver("n1", "n3"))  # n3 sees quorum -> LEADING
+
+
+def full_sync(engine):
+    elect_n3(engine)
+    engine.execute(C.deliver("n1", "n3"))  # FOLLOWERINFO
+    engine.execute(C.deliver("n3", "n1"))  # LEADERINFO
+    engine.execute(C.deliver("n1", "n3"))  # ACKEPOCH
+    engine.execute(C.deliver("n3", "n1"))  # NEWLEADER
+    engine.execute(C.deliver("n1", "n3"))  # ACKLD -> BROADCAST
+
+
+class TestElection:
+    def test_looking_round_broadcasts(self):
+        engine = make_engine()
+        engine.execute(C.timeout("n2", "election"))
+        state = node_state(engine, "n2")
+        assert state["zbRole"] == "LOOKING"
+        assert state["logicalClock"] == 1
+        assert engine.proxy.pending("n2", "n1") == 1
+        assert engine.proxy.pending("n2", "n3") == 1
+
+    def test_leader_elected(self):
+        engine = make_engine()
+        elect_n3(engine)
+        assert node_state(engine, "n3")["zbRole"] == "LEADING"
+        assert node_state(engine, "n1")["zbRole"] == "FOLLOWING"
+        assert node_state(engine, "n1")["leaderOf"] == "n3"
+
+    def test_leader_bumps_accepted_epoch(self):
+        engine = make_engine()
+        elect_n3(engine)
+        assert node_state(engine, "n3")["acceptedEpoch"] == 1
+
+
+class TestSyncAndBroadcast:
+    def test_full_round_to_broadcast(self):
+        engine = make_engine()
+        full_sync(engine)
+        assert node_state(engine, "n3")["phase"] == "BROADCAST"
+        assert node_state(engine, "n3")["currentEpoch"] == 1
+        assert node_state(engine, "n1")["currentEpoch"] == 1
+
+    def test_commit_roundtrip(self):
+        engine = make_engine()
+        full_sync(engine)
+        result = engine.execute(C.client("n3", {"op": "put", "value": "v1"}))
+        assert result.detail["ok"]
+        engine.execute(C.deliver("n3", "n1"))  # UPTODATE
+        engine.execute(C.deliver("n3", "n1"))  # PROPOSE
+        engine.execute(C.deliver("n1", "n3"))  # ACK -> commit
+        assert node_state(engine, "n3")["lastCommitted"] == 1
+        engine.execute(C.deliver("n3", "n1"))  # COMMIT
+        assert node_state(engine, "n1")["lastCommitted"] == 1
+
+    def test_request_refused_outside_broadcast(self):
+        engine = make_engine()
+        elect_n3(engine)
+        result = engine.execute(C.client("n3", {"op": "put", "value": "v1"}))
+        assert result.detail["ok"] is False
+
+
+class TestDurability:
+    def test_history_survives_crash(self):
+        engine = make_engine()
+        full_sync(engine)
+        engine.execute(C.client("n3", {"op": "put", "value": "v1"}))
+        engine.execute(C.crash("n3"))
+        engine.execute(C.restart("n3"))
+        state = node_state(engine, "n3")
+        assert state["zbRole"] == "LOOKING"
+        assert len(state["history"]) == 1
+        assert state["currentEpoch"] == 1
+        assert state["logicalClock"] == 0  # volatile
+
+    def test_restarted_node_votes_with_current_epoch(self):
+        engine = make_engine()
+        full_sync(engine)
+        engine.execute(C.crash("n3"))
+        engine.execute(C.restart("n3"))
+        engine.execute(C.timeout("n3", "election"))
+        vote = node_state(engine, "n3")["currentVote"]
+        assert vote["epoch"] == 1
+
+
+class TestComparatorWiring:
+    def test_zk1_changes_adoption(self):
+        # Two nodes with equal zxid but different epochs: the fixed
+        # comparator prefers the higher epoch, the buggy one treats the
+        # votes as unordered and keeps the current vote.
+        buggy = ZooKeeperNode.__new__(ZooKeeperNode)
+        buggy.bugs = frozenset({"ZK1"})
+        fixed = ZooKeeperNode.__new__(ZooKeeperNode)
+        fixed.bugs = frozenset()
+        high = {"leader": "n2", "zxid": (0, 0), "epoch": 1, "round": 1}
+        low = {"leader": "n2", "zxid": (0, 0), "epoch": 0, "round": 1}
+        assert fixed._beats(high, low)
+        assert not buggy._beats(high, low)
+        assert not buggy._beats(low, high)
+
+    def test_unknown_message_rejected(self):
+        engine = make_engine()
+        from repro.runtime.wire import encode_payload
+
+        engine.proxy.enqueue("n1", "n2", encode_payload({"type": "Gossip"}))
+        result = engine.execute(C.deliver("n1", "n2"))
+        assert result.crashed  # unknown messages abort the process

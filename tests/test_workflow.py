@@ -1,0 +1,123 @@
+"""Tests for the end-to-end SandTable workflow driver (Figure 1)."""
+
+from repro.specs.raft import RaftConfig, RaftOSSpec, XraftSpec
+from repro.workflow import run_workflow
+
+NODES = ("n1", "n2")
+
+CONSTRAINTS = [
+    {"max_timeouts": 3, "max_requests": 1, "max_partitions": 1, "max_buffer": 4},
+    {"max_timeouts": 2, "max_requests": 1, "max_partitions": 0, "max_buffer": 3},
+]
+
+
+def raftos_factory(bugs):
+    def build(constraint):
+        return RaftOSSpec(
+            RaftConfig(
+                nodes=NODES,
+                values=("v1",),
+                max_crashes=0,
+                max_restarts=0,
+                max_drops=1,
+                max_dups=1,
+                max_term=2,
+                **constraint,
+            ),
+            bugs=bugs,
+        )
+
+    return build
+
+
+class TestHealthySystem:
+    def test_clean_run(self):
+        result = run_workflow(
+            "raftos",
+            raftos_factory(()),
+            CONSTRAINTS,
+            conformance_quiet=2.0,
+            conformance_traces=40,
+            max_states=30_000,
+            time_budget=30.0,
+        )
+        assert result.passed_conformance
+        assert result.ranking is not None
+        assert len(result.checks) == 2
+        assert result.confirmed_bugs == []
+        assert "clean" in result.summary()
+
+    def test_constraints_ranked(self):
+        result = run_workflow(
+            "raftos",
+            raftos_factory(()),
+            CONSTRAINTS,
+            conformance_quiet=1.0,
+            conformance_traces=20,
+            max_states=10_000,
+            time_budget=20.0,
+        )
+        coverages = [s.branch_coverage for s in result.ranking.scores]
+        assert coverages == sorted(coverages, reverse=True)
+
+
+class TestBuggySystem:
+    def test_bug_found_and_confirmed(self):
+        result = run_workflow(
+            "raftos",
+            raftos_factory(("R1",)),
+            CONSTRAINTS,
+            conformance_quiet=2.0,
+            conformance_traces=40,
+            max_states=150_000,
+            time_budget=90.0,
+        )
+        assert result.passed_conformance  # bug seeded in both levels
+        assert result.confirmed_bugs, result.summary()
+        outcome = result.confirmed_bugs[0]
+        assert outcome.exploration.violation.invariant == "MatchIndexMonotonic"
+        assert "CONFIRMED" in result.summary()
+
+    def test_bug_reports_render(self):
+        result = run_workflow(
+            "raftos",
+            raftos_factory(("R1",)),
+            CONSTRAINTS,
+            conformance_quiet=1.0,
+            conformance_traces=20,
+            max_states=150_000,
+            time_budget=90.0,
+        )
+        reports = result.bug_reports(
+            consequence="Match index is not monotonic", watch=("matchIndex",)
+        )
+        assert reports
+        text = reports[0].to_markdown()
+        assert "MatchIndexMonotonic" in text
+        assert "confirmed by deterministic replay" in text
+
+
+class TestDivergentImplementation:
+    def test_workflow_stops_at_conformance(self):
+        def xraft_factory(constraint):
+            return XraftSpec(
+                RaftConfig(nodes=("n1", "n2", "n3"), **constraint)
+            )
+
+        # X2 needs a second client request while one is replicating, so
+        # the conformance constraint must allow several requests.
+        constraints = [
+            {"max_timeouts": 4, "max_requests": 3, "max_partitions": 0, "max_buffer": 5},
+        ]
+        result = run_workflow(
+            "xraft",
+            xraft_factory,
+            constraints,
+            impl_bugs=("X2",),  # implementation-only crash
+            conformance_quiet=20.0,
+            conformance_traces=300,
+            seed=3,
+        )
+        assert not result.passed_conformance
+        assert result.checks == []
+        assert "FAILED" in result.summary()

@@ -1,0 +1,280 @@
+"""Behavioral tests for the ZooKeeper/ZAB specification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import bfs_explore
+from repro.specs.zab import (
+    BROADCAST,
+    FOLLOWING,
+    LEADING,
+    LOOKING,
+    ZabConfig,
+    ZabSpec,
+    make_vote,
+    vote_beats,
+)
+
+from helpers import drive
+
+NODES = ("n1", "n2", "n3")
+
+
+def make_spec(bugs=(), **cfg):
+    defaults = dict(nodes=NODES)
+    defaults.update(cfg)
+    return ZabSpec(ZabConfig(**defaults), bugs=bugs)
+
+
+ELECT_N3 = [
+    ("ElectionTimeout", "n3"),
+    ("ReceiveMessage", "n3", "n1"),  # n1 adopts and follows
+    ("ReceiveMessage", "n1", "n3"),  # n3 sees quorum -> LEADING
+]
+
+FULL_SYNC = ELECT_N3 + [
+    ("ReceiveMessage", "n1", "n3"),  # FOLLOWERINFO
+    ("ReceiveMessage", "n3", "n1"),  # LEADERINFO
+    ("ReceiveMessage", "n1", "n3"),  # ACKEPOCH
+    ("ReceiveMessage", "n3", "n1"),  # NEWLEADER
+    ("ReceiveMessage", "n1", "n3"),  # ACKLD -> BROADCAST
+]
+
+
+class TestVoteComparator:
+    def test_epoch_dominates(self):
+        new = make_vote("n1", (1, 5), 2, 1)
+        cur = make_vote("n3", (9, 9), 1, 1)
+        assert vote_beats(new, cur)
+        assert not vote_beats(cur, new)
+
+    def test_zxid_breaks_epoch_ties(self):
+        new = make_vote("n1", (2, 0), 1, 1)
+        cur = make_vote("n3", (1, 9), 1, 1)
+        assert vote_beats(new, cur)
+
+    def test_id_breaks_full_ties(self):
+        new = make_vote("n3", (1, 0), 1, 1)
+        cur = make_vote("n1", (1, 0), 1, 1)
+        assert vote_beats(new, cur)
+
+    def test_buggy_comparator_ignores_epoch(self):
+        high_epoch = make_vote("n3", (0, 0), 1, 1)
+        low_epoch = make_vote("n3", (0, 0), 0, 1)
+        assert not vote_beats(high_epoch, low_epoch, buggy=True)
+        assert not vote_beats(low_epoch, high_epoch, buggy=True)
+        assert vote_beats(high_epoch, low_epoch, buggy=False)
+
+    @given(
+        st.tuples(st.integers(0, 2), st.tuples(st.integers(0, 2), st.integers(0, 2))),
+        st.tuples(st.integers(0, 2), st.tuples(st.integers(0, 2), st.integers(0, 2))),
+        st.sampled_from(NODES),
+        st.sampled_from(NODES),
+    )
+    def test_correct_comparator_is_total(self, a, b, ida, idb):
+        va = make_vote(ida, a[1], a[0], 1)
+        vb = make_vote(idb, b[1], b[0], 1)
+        ka = (va["epoch"], va["zxid"], va["leader"])
+        kb = (vb["epoch"], vb["zxid"], vb["leader"])
+        if ka == kb:
+            assert not vote_beats(va, vb) and not vote_beats(vb, va)
+        else:
+            assert vote_beats(va, vb) != vote_beats(vb, va)
+
+
+class TestElection:
+    def test_timeout_starts_looking_round(self):
+        spec = make_spec()
+        result = drive(spec, [("ElectionTimeout", "n2")])
+        state = result.final_state
+        assert state["zbRole"]["n2"] == LOOKING
+        assert state["logicalClock"]["n2"] == 1
+        assert state["currentVote"]["n2"]["leader"] == "n2"
+        assert len(state["netMsgs"][("n2", "n1")]) == 1
+
+    def test_quorum_elects_highest_vote(self):
+        spec = make_spec()
+        result = drive(spec, ELECT_N3)
+        state = result.final_state
+        assert state["zbRole"]["n3"] == LEADING
+        assert state["zbRole"]["n1"] == FOLLOWING
+        assert state["leaderOf"]["n1"] == "n3"
+
+    def test_adoption_prefers_better_vote(self):
+        # n1 and n3 both looking in round 1: n1 adopts n3 (higher id).
+        spec = make_spec()
+        result = drive(
+            spec,
+            [
+                ("ElectionTimeout", "n1"),
+                ("ElectionTimeout", "n3"),
+                ("ReceiveMessage", "n3", "n1"),
+            ],
+        )
+        assert result.final_state["currentVote"]["n1"]["leader"] == "n3"
+
+    def test_stale_round_notification_answered(self):
+        spec = make_spec()
+        result = drive(
+            spec,
+            [
+                ("ElectionTimeout", "n1"),       # round 1
+                ("ElectionTimeout", "n1"),       # round 2
+                ("ElectionTimeout", "n2"),       # round 1
+                ("ReceiveMessage", "n2", "n1"),  # stale round-1 notification
+            ],
+        )
+        # n1 answered the stale sender with its own round-2 notification.
+        queue = result.final_state["netMsgs"][("n1", "n2")]
+        assert any(m["round"] == 2 for m in queue if m["type"] == "Notification")
+
+    def test_settled_node_replies_to_looking_peer(self):
+        spec = make_spec()
+        result = drive(
+            spec,
+            ELECT_N3
+            + [
+                ("ElectionTimeout", "n2"),
+                ("ReceiveMessage", "n2", "n3"),  # LOOKING n2 -> settled n3
+            ],
+        )
+        queue = result.final_state["netMsgs"][("n3", "n2")]
+        replies = [m for m in queue if m["type"] == "Notification"]
+        assert replies and replies[-1]["state"] == LEADING
+
+
+class TestDiscoveryAndSync:
+    def test_full_round_reaches_broadcast(self):
+        spec = make_spec()
+        result = drive(spec, FULL_SYNC)
+        state = result.final_state
+        assert state["phase"]["n3"] == BROADCAST
+        assert state["currentEpoch"]["n3"] == 1
+        assert state["currentEpoch"]["n1"] == 1
+
+    def test_leader_bumps_accepted_epoch(self):
+        spec = make_spec()
+        result = drive(spec, ELECT_N3)
+        assert result.final_state["acceptedEpoch"]["n3"] == 1
+
+    def test_follower_rejects_stale_leader_epoch(self):
+        # A follower whose accepted epoch is newer abandons the leader.
+        spec = make_spec(max_timeouts=3, max_epoch=3)
+        picks = FULL_SYNC + [
+            ("ElectionTimeout", "n2"),       # n2 looks, round 1
+            ("ReceiveMessage", "n2", "n3"),  # settled n3 replies
+            ("ReceiveMessage", "n3", "n2"),  # n2 joins n3 -> FOLLOWERINFO
+        ]
+        result = drive(spec, picks)
+        assert result.final_state["zbRole"]["n2"] == FOLLOWING
+
+    def test_newleader_overwrites_history(self):
+        spec = make_spec(max_requests=1)
+        picks = FULL_SYNC + [
+            ("ClientRequest", "n3"),
+            ("ReceiveMessage", "n3", "n1"),  # UPTODATE (FIFO head)
+            lambda t: t.action == "ReceiveMessage"
+            and t.args[:2] == ("n3", "n1")
+            and t.args[2]["type"] == "Propose",
+        ]
+        result = drive(spec, picks)
+        state = result.final_state
+        assert len(state["history"]["n1"]) == 1
+        assert state["history"]["n1"][0]["val"] == "v1"
+
+
+class TestBroadcast:
+    def test_commit_after_quorum_ack(self):
+        spec = make_spec(max_requests=1)
+        picks = FULL_SYNC + [
+            ("ClientRequest", "n3"),
+            ("ReceiveMessage", "n3", "n1"),  # UPTODATE (FIFO head)
+            lambda t: t.action == "ReceiveMessage" and t.args[2]["type"] == "Propose",
+            lambda t: t.action == "ReceiveMessage" and t.args[2]["type"] == "Ack",
+        ]
+        result = drive(spec, picks)
+        state = result.final_state
+        assert state["lastCommitted"]["n3"] == 1
+        # COMMIT goes out to the registered follower.
+        queue = state["netMsgs"][("n3", "n1")]
+        assert any(m["type"] == "Commit" for m in queue)
+
+    def test_follower_commits_on_commit_message(self):
+        spec = make_spec(max_requests=1)
+        picks = FULL_SYNC + [
+            ("ClientRequest", "n3"),
+            ("ReceiveMessage", "n3", "n1"),  # UPTODATE (FIFO head)
+            lambda t: t.action == "ReceiveMessage" and t.args[2]["type"] == "Propose",
+            lambda t: t.action == "ReceiveMessage" and t.args[2]["type"] == "Ack",
+            lambda t: t.action == "ReceiveMessage" and t.args[2]["type"] == "Commit",
+        ]
+        result = drive(spec, picks)
+        assert result.final_state["lastCommitted"]["n1"] == 1
+
+    def test_zxid_carries_current_epoch(self):
+        spec = make_spec(max_requests=1)
+        result = drive(spec, FULL_SYNC + [("ClientRequest", "n3")])
+        txn = result.final_state["history"]["n3"][0]
+        assert txn["zxid"] == (1, 1)
+
+
+class TestFailures:
+    def test_crash_and_restart_preserve_history(self):
+        spec = make_spec(max_requests=1, max_crashes=1, max_restarts=1)
+        picks = FULL_SYNC + [
+            ("ClientRequest", "n3"),
+            ("NodeCrash", "n3"),
+            ("NodeRestart", "n3"),
+        ]
+        result = drive(spec, picks)
+        state = result.final_state
+        assert state["zbRole"]["n3"] == LOOKING
+        assert len(state["history"]["n3"]) == 1  # durable
+        assert state["currentEpoch"]["n3"] == 1  # durable
+        assert state["logicalClock"]["n3"] == 0  # volatile
+
+    def test_partition_blocks_notifications(self):
+        spec = make_spec(max_partitions=1)
+        result = drive(
+            spec,
+            [("PartitionStart", ("n1",)), ("ElectionTimeout", "n1")],
+        )
+        state = result.final_state
+        assert state["netMsgs"][("n1", "n2")] == ()
+
+
+class TestZabInvariants:
+    def test_correct_spec_passes_bounded_bfs(self):
+        spec = make_spec(
+            max_timeouts=2,
+            max_requests=1,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+            max_epoch=2,
+        )
+        result = bfs_explore(spec, max_states=40_000, time_budget=90)
+        assert not result.found_violation
+
+    def test_zk1_violates_vote_total_order(self):
+        spec = make_spec(
+            bugs={"ZK1"},
+            max_timeouts=2,
+            max_requests=0,
+            max_crashes=0,
+            max_restarts=0,
+            max_partitions=0,
+            max_epoch=2,
+        )
+        result = bfs_explore(spec, max_states=100_000, time_budget=120)
+        assert result.found_violation
+        assert result.violation.invariant == "VoteTotalOrder"
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(bugs={"NOPE"})
+
+    def test_describe(self):
+        info = make_spec().describe()
+        assert info["actions"] == 7
+        assert info["variables"] >= 15
