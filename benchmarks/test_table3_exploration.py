@@ -105,6 +105,7 @@ def run_exp1(name):
         "depth": result.stats.max_depth,
         "states": result.stats.distinct_states,
         "violation": result.found_violation,
+        "stop": str(result.stop_reason),
     }
 
 
@@ -117,6 +118,7 @@ def run_exp2(name):
         "states": result.stats.distinct_states,
         "per_minute": int(per_minute),
         "violation": result.found_violation,
+        "stop": str(result.stop_reason),
     }
 
 
@@ -149,7 +151,7 @@ def test_table3_experiment2(benchmark, name):
 
 def test_table3_report(benchmark, emit):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    widths = (10, 9, 7, 9, 10, 9, 12, 26)
+    widths = (10, 9, 7, 9, 10, 10, 9, 12, 26)
     lines = [
         fmt_row(
             (
@@ -158,6 +160,7 @@ def test_table3_report(benchmark, emit):
                 "e1-dep",
                 "e1-states",
                 "e2-states",
+                "e2-stop",
                 "e2-dep",
                 "states/min",
                 "paper e1(t/d/st) e2(d/st)",
@@ -179,6 +182,7 @@ def test_table3_report(benchmark, emit):
                     e1["depth"],
                     e1["states"],
                     e2["states"],
+                    e2["stop"],
                     e2["depth"],
                     e2["per_minute"],
                     f"{p[0]}/{p[1]}/{p[2]:.1e} {p[3]}/{p[4]:.1e}",

@@ -10,10 +10,12 @@ paper; the raw compute cost of the in-process replay is also reported.
 """
 
 import random
+from collections import Counter
 
 import pytest
 
 from repro.conformance import ConformanceChecker, mapping_for
+from repro.core.engine import action_kinds
 from repro.core.simulation import random_walk
 from repro.runtime.latency import preset_for
 from repro.specs.raft import (
@@ -85,8 +87,19 @@ def measure(name):
 
     walks = []
     spec_started = time.monotonic()
+    inits = list(spec.init_states())
+    kinds = action_kinds(spec)
     for _ in range(N_SPEC_TRACES):
-        walks.append(random_walk(spec, rng, max_depth=50, check_invariants=False))
+        walks.append(
+            random_walk(
+                spec,
+                rng,
+                max_depth=50,
+                check_invariants=False,
+                init_states=inits,
+                event_kinds=kinds,
+            )
+        )
     spec_elapsed = time.monotonic() - spec_started
     spec_ms = spec_elapsed / N_SPEC_TRACES * 1000
 
@@ -110,6 +123,7 @@ def measure(name):
 
     impl_ms = sum(modeled) / len(modeled) * 1000
     raw_ms = sum(raw) / len(raw) * 1000
+    stops = Counter(str(w.terminated) for w in walks)
     return {
         "depth_range": f"{min(depths)}-{max(depths)}",
         "avg_depth": round(sum(depths) / len(depths)),
@@ -117,6 +131,7 @@ def measure(name):
         "impl_ms": round(impl_ms, 2),
         "raw_impl_ms": round(raw_ms, 2),
         "speedup": round(impl_ms / spec_ms),
+        "stops": ",".join(f"{k}:{v}" for k, v in stops.most_common()),
     }
 
 
@@ -151,7 +166,7 @@ def test_table4_ordering(benchmark):
 
 def test_table4_report(benchmark, emit):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    widths = (10, 8, 6, 9, 10, 12, 8, 24)
+    widths = (10, 8, 6, 9, 10, 12, 8, 24, 28)
     lines = [
         fmt_row(
             (
@@ -163,6 +178,7 @@ def test_table4_report(benchmark, emit):
                 "raw-impl(ms)",
                 "speedup",
                 "paper (spec/impl/x)",
+                "walk stops",
             ),
             widths,
         )
@@ -180,6 +196,7 @@ def test_table4_report(benchmark, emit):
                     row["raw_impl_ms"],
                     f"{row['speedup']}x",
                     f"{p[2]}/{p[3]}/{p[4]}x",
+                    row["stops"],
                 ),
                 widths,
             )

@@ -14,6 +14,7 @@ import dataclasses
 import time
 from typing import Optional
 
+from ..core.engine import SearchStats, StopReason
 from ..core.explorer import bfs_explore
 from ..core.simulation import simulate
 from ..core.violation import Violation
@@ -33,12 +34,16 @@ class DetectionResult:
     distinct_states: int = 0  # BFS runs
     walks: int = 0  # simulation runs
     method: str = "bfs"
+    #: unified exploration counters, comparable across BFS and simulation
+    stats: Optional[SearchStats] = None
+    stop_reason: Optional[StopReason] = None
 
     @property
     def depth(self) -> Optional[int]:
         return self.violation.depth if self.violation else None
 
     def as_row(self) -> dict:
+        stats = self.stats
         return {
             "bug": self.bug.bug_id,
             "consequence": self.bug.consequence,
@@ -47,6 +52,12 @@ class DetectionResult:
             "depth": self.depth,
             "states": self.distinct_states or None,
             "walks": self.walks or None,
+            "states_per_s": (
+                round(stats.states_per_second)
+                if stats and stats.elapsed > 0
+                else None
+            ),
+            "stop": str(self.stop_reason) if self.stop_reason else None,
             "paper_time": self.bug.paper_time,
             "paper_depth": self.bug.paper_depth,
             "paper_states": self.bug.paper_states,
@@ -75,6 +86,8 @@ def detect(
             elapsed=time.monotonic() - started,
             distinct_states=result.stats.distinct_states,
             method="bfs",
+            stats=result.stats,
+            stop_reason=result.stop_reason,
         )
     sim = simulate(
         spec,
@@ -92,4 +105,6 @@ def detect(
         elapsed=time.monotonic() - started,
         walks=sim.n_walks,
         method="simulate",
+        stats=sim.stats,
+        stop_reason=sim.stop_reason,
     )

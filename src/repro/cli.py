@@ -71,12 +71,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         symmetry=args.symmetry,
     )
-    stats = result.stats
-    print(
-        f"explored {stats.distinct_states} distinct states"
-        f" ({stats.states_per_second:.0f}/s, depth {stats.max_depth},"
-        f" stop: {result.stop_reason})"
-    )
+    print(f"explored {result.describe()}")
     if result.found_violation:
         print(result.violation.describe())
         return 1
@@ -99,6 +94,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f" branch coverage {result.branch_coverage},"
         f" {result.mean_walk_time * 1000:.2f} ms/trace"
     )
+    reasons = ", ".join(f"{k}: {v}" for k, v in sorted(result.stop_reasons.items()))
+    print(f"{result.stats.describe()}, stop: {result.stop_reason} ({reasons})")
     violation = result.first_violation
     if violation is not None:
         print(violation.describe())
@@ -143,6 +140,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     print(
         f"{row['bug']}: found={row['found']} depth={row['depth']}"
         f" time={row['time_s']}s states={row['states']} walks={row['walks']}"
+        f" stop={row['stop']} states/s={row['states_per_s']}"
         f" (paper: {row['paper_time']}, depth {row['paper_depth']},"
         f" {row['paper_states']} states)"
     )

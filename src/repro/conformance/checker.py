@@ -19,6 +19,7 @@ import random
 import time
 from typing import Callable, List, Optional, Sequence
 
+from ..core.engine import action_kinds
 from ..core.simulation import random_walk
 from ..core.spec import Spec
 from ..core.trace import Trace
@@ -179,12 +180,22 @@ class ConformanceChecker:
         rng = random.Random(seed)
         started = time.monotonic()
         checked = 0
+        # Walk-invariant setup, hoisted out of the per-trace loop.
+        inits = list(self.spec.init_states())
+        kinds = action_kinds(self.spec)
         while True:
             if max_traces is not None and checked >= max_traces:
                 break
             if time.monotonic() - started > quiet_period:
                 break
-            walk = random_walk(self.spec, rng, max_depth=max_depth, check_invariants=False)
+            walk = random_walk(
+                self.spec,
+                rng,
+                max_depth=max_depth,
+                check_invariants=False,
+                init_states=inits,
+                event_kinds=kinds,
+            )
             report = self.replay(walk.trace)
             checked += 1
             if not report.conforms:

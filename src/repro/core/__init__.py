@@ -7,6 +7,10 @@ Public surface:
   :class:`~repro.core.spec.TransitionInvariant` — the specification DSL;
 * :class:`~repro.core.state.Rec`, :func:`~repro.core.state.freeze`,
   :func:`~repro.core.state.thaw` — immutable state values;
+* :class:`~repro.core.engine.ExplorationEngine` — the shared exploration
+  kernel (frontier strategies, state stores, step checker, unified
+  :class:`~repro.core.engine.SearchStats` and
+  :class:`~repro.core.engine.StopReason`);
 * :func:`~repro.core.explorer.bfs_explore` — stateful BFS model checking;
 * :func:`~repro.core.simulation.simulate`,
   :func:`~repro.core.simulation.random_walk` — random-walk exploration;
@@ -15,6 +19,21 @@ Public surface:
   :class:`~repro.core.violation.Violation` — counterexamples.
 """
 
+from .engine import (
+    ExplorationEngine,
+    FIFOFrontier,
+    FrontierStrategy,
+    InMemoryStateStore,
+    NullStateStore,
+    RandomWalkFrontier,
+    ScenarioFrontier,
+    SearchResult,
+    SearchStats,
+    StateStore,
+    StepChecker,
+    StopReason,
+    action_kinds,
+)
 from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore
 from .guided import ScenarioError, ScenarioResult, run_scenario
 from .linearizability import LinearizabilityResult, Operation, check_linearizable
@@ -29,6 +48,19 @@ from .violation import Violation
 
 __all__ = [
     "Action",
+    "ExplorationEngine",
+    "FIFOFrontier",
+    "FrontierStrategy",
+    "InMemoryStateStore",
+    "NullStateStore",
+    "RandomWalkFrontier",
+    "ScenarioFrontier",
+    "SearchResult",
+    "SearchStats",
+    "StateStore",
+    "StepChecker",
+    "StopReason",
+    "action_kinds",
     "LinearizabilityResult",
     "LivenessProperty",
     "LivenessStats",

@@ -1,0 +1,825 @@
+"""The shared exploration kernel behind every exploration mode.
+
+All four exploration modes — exhaustive BFS (§3.3), random-walk
+simulation (§3.2, Algorithm 1), guided scenario replay, and the
+random-walk batches behind approximate liveness (§3.1) — are one step
+loop: pop a pending state, prune or stop on bounds, enumerate enabled
+transitions, check transition/state invariants, build traces and
+:class:`~repro.core.violation.Violation` objects, and account stats.
+This module owns that loop once, with three pluggable seams (the same
+decomposition TLC uses for its BFS/simulation modes):
+
+* :class:`FrontierStrategy` — which states are pending and which
+  successors are taken.  :class:`FIFOFrontier` explores every successor
+  breadth-first; :class:`RandomWalkFrontier` follows one uniformly
+  random successor per step; :class:`ScenarioFrontier` follows the
+  transition matched by the next scenario pick.
+* :class:`StateStore` — the visited-fingerprint set and parent map used
+  for stateful deduplication and counterexample reconstruction.  The
+  interface is deliberately narrow (``seen``/``record``/``chain``) so
+  sharded, parallel, or disk-backed stores can slot in behind it.
+* :class:`StepChecker` — invariant evaluation and violation
+  construction, including lazy trace building via the strategy.
+
+Every run produces a :class:`SearchResult` carrying the unified
+:class:`SearchStats` counters and a :class:`StopReason`, so BFS,
+simulation, scenario, and liveness runs report comparable states/sec,
+depth, and stop-reason numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .spec import Spec, Transition
+from .state import Rec, fingerprint
+from .trace import Trace, TraceStep
+from .violation import Violation
+
+__all__ = [
+    "StopReason",
+    "SearchStats",
+    "SearchResult",
+    "StateStore",
+    "InMemoryStateStore",
+    "NullStateStore",
+    "StepChecker",
+    "FrontierStrategy",
+    "FIFOFrontier",
+    "RandomWalkFrontier",
+    "ScenarioFrontier",
+    "ScenarioError",
+    "ExplorationEngine",
+    "action_kinds",
+    "find_matching_step",
+    "reconstruct_trace",
+]
+
+
+if hasattr(enum, "StrEnum"):  # Python >= 3.11
+    _StrEnum = enum.StrEnum
+else:  # pragma: no cover - fallback for older interpreters
+
+    class _StrEnum(str, enum.Enum):
+        __str__ = str.__str__
+        __format__ = str.__format__
+
+
+class StopReason(_StrEnum):
+    """Why an exploration run stopped.
+
+    Members compare (and hash) equal to their string values, so code
+    written against the historical string reasons — ``"max_states"``,
+    ``"deadlock"``, … — keeps working unchanged.
+    """
+
+    #: the frontier emptied with every reachable state expanded (BFS)
+    EXHAUSTED = "exhausted"
+    #: an invariant violation stopped the run
+    VIOLATION = "violation"
+    #: the distinct-state budget was reached
+    MAX_STATES = "max_states"
+    #: the depth bound was reached (random walks)
+    MAX_DEPTH = "max_depth"
+    #: the wall-clock budget expired
+    TIME_BUDGET = "time_budget"
+    #: no transition was enabled (random walks)
+    DEADLOCK = "deadlock"
+    #: the state constraint stopped a walk
+    CONSTRAINT = "constraint"
+    #: a guided scenario ran through all of its picks
+    COMPLETE = "complete"
+
+
+@dataclasses.dataclass
+class SearchStats:
+    """Unified counters for one exploration run, whatever the mode.
+
+    ``distinct_states`` counts deduplicated states for stateful (BFS)
+    runs and visited states for stateless (walk/scenario) runs;
+    ``walks`` is nonzero only for batched random-walk runs.
+    """
+
+    distinct_states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    pruned: int = 0
+    elapsed: float = 0.0
+    walks: int = 0
+
+    @property
+    def states_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.distinct_states / self.elapsed
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.distinct_states} states",
+            f"{self.transitions} transitions",
+            f"depth {self.max_depth}",
+            f"{self.states_per_second:.0f}/s",
+        ]
+        if self.walks:
+            parts.append(f"{self.walks} walks")
+        return ", ".join(parts)
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Outcome of one engine run: stats, stop reason, first violation."""
+
+    stats: SearchStats
+    violation: Optional[Violation] = None
+    exhausted: bool = False
+    stop_reason: StopReason = StopReason.EXHAUSTED
+
+    @property
+    def found_violation(self) -> bool:
+        return self.violation is not None
+
+    def describe(self) -> str:
+        return f"{self.stats.describe()}, stop: {self.stop_reason}"
+
+
+# ---------------------------------------------------------------------------
+# state stores
+# ---------------------------------------------------------------------------
+
+
+class StateStore:
+    """Visited-fingerprint set plus parent map.
+
+    The contract is the minimum stateful exploration needs: membership
+    (``seen``), insertion with provenance (``record``/``record_init``),
+    and parent-chain walking for counterexample reconstruction
+    (``chain``/``init_state``).  Implementations may shard, spill to
+    disk, or answer ``seen`` probabilistically (at the cost of losing
+    counterexamples) — the engine only ever goes through this interface.
+    """
+
+    def seen(self, fp: Any) -> bool:
+        raise NotImplementedError
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        """Record ``fp`` as newly visited via ``action`` from ``parent_fp``."""
+        raise NotImplementedError
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        """Record an initial state (a parent-chain root)."""
+        raise NotImplementedError
+
+    def init_state(self, fp: Any) -> Rec:
+        """Return the stored initial state for a root fingerprint."""
+        raise NotImplementedError
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        """The ``(fingerprint, action)`` path from a root to ``fp``, root first."""
+        raise NotImplementedError
+
+    def __contains__(self, fp: Any) -> bool:
+        return self.seen(fp)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryStateStore(StateStore):
+    """The default dict-backed store: a couple of machine words per state."""
+
+    __slots__ = ("_parents", "_inits")
+
+    def __init__(self) -> None:
+        # fingerprint -> (parent fingerprint or None, action name)
+        self._parents: Dict[Any, Tuple[Optional[Any], str]] = {}
+        self._inits: Dict[Any, Rec] = {}
+
+    def seen(self, fp: Any) -> bool:
+        return fp in self._parents
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        self._parents[fp] = (parent_fp, action)
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        self._parents[fp] = (None, "<init>")
+        self._inits[fp] = state
+
+    def init_state(self, fp: Any) -> Rec:
+        return self._inits[fp]
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        chain: List[Tuple[Any, str]] = []
+        cursor: Optional[Any] = fp
+        while cursor is not None:
+            parent, action = self._parents[cursor]
+            chain.append((cursor, action))
+            cursor = parent
+        chain.reverse()
+        return chain
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+
+class NullStateStore(StateStore):
+    """No-op store for stateless modes (random walks, scenarios)."""
+
+    __slots__ = ()
+
+    def seen(self, fp: Any) -> bool:
+        return False
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        pass
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        pass
+
+    def init_state(self, fp: Any) -> Rec:
+        raise KeyError(fp)
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# step checking
+# ---------------------------------------------------------------------------
+
+
+def _step_of(transition: Transition) -> TraceStep:
+    return TraceStep(
+        transition.action, transition.args, transition.target, transition.branch
+    )
+
+
+class StepChecker:
+    """Evaluates invariants and builds :class:`Violation` objects.
+
+    Traces are built lazily — only when a violation is found — through
+    ``tracer(pre_fp, step)``, which the engine wires to the active
+    strategy (BFS reconstructs from the parent chain; walks and
+    scenarios extend their running trace).
+    """
+
+    __slots__ = ("spec", "check_invariants", "violations", "tracer")
+
+    def __init__(self, spec: Spec, check_invariants: bool = True):
+        self.spec = spec
+        self.check_invariants = check_invariants
+        self.violations: List[Violation] = []
+        self.tracer: Callable[[Any, Optional[TraceStep]], Trace] = (
+            lambda fp, step: Trace(Rec())
+        )
+
+    @property
+    def first_violation(self) -> Optional[Violation]:
+        return self.violations[0] if self.violations else None
+
+    def check_state(
+        self, state: Rec, pre_fp: Any, transition: Optional[Transition]
+    ) -> Optional[Violation]:
+        """Check state invariants on ``state``, reached via ``transition``."""
+        if not self.check_invariants:
+            return None
+        bad = self.spec.check_state(state)
+        if bad is None:
+            return None
+        step = _step_of(transition) if transition is not None else None
+        violation = Violation(bad, self.tracer(pre_fp, step), kind="state")
+        self.violations.append(violation)
+        return violation
+
+    def check_edge(
+        self, pre: Rec, pre_fp: Any, transition: Transition
+    ) -> Optional[Violation]:
+        """Check transition invariants on the edge ``pre -> transition``."""
+        if not self.check_invariants:
+            return None
+        bad = self.spec.check_transition(pre, transition)
+        if bad is None:
+            return None
+        violation = Violation(
+            bad, self.tracer(pre_fp, _step_of(transition)), kind="transition"
+        )
+        self.violations.append(violation)
+        return violation
+
+
+# ---------------------------------------------------------------------------
+# trace reconstruction (stateful modes)
+# ---------------------------------------------------------------------------
+
+
+def find_matching_step(
+    spec: Spec,
+    state: Rec,
+    target_fp: Any,
+    action_name: str,
+    canonical: Optional[Callable[[Rec], Rec]] = None,
+    fp_fn: Callable[[Rec], Any] = fingerprint,
+) -> Optional[TraceStep]:
+    """Find the successor of ``state`` whose canonical fingerprint matches.
+
+    Prefers a transition of the recorded ``action_name``; falls back to
+    any fingerprint-matching transition (under symmetry reduction two
+    actions can reach the same orbit).
+    """
+    fallback: Optional[TraceStep] = None
+    for transition in spec.successors(state):
+        canon = canonical(transition.target) if canonical else transition.target
+        if fp_fn(canon) != target_fp:
+            continue
+        step = _step_of(transition)
+        if transition.action == action_name:
+            return step
+        fallback = fallback or step
+    return fallback
+
+
+def reconstruct_trace(
+    spec: Spec,
+    store: StateStore,
+    fp: Any,
+    canonical: Optional[Callable[[Rec], Rec]] = None,
+    fp_fn: Callable[[Rec], Any] = fingerprint,
+) -> Trace:
+    """Reconstruct a trace from an initial state to ``fp``.
+
+    Walks the store's parent chain to collect the fingerprints on the
+    path, then re-executes from the initial state, at each step firing
+    the successor whose canonical fingerprint matches the next
+    fingerprint on the chain.  With symmetry reduction the re-executed
+    states may be permuted variants of the stored canonical ones;
+    matching on canonical fingerprints keeps the replay on the right
+    orbit.  Keeps per-state memory in the store to a couple of machine
+    words.
+    """
+    chain = store.chain(fp)
+    init_fp, _ = chain[0]
+    state = store.init_state(init_fp)
+    trace = Trace(state)
+    for target_fp, action_name in chain[1:]:
+        step = find_matching_step(spec, state, target_fp, action_name, canonical, fp_fn)
+        if step is None:
+            raise RuntimeError(
+                f"trace reconstruction failed: no successor of depth-{trace.depth}"
+                f" state matches fingerprint for action {action_name}"
+            )
+        trace = trace.extend(step)
+        state = step.state
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# frontier strategies
+# ---------------------------------------------------------------------------
+
+
+class _SingleSlot:
+    """A one-element frontier for single-path modes (walks, scenarios)."""
+
+    __slots__ = ("_node",)
+
+    def __init__(self) -> None:
+        self._node: Optional[tuple] = None
+
+    def __bool__(self) -> bool:
+        return self._node is not None
+
+    def __len__(self) -> int:
+        return 1 if self._node is not None else 0
+
+    def append(self, node: tuple) -> None:
+        self._node = node
+
+    def popleft(self) -> tuple:
+        node, self._node = self._node, None
+        if node is None:
+            raise IndexError("pop from empty frontier")
+        return node
+
+
+class FrontierStrategy:
+    """Which states are pending, and which successors get taken.
+
+    Subclasses provide a ``frontier`` (anything with ``append``,
+    ``popleft`` and truthiness) and override the hooks below.  Class
+    flags tell the engine how to treat bounds and bookkeeping:
+
+    * ``dedupe`` — route children through the :class:`StateStore`
+      (stateful exploration) instead of revisiting freely;
+    * ``stop_on_bound`` — a depth bound or failing state constraint
+      terminates the run (walk semantics) rather than pruning the state
+      (BFS semantics);
+    * ``tracks_steps`` — the strategy maintains a running trace and
+      per-step bookkeeping (``on_seed``/``on_transition``/``on_step``);
+    * ``check_constraint`` — evaluate the spec's state constraint at all
+      (guided scenarios deliberately ignore it).
+    """
+
+    name = "frontier"
+    dedupe = True
+    stop_on_bound = False
+    tracks_steps = False
+    check_constraint = True
+
+    frontier: Any
+    engine: "ExplorationEngine"
+
+    def bind(self, engine: "ExplorationEngine") -> None:
+        self.engine = engine
+
+    def initial_states(self, spec: Spec) -> Iterable[Rec]:
+        return spec.init_states()
+
+    def choose(
+        self, state: Rec, successors: Iterator[Transition]
+    ) -> Iterable[Transition]:
+        """Select which enabled transitions of ``state`` to take."""
+        return successors
+
+    def on_seed(self, state: Rec, fp: Any) -> None:
+        pass
+
+    def on_transition(self, transition: Transition) -> None:
+        pass
+
+    def on_step(
+        self, transition: Transition, child: Rec, child_fp: Any, depth: int
+    ) -> None:
+        pass
+
+    def trace_to(self, fp: Any, step: Optional[TraceStep] = None) -> Trace:
+        """Build the trace to the state fingerprinted ``fp`` (+ ``step``)."""
+        raise NotImplementedError
+
+    def empty_reason(self) -> StopReason:
+        """The stop reason when the frontier drains without a violation."""
+        return StopReason.EXHAUSTED
+
+
+class FIFOFrontier(FrontierStrategy):
+    """Breadth-first: expand every successor, dedupe through the store.
+
+    Because the search is breadth-first, the first counterexample found
+    for any invariant has minimal depth (§5.1.1).
+    """
+
+    name = "bfs"
+    dedupe = True
+
+    def __init__(self) -> None:
+        self.frontier: deque = deque()
+
+    def bind(self, engine: "ExplorationEngine") -> None:
+        super().bind(engine)
+        self._spec = engine.spec
+        self._store = engine.store
+        reducer = engine.reducer
+        self._canonical = reducer.canonical if reducer is not None else None
+        self._fp = engine.fingerprint
+
+    def trace_to(self, fp: Any, step: Optional[TraceStep] = None) -> Trace:
+        trace = reconstruct_trace(
+            self._spec, self._store, fp, self._canonical, self._fp
+        )
+        return trace.extend(step) if step is not None else trace
+
+
+class RandomWalkFrontier(FrontierStrategy):
+    """One uniformly random enabled transition per step (TLC simulation).
+
+    Tracks the running trace plus the branch-coverage and
+    event-diversity sets that constraint ranking (Algorithm 1) consumes.
+    """
+
+    name = "random-walk"
+    dedupe = False
+    stop_on_bound = True
+    tracks_steps = True
+
+    def __init__(
+        self,
+        rng: Any,
+        init_states: Optional[Sequence[Rec]] = None,
+        event_kinds: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.rng = rng
+        self._init_states = init_states
+        self.event_kinds = event_kinds
+        self.frontier = _SingleSlot()
+        self.trace: Optional[Trace] = None
+        self.branches: set = set()
+        self.event_counts: Any = None  # Counter, created lazily to keep imports light
+
+    def bind(self, engine: "ExplorationEngine") -> None:
+        super().bind(engine)
+        if self.event_kinds is None:
+            self.event_kinds = action_kinds(engine.spec)
+        if self.event_counts is None:
+            from collections import Counter
+
+            self.event_counts = Counter()
+
+    def initial_states(self, spec: Spec) -> Iterable[Rec]:
+        inits = (
+            self._init_states
+            if self._init_states is not None
+            else list(spec.init_states())
+        )
+        return (inits[self.rng.randrange(len(inits))],)
+
+    def on_seed(self, state: Rec, fp: Any) -> None:
+        self.trace = Trace(state)
+
+    def choose(
+        self, state: Rec, successors: Iterator[Transition]
+    ) -> Iterable[Transition]:
+        choices = list(successors)
+        if not choices:
+            return ()
+        return (choices[self.rng.randrange(len(choices))],)
+
+    def on_transition(self, transition: Transition) -> None:
+        self.branches.add((transition.action, transition.branch))
+        kind = self.event_kinds.get(transition.action, "internal")
+        self.event_counts[kind] += 1
+
+    def on_step(
+        self, transition: Transition, child: Rec, child_fp: Any, depth: int
+    ) -> None:
+        self.trace = self.trace.extend(_step_of(transition))
+
+    def trace_to(self, fp: Any, step: Optional[TraceStep] = None) -> Trace:
+        return self.trace.extend(step) if step is not None else self.trace
+
+    def empty_reason(self) -> StopReason:
+        return StopReason.DEADLOCK
+
+
+class ScenarioError(Exception):
+    """Raised when a pick matches no enabled transition (or several)."""
+
+
+def _matches(pick: Any, transition: Transition) -> bool:
+    if callable(pick) and not isinstance(pick, str):
+        return bool(pick(transition))
+    if isinstance(pick, str):
+        return transition.action == pick
+    name, *args = pick
+    if transition.action != name:
+        return False
+    return tuple(transition.args[: len(args)]) == tuple(args)
+
+
+class ScenarioFrontier(FrontierStrategy):
+    """Guided execution: one transition per scenario pick, in order.
+
+    Raises :class:`ScenarioError` when a pick matches no enabled
+    transition, or several while ``allow_ambiguous`` is false.  The
+    spec's state constraint is deliberately not applied — a scenario
+    drives exactly the chosen interleaving, bounds or not.
+    """
+
+    name = "scenario"
+    dedupe = False
+    stop_on_bound = True
+    tracks_steps = True
+    check_constraint = False
+
+    def __init__(self, picks: Sequence[Any], allow_ambiguous: bool = False) -> None:
+        self.picks = list(picks)
+        self.allow_ambiguous = allow_ambiguous
+        self.frontier = _SingleSlot()
+        self.trace: Optional[Trace] = None
+        self._index = 0
+
+    def initial_states(self, spec: Spec) -> Iterable[Rec]:
+        return (next(iter(spec.init_states())),)
+
+    def on_seed(self, state: Rec, fp: Any) -> None:
+        self.trace = Trace(state)
+
+    def choose(
+        self, state: Rec, successors: Iterator[Transition]
+    ) -> Iterable[Transition]:
+        if self._index >= len(self.picks):
+            return ()
+        pick = self.picks[self._index]
+        transitions = list(successors)
+        candidates = [t for t in transitions if _matches(pick, t)]
+        if not candidates:
+            enabled = sorted({t.action for t in transitions})
+            raise ScenarioError(
+                f"pick #{self._index} ({pick!r}) matches no enabled transition;"
+                f" enabled actions: {enabled}"
+            )
+        if len(candidates) > 1 and not self.allow_ambiguous:
+            labels = [t.label for t in candidates[:6]]
+            raise ScenarioError(
+                f"pick #{self._index} ({pick!r}) is ambiguous: {labels}"
+            )
+        self._index += 1
+        return (candidates[0],)
+
+    def on_step(
+        self, transition: Transition, child: Rec, child_fp: Any, depth: int
+    ) -> None:
+        self.trace = self.trace.extend(_step_of(transition))
+
+    def trace_to(self, fp: Any, step: Optional[TraceStep] = None) -> Trace:
+        return self.trace.extend(step) if step is not None else self.trace
+
+    def empty_reason(self) -> StopReason:
+        return StopReason.COMPLETE
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+def action_kinds(spec: Spec) -> Dict[str, str]:
+    """Precomputed action-name -> event-kind map (one pass over actions)."""
+    return {action.name: action.kind for action in spec.actions()}
+
+
+class ExplorationEngine:
+    """The shared step loop: seed, pop, bound, expand, check, account.
+
+    One engine instance runs one exploration; the strategy decides the
+    frontier discipline, the store decides statefulness, and the checker
+    decides what is a violation.  ``progress`` (if given) receives the
+    live :class:`SearchStats` every ``progress_interval`` new states —
+    the unified progress-event stream shared by every mode.
+    """
+
+    def __init__(
+        self,
+        spec: Spec,
+        strategy: FrontierStrategy,
+        store: Optional[StateStore] = None,
+        checker: Optional[StepChecker] = None,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        stop_on_violation: bool = True,
+        reducer: Optional[Any] = None,
+        fingerprint_fn: Callable[[Rec], Any] = fingerprint,
+        progress: Optional[Callable[[SearchStats], None]] = None,
+        progress_interval: int = 50_000,
+    ):
+        self.spec = spec
+        self.strategy = strategy
+        if store is None:
+            store = InMemoryStateStore() if strategy.dedupe else NullStateStore()
+        self.store = store
+        self.checker = checker if checker is not None else StepChecker(spec)
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.time_budget = time_budget
+        self.stop_on_violation = stop_on_violation
+        self.reducer = reducer
+        self.fingerprint = fingerprint_fn
+        self.progress = progress
+        self.progress_interval = progress_interval
+        self.stats = SearchStats()
+
+    def run(self) -> SearchResult:
+        stats = self.stats = SearchStats()
+        strategy = self.strategy
+        strategy.bind(self)
+        checker = self.checker
+        checker.tracer = strategy.trace_to
+        store = self.store
+        spec = self.spec
+
+        # Hot-loop locals: every name below is read once per transition.
+        monotonic = time.monotonic
+        started = monotonic()
+        reducer = self.reducer
+        canon_fn = reducer.canonical if reducer is not None else None
+        fp_fn = self.fingerprint
+        dedupe = strategy.dedupe
+        tracks = strategy.tracks_steps
+        check_constraint = strategy.check_constraint
+        stop_on_bound = strategy.stop_on_bound
+        stop_on_violation = self.stop_on_violation
+        max_states = self.max_states
+        max_depth = self.max_depth
+        time_budget = self.time_budget
+        progress = self.progress
+        progress_interval = self.progress_interval
+        successors = spec.successors
+        state_constraint = spec.state_constraint
+        store_seen = store.seen
+        store_record = store.record
+        check_edge = checker.check_edge
+        check_state = checker.check_state
+        frontier = strategy.frontier
+        push = frontier.append
+
+        def finish(
+            reason: StopReason,
+            violation: Optional[Violation] = None,
+            exhausted: bool = False,
+        ) -> SearchResult:
+            stats.elapsed = monotonic() - started
+            if violation is None:
+                violation = checker.first_violation
+            return SearchResult(stats, violation, exhausted, reason)
+
+        # -- seed the frontier with initial states ---------------------------
+        for init in strategy.initial_states(spec):
+            canon = canon_fn(init) if canon_fn is not None else init
+            fp = fp_fn(canon) if dedupe else None
+            if dedupe:
+                if store_seen(fp):
+                    continue
+                store.record_init(fp, canon)
+            stats.distinct_states += 1
+            if tracks:
+                strategy.on_seed(canon, fp)
+            violation = check_state(canon, fp, None)
+            if violation is not None and stop_on_violation:
+                return finish(StopReason.VIOLATION, violation)
+            push((canon, fp, 0))
+
+        # -- the step loop ----------------------------------------------------
+        while frontier:
+            state, fp, depth = frontier.popleft()
+            if depth > stats.max_depth:
+                stats.max_depth = depth
+            if max_depth is not None and depth >= max_depth:
+                if stop_on_bound:
+                    return finish(StopReason.MAX_DEPTH)
+                continue
+            if check_constraint and not state_constraint(state):
+                stats.pruned += 1
+                if stop_on_bound:
+                    return finish(StopReason.CONSTRAINT)
+                continue
+            for transition in strategy.choose(state, successors(state)):
+                stats.transitions += 1
+                if tracks:
+                    strategy.on_transition(transition)
+                violation = check_edge(state, fp, transition)
+                if violation is not None and stop_on_violation:
+                    return finish(StopReason.VIOLATION, violation)
+                target = transition.target
+                if dedupe:
+                    child = canon_fn(target) if canon_fn is not None else target
+                    child_fp = fp_fn(child)
+                    if store_seen(child_fp):
+                        if (
+                            time_budget is not None
+                            and monotonic() - started > time_budget
+                        ):
+                            return finish(StopReason.TIME_BUDGET)
+                        continue
+                    store_record(child_fp, fp, transition.action)
+                else:
+                    child = target
+                    child_fp = None
+                stats.distinct_states += 1
+                violation = check_state(child, fp, transition)
+                if violation is not None and stop_on_violation:
+                    return finish(StopReason.VIOLATION, violation)
+                if tracks:
+                    strategy.on_step(transition, child, child_fp, depth + 1)
+                push((child, child_fp, depth + 1))
+                if max_states is not None and stats.distinct_states >= max_states:
+                    return finish(StopReason.MAX_STATES)
+                if (
+                    progress is not None
+                    and stats.distinct_states % progress_interval == 0
+                ):
+                    stats.elapsed = monotonic() - started
+                    progress(stats)
+                if time_budget is not None and monotonic() - started > time_budget:
+                    return finish(StopReason.TIME_BUDGET)
+
+        reason = strategy.empty_reason()
+        violation = checker.first_violation
+        exhausted = reason is StopReason.EXHAUSTED and (
+            violation is None or not stop_on_violation
+        )
+        return finish(reason, violation, exhausted)

@@ -7,19 +7,30 @@ constraint, and optionally canonicalizes states under the spec's symmetry
 sets.  Because the search is breadth-first, the first counterexample found
 for any invariant has minimal depth (§5.1.1).
 
-Counterexample traces are reconstructed from parent fingerprints by
-re-executing from the initial state and matching successor fingerprints,
-which keeps per-state memory to a couple of machine words.
+Since the exploration-kernel refactor this module is a thin configuration
+layer over :mod:`repro.core.engine`: a :class:`~repro.core.engine.FIFOFrontier`
+strategy plus an :class:`~repro.core.engine.InMemoryStateStore` running in
+the shared :class:`~repro.core.engine.ExplorationEngine`.  Counterexample
+traces are reconstructed from parent fingerprints by re-executing from the
+initial state and matching successor fingerprints, which keeps per-state
+memory to a couple of machine words.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
-from .spec import Spec, Transition
+from .engine import (
+    ExplorationEngine,
+    FIFOFrontier,
+    InMemoryStateStore,
+    SearchResult,
+    SearchStats,
+    StepChecker,
+    find_matching_step,
+    reconstruct_trace,
+)
+from .spec import Spec
 from .state import Rec, fingerprint, strong_fingerprint
 from .symmetry import SymmetryReducer
 from .trace import Trace, TraceStep
@@ -27,36 +38,10 @@ from .violation import Violation
 
 __all__ = ["BFSStats", "BFSResult", "BFSExplorer", "bfs_explore"]
 
-
-@dataclasses.dataclass
-class BFSStats:
-    """Counters for one BFS run."""
-
-    distinct_states: int = 0
-    transitions: int = 0
-    max_depth: int = 0
-    pruned: int = 0
-    elapsed: float = 0.0
-
-    @property
-    def states_per_second(self) -> float:
-        if self.elapsed <= 0:
-            return float("inf")
-        return self.distinct_states / self.elapsed
-
-
-@dataclasses.dataclass
-class BFSResult:
-    """Outcome of a BFS run."""
-
-    stats: BFSStats
-    violation: Optional[Violation] = None
-    exhausted: bool = False
-    stop_reason: str = "exhausted"
-
-    @property
-    def found_violation(self) -> bool:
-        return self.violation is not None
+#: BFS stats/results are the engine's unified types (kept under their
+#: historical names for source compatibility).
+BFSStats = SearchStats
+BFSResult = SearchResult
 
 
 class BFSExplorer:
@@ -85,110 +70,33 @@ class BFSExplorer:
         self.reducer = (
             SymmetryReducer(spec.symmetry_sets(), key=self._fp) if symmetry else None
         )
-        self.violations: List[Violation] = []
-        # fingerprint -> (parent fingerprint or None, action name)
-        self._parents: Dict[Any, Tuple[Optional[Any], str]] = {}
-        self._init_states: Dict[Any, Rec] = {}
+        self.store = InMemoryStateStore()
+        self.checker = StepChecker(spec)
+        self.strategy = FIFOFrontier()
+        self.engine = ExplorationEngine(
+            spec,
+            self.strategy,
+            store=self.store,
+            checker=self.checker,
+            max_states=max_states,
+            max_depth=max_depth,
+            time_budget=time_budget,
+            stop_on_violation=stop_on_violation,
+            reducer=self.reducer,
+            fingerprint_fn=self._fp,
+            progress=progress,
+            progress_interval=progress_interval,
+        )
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All violations found so far (more than one with ``stop_on_violation=False``)."""
+        return self.checker.violations
 
     # -- the search ----------------------------------------------------------
 
     def run(self) -> BFSResult:
-        stats = BFSStats()
-        started = time.monotonic()
-        queue: deque = deque()
-
-        for init in self.spec.init_states():
-            canon = self._canonical(init)
-            fp = self._fp(canon)
-            if fp in self._parents:
-                continue
-            self._parents[fp] = (None, "<init>")
-            self._init_states[fp] = canon
-            stats.distinct_states += 1
-            bad = self.spec.check_state(canon)
-            if bad is not None:
-                violation = Violation(bad, Trace(canon), kind="state")
-                self.violations.append(violation)
-                if self.stop_on_violation:
-                    stats.elapsed = time.monotonic() - started
-                    return BFSResult(stats, violation, False, "violation")
-            queue.append((canon, fp, 0))
-
-        result = self._search(queue, stats, started)
-        stats.elapsed = time.monotonic() - started
-        return result
-
-    def _search(self, queue: deque, stats: BFSStats, started: float) -> BFSResult:
-        spec = self.spec
-        while queue:
-            state, fp, depth = queue.popleft()
-            stats.max_depth = max(stats.max_depth, depth)
-            if self.max_depth is not None and depth >= self.max_depth:
-                continue
-            if not spec.state_constraint(state):
-                stats.pruned += 1
-                continue
-            for transition in spec.successors(state):
-                stats.transitions += 1
-                violation = self._check_edge(state, fp, transition)
-                if violation is not None and self.stop_on_violation:
-                    return BFSResult(stats, violation, False, "violation")
-
-                canon = self._canonical(transition.target)
-                child_fp = self._fp(canon)
-                if child_fp in self._parents:
-                    continue
-                self._parents[child_fp] = (fp, transition.action)
-                stats.distinct_states += 1
-                violation = self._check_new_state(canon, child_fp, transition, state, fp)
-                if violation is not None and self.stop_on_violation:
-                    return BFSResult(stats, violation, False, "violation")
-                queue.append((canon, child_fp, depth + 1))
-
-                if self.max_states is not None and stats.distinct_states >= self.max_states:
-                    return BFSResult(stats, self._first_violation(), False, "max_states")
-                if self.progress and stats.distinct_states % self.progress_interval == 0:
-                    stats.elapsed = time.monotonic() - started
-                    self.progress(stats)
-            if self.time_budget is not None and time.monotonic() - started > self.time_budget:
-                return BFSResult(stats, self._first_violation(), False, "time_budget")
-        violation = self._first_violation()
-        exhausted = violation is None or not self.stop_on_violation
-        return BFSResult(stats, violation, exhausted, "exhausted")
-
-    def _check_edge(
-        self, pre: Rec, pre_fp: Any, transition: Transition
-    ) -> Optional[Violation]:
-        bad = self.spec.check_transition(pre, transition)
-        if bad is None:
-            return None
-        trace = self._trace_to(pre_fp, pre).extend(
-            TraceStep(transition.action, transition.args, transition.target, transition.branch)
-        )
-        violation = Violation(bad, trace, kind="transition")
-        self.violations.append(violation)
-        return violation
-
-    def _check_new_state(
-        self,
-        canon: Rec,
-        child_fp: Any,
-        transition: Transition,
-        pre: Rec,
-        pre_fp: Any,
-    ) -> Optional[Violation]:
-        bad = self.spec.check_state(canon)
-        if bad is None:
-            return None
-        trace = self._trace_to(pre_fp, pre).extend(
-            TraceStep(transition.action, transition.args, transition.target, transition.branch)
-        )
-        violation = Violation(bad, trace, kind="state")
-        self.violations.append(violation)
-        return violation
-
-    def _first_violation(self) -> Optional[Violation]:
-        return self.violations[0] if self.violations else None
+        return self.engine.run()
 
     # -- helpers ---------------------------------------------------------------
 
@@ -197,53 +105,18 @@ class BFSExplorer:
             return state
         return self.reducer.canonical(state)
 
-    def _trace_to(self, fp: Any, concrete: Rec) -> Trace:
-        """Reconstruct a trace from an initial state to ``fp``.
-
-        Walks the parent chain to collect the fingerprints on the path,
-        then re-executes from the initial state, at each step firing the
-        successor whose canonical fingerprint matches the next fingerprint
-        on the chain.  With symmetry reduction the re-executed states may
-        be permuted variants of the stored canonical ones; matching on
-        canonical fingerprints keeps the replay on the right orbit.
-        """
-        chain: List[Tuple[Any, str]] = []
-        cursor: Optional[Any] = fp
-        while cursor is not None:
-            parent, action = self._parents[cursor]
-            chain.append((cursor, action))
-            cursor = parent
-        chain.reverse()
-
-        init_fp, _ = chain[0]
-        state = self._init_states[init_fp]
-        trace = Trace(state)
-        for target_fp, action_name in chain[1:]:
-            step = self._find_step(state, target_fp, action_name)
-            if step is None:
-                raise RuntimeError(
-                    f"trace reconstruction failed: no successor of depth-{trace.depth}"
-                    f" state matches fingerprint for action {action_name}"
-                )
-            trace = trace.extend(step)
-            state = step.state
-        return trace
+    def _trace_to(self, fp: Any, concrete: Optional[Rec] = None) -> Trace:
+        """Reconstruct a trace from an initial state to ``fp``."""
+        canonical = self.reducer.canonical if self.reducer is not None else None
+        return reconstruct_trace(self.spec, self.store, fp, canonical, self._fp)
 
     def _find_step(
         self, state: Rec, target_fp: Any, action_name: str
     ) -> Optional[TraceStep]:
-        fallback: Optional[TraceStep] = None
-        for transition in self.spec.successors(state):
-            canon_fp = self._fp(self._canonical(transition.target))
-            if canon_fp != target_fp:
-                continue
-            step = TraceStep(
-                transition.action, transition.args, transition.target, transition.branch
-            )
-            if transition.action == action_name:
-                return step
-            fallback = fallback or step
-        return fallback
+        canonical = self.reducer.canonical if self.reducer is not None else None
+        return find_matching_step(
+            self.spec, state, target_fp, action_name, canonical, self._fp
+        )
 
 
 def bfs_explore(spec: Spec, **kwargs: Any) -> BFSResult:

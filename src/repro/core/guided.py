@@ -15,25 +15,32 @@ of the current state:
 * a callable ``pick(transition) -> bool``.
 
 Invariants are checked after every step; the scenario run reports the
-first violation together with the trace so far.
+first violation together with the trace so far.  Guided runs execute on
+the shared exploration kernel (:mod:`repro.core.engine`) under a
+:class:`~repro.core.engine.ScenarioFrontier` strategy.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
+from .engine import (
+    ExplorationEngine,
+    NullStateStore,
+    ScenarioError,
+    ScenarioFrontier,
+    SearchStats,
+    StepChecker,
+    StopReason,
+)
 from .spec import Spec, Transition
-from .trace import Trace, TraceStep
+from .trace import Trace
 from .violation import Violation
 
 __all__ = ["ScenarioError", "ScenarioResult", "run_scenario"]
 
 Pick = Union[str, Tuple, Callable[[Transition], bool]]
-
-
-class ScenarioError(Exception):
-    """Raised when a pick matches no enabled transition (or several)."""
 
 
 @dataclasses.dataclass
@@ -42,6 +49,8 @@ class ScenarioResult:
 
     trace: Trace
     violation: Optional[Violation] = None
+    stop_reason: StopReason = StopReason.COMPLETE
+    stats: Optional[SearchStats] = None
 
     @property
     def final_state(self):
@@ -50,17 +59,6 @@ class ScenarioResult:
     @property
     def found_violation(self) -> bool:
         return self.violation is not None
-
-
-def _matches(pick: Pick, transition: Transition) -> bool:
-    if callable(pick) and not isinstance(pick, str):
-        return bool(pick(transition))
-    if isinstance(pick, str):
-        return transition.action == pick
-    name, *args = pick
-    if transition.action != name:
-        return False
-    return tuple(transition.args[: len(args)]) == tuple(args)
 
 
 def run_scenario(
@@ -76,41 +74,25 @@ def run_scenario(
     more than one transition while ``allow_ambiguous`` is false (in which
     case the first match would be taken).
     """
-    inits = list(spec.init_states())
-    state = inits[0]
-    trace = Trace(state)
-    violation: Optional[Violation] = None
-
-    for index, pick in enumerate(picks):
-        candidates: List[Transition] = [
-            t for t in spec.successors(state) if _matches(pick, t)
-        ]
-        if not candidates:
-            enabled = sorted({t.action for t in spec.successors(state)})
-            raise ScenarioError(
-                f"pick #{index} ({pick!r}) matches no enabled transition;"
-                f" enabled actions: {enabled}"
-            )
-        if len(candidates) > 1 and not allow_ambiguous:
-            labels = [t.label for t in candidates[:6]]
-            raise ScenarioError(
-                f"pick #{index} ({pick!r}) is ambiguous: {labels}"
-            )
-        transition = candidates[0]
-        step = TraceStep(
-            transition.action, transition.args, transition.target, transition.branch
-        )
-        if check_invariants and violation is None:
-            bad = spec.check_transition(state, transition)
-            if bad is not None:
-                violation = Violation(bad, trace.extend(step), kind="transition")
-        trace = trace.extend(step)
-        state = transition.target
-        if check_invariants and violation is None:
-            bad = spec.check_state(state)
-            if bad is not None:
-                violation = Violation(bad, trace, kind="state")
-        if violation is not None and stop_on_violation:
-            break
-
-    return ScenarioResult(trace=trace, violation=violation)
+    strategy = ScenarioFrontier(picks, allow_ambiguous=allow_ambiguous)
+    engine = ExplorationEngine(
+        spec,
+        strategy,
+        store=NullStateStore(),
+        checker=StepChecker(spec, check_invariants=check_invariants),
+        stop_on_violation=stop_on_violation,
+    )
+    result = engine.run()
+    violation = result.violation
+    if violation is not None and stop_on_violation:
+        # The run stopped at the violation: its trace (which includes the
+        # violating step) is the scenario trace so far.
+        trace = violation.trace
+    else:
+        trace = strategy.trace
+    return ScenarioResult(
+        trace=trace,
+        violation=violation,
+        stop_reason=result.stop_reason,
+        stats=result.stats,
+    )

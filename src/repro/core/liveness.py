@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import time
+from collections import Counter
 from typing import Callable, Optional, Tuple
 
+from .engine import SearchStats, StopReason, action_kinds
 from .simulation import random_walk
 from .spec import Spec
 from .state import Rec
@@ -55,6 +58,10 @@ class LivenessStats:
     walks: int
     achieved: int
     failure_example: Optional[Trace] = None
+    #: how many walks ended for each unified :class:`StopReason`
+    stop_reasons: Counter = dataclasses.field(default_factory=Counter)
+    #: unified batch stats, comparable with the other exploration modes
+    stats: Optional[SearchStats] = None
 
     @property
     def rate(self) -> float:
@@ -79,18 +86,53 @@ def measure_progress(
     achieved = 0
     failure: Optional[Trace] = None
     exhausted_failure: Optional[Trace] = None
+    # Per-batch hoists shared with the simulation module: the init-state
+    # list and action-kind map are walk-invariant.
+    inits = list(spec.init_states())
+    kinds = action_kinds(spec)
+    stop_reasons: Counter = Counter()
+    started = time.monotonic()
+    total_steps = 0
+    deepest = 0
     for _ in range(n_walks):
-        walk = random_walk(spec, rng, max_depth=max_depth, check_invariants=False)
+        walk = random_walk(
+            spec,
+            rng,
+            max_depth=max_depth,
+            check_invariants=False,
+            init_states=inits,
+            event_kinds=kinds,
+        )
+        stop_reasons[str(walk.terminated)] += 1
+        total_steps += walk.depth
+        deepest = max(deepest, walk.depth)
         if prop.achieved_in(walk.trace):
             achieved += 1
             continue
         if failure is None:
             failure = walk.trace
-        if exhausted_failure is None and walk.terminated in ("deadlock", "constraint"):
+        if exhausted_failure is None and walk.terminated in (
+            StopReason.DEADLOCK,
+            StopReason.CONSTRAINT,
+        ):
             # The budget was fully spent and P still never held — the
             # most suspicious kind of failing walk; prefer it as the witness.
             exhausted_failure = walk.trace
-    return LivenessStats(prop, n_walks, achieved, exhausted_failure or failure)
+    stats = SearchStats(
+        distinct_states=total_steps + n_walks,
+        transitions=total_steps,
+        max_depth=deepest,
+        elapsed=time.monotonic() - started,
+        walks=n_walks,
+    )
+    return LivenessStats(
+        prop,
+        n_walks,
+        achieved,
+        exhausted_failure or failure,
+        stop_reasons=stop_reasons,
+        stats=stats,
+    )
 
 
 def compare_progress(

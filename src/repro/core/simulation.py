@@ -8,6 +8,12 @@ Random walks serve three roles in the SandTable workflow:
   by the branch coverage, event diversity and depth of random walks;
 * the specification-level side of the speedup experiment (Table 4) measures
   the wall-clock cost per random-walk trace.
+
+Each walk is one run of the shared exploration kernel
+(:mod:`repro.core.engine`) under a
+:class:`~repro.core.engine.RandomWalkFrontier` strategy: a single-slot
+frontier taking one uniformly random enabled transition per step, with
+no state-store deduplication.
 """
 
 from __future__ import annotations
@@ -16,10 +22,20 @@ import dataclasses
 import random
 import time
 from collections import Counter
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .spec import Spec, Transition
-from .trace import Trace, TraceStep
+from .engine import (
+    ExplorationEngine,
+    NullStateStore,
+    RandomWalkFrontier,
+    SearchStats,
+    StepChecker,
+    StopReason,
+    action_kinds,
+)
+from .spec import Spec
+from .state import Rec
+from .trace import Trace
 from .violation import Violation
 
 __all__ = ["WalkResult", "SimulationResult", "random_walk", "simulate"]
@@ -32,9 +48,15 @@ class WalkResult:
     trace: Trace
     branches: Set[Tuple[str, str]]
     event_counts: Counter
-    terminated: str = "deadlock"  # deadlock | max_depth | constraint | violation
+    terminated: str = StopReason.DEADLOCK  # deadlock | max_depth | constraint | violation
     violation: Optional[Violation] = None
     elapsed: float = 0.0
+    stats: Optional[SearchStats] = None
+
+    @property
+    def stop_reason(self) -> StopReason:
+        """The unified termination reason (alias of ``terminated``)."""
+        return StopReason(self.terminated)
 
     @property
     def depth(self) -> int:
@@ -55,6 +77,7 @@ class SimulationResult:
 
     walks: List[WalkResult]
     elapsed: float
+    stop_reason: StopReason = StopReason.COMPLETE
 
     @property
     def n_walks(self) -> int:
@@ -101,74 +124,65 @@ class SimulationResult:
                 return walk.violation
         return None
 
+    @property
+    def stop_reasons(self) -> Counter:
+        """How many walks ended for each :class:`StopReason`."""
+        return Counter(str(walk.terminated) for walk in self.walks)
+
+    @property
+    def stats(self) -> SearchStats:
+        """Unified batch stats comparable with the other exploration modes."""
+        return SearchStats(
+            distinct_states=sum(w.depth + 1 for w in self.walks),
+            transitions=sum(
+                w.stats.transitions if w.stats is not None else w.depth
+                for w in self.walks
+            ),
+            max_depth=self.max_depth,
+            elapsed=self.elapsed,
+            walks=self.n_walks,
+        )
+
 
 def random_walk(
     spec: Spec,
     rng: random.Random,
     max_depth: int = 100,
     check_invariants: bool = True,
+    init_states: Optional[Sequence[Rec]] = None,
+    event_kinds: Optional[Dict[str, str]] = None,
 ) -> WalkResult:
     """One random walk from a random initial state.
 
     At each step a uniformly random enabled transition is taken.  The walk
     stops on deadlock (no enabled transition), when the state constraint
     fails, at ``max_depth``, or at the first invariant violation.
+
+    Batch callers can hoist the per-walk setup by passing ``init_states``
+    (the materialized ``spec.init_states()`` list) and ``event_kinds``
+    (the :func:`~repro.core.engine.action_kinds` map); both are computed
+    on the fly when omitted.
     """
-    started = time.monotonic()
-    inits = list(spec.init_states())
-    state = inits[rng.randrange(len(inits))]
-    trace = Trace(state)
-    branches: Set[Tuple[str, str]] = set()
-    events: Counter = Counter()
-    terminated = "deadlock"
-    violation: Optional[Violation] = None
-
-    if check_invariants:
-        bad = spec.check_state(state)
-        if bad is not None:
-            violation = Violation(bad, trace, kind="state")
-            terminated = "violation"
-
-    while violation is None and trace.depth < max_depth:
-        if not spec.state_constraint(state):
-            terminated = "constraint"
-            break
-        choices: List[Transition] = list(spec.successors(state))
-        if not choices:
-            terminated = "deadlock"
-            break
-        transition = choices[rng.randrange(len(choices))]
-        step = TraceStep(
-            transition.action, transition.args, transition.target, transition.branch
-        )
-        branches.add((transition.action, transition.branch))
-        events[_event_kind(spec, transition.action)] += 1
-        if check_invariants:
-            bad = spec.check_transition(state, transition)
-            if bad is not None:
-                trace = trace.extend(step)
-                violation = Violation(bad, trace, kind="transition")
-                terminated = "violation"
-                break
-        trace = trace.extend(step)
-        state = transition.target
-        if check_invariants:
-            bad = spec.check_state(state)
-            if bad is not None:
-                violation = Violation(bad, trace, kind="state")
-                terminated = "violation"
-                break
-    else:
-        if violation is None:
-            terminated = "max_depth"
-
+    strategy = RandomWalkFrontier(rng, init_states=init_states, event_kinds=event_kinds)
+    engine = ExplorationEngine(
+        spec,
+        strategy,
+        store=NullStateStore(),
+        checker=StepChecker(spec, check_invariants=check_invariants),
+        max_depth=max_depth,
+        stop_on_violation=True,
+    )
+    result = engine.run()
+    violation = result.violation
+    trace = violation.trace if violation is not None else strategy.trace
     return WalkResult(
         trace=trace,
-        branches=branches,
-        event_counts=events,
-        terminated=terminated,
+        branches=strategy.branches,
+        event_counts=strategy.event_counts,
+        terminated=result.stop_reason,
         violation=violation,
-        elapsed=time.monotonic() - started,
+        elapsed=result.stats.elapsed,
+        stats=result.stats,
     )
 
 
@@ -184,19 +198,32 @@ def simulate(
     """Run a batch of random walks and aggregate their metrics."""
     rng = random.Random(seed)
     started = time.monotonic()
+    # Per-batch hoists: the init-state list and the action-name -> kind
+    # map are walk-invariant, so compute them once, not once per walk.
+    inits = list(spec.init_states())
+    kinds = action_kinds(spec)
     walks: List[WalkResult] = []
+    stop_reason = StopReason.COMPLETE
     for _ in range(n_walks):
-        walk = random_walk(spec, rng, max_depth=max_depth, check_invariants=check_invariants)
+        walk = random_walk(
+            spec,
+            rng,
+            max_depth=max_depth,
+            check_invariants=check_invariants,
+            init_states=inits,
+            event_kinds=kinds,
+        )
         walks.append(walk)
         if stop_on_violation and walk.violation is not None:
+            stop_reason = StopReason.VIOLATION
             break
         if time_budget is not None and time.monotonic() - started > time_budget:
+            stop_reason = StopReason.TIME_BUDGET
             break
-    return SimulationResult(walks, time.monotonic() - started)
+    return SimulationResult(walks, time.monotonic() - started, stop_reason)
 
 
 def _event_kind(spec: Spec, action_name: str) -> str:
-    for action in spec.actions():
-        if action.name == action_name:
-            return action.kind
-    return "internal"
+    """Event kind of one action (kept for compatibility; batch callers
+    should precompute :func:`~repro.core.engine.action_kinds` instead)."""
+    return action_kinds(spec).get(action_name, "internal")

@@ -32,7 +32,7 @@ from .conformance import (
 )
 from .conformance.report import BugReport
 from .core import bfs_explore, rank_constraints
-from .core.explorer import BFSResult
+from .core.engine import SearchResult
 from .core.ranking import RankedConstraints
 from .systems import SYSTEMS
 
@@ -44,7 +44,7 @@ class CheckOutcome:
     """Model checking + confirmation for one selected constraint."""
 
     constraint: Mapping[str, Any]
-    exploration: BFSResult
+    exploration: SearchResult
     confirmation: Optional[BugConfirmation] = None
 
     @property
@@ -113,8 +113,8 @@ class WorkflowResult:
                         else " (not reproduced)"
                     )
             lines.append(
-                f"  {dict(outcome.constraint)}: {stats.distinct_states} states,"
-                f" {verdict}"
+                f"  {dict(outcome.constraint)}: {stats.describe()},"
+                f" stop: {outcome.exploration.stop_reason}, {verdict}"
             )
         return "\n".join(lines)
 

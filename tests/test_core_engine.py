@@ -1,0 +1,234 @@
+"""Tests for the shared exploration kernel (:mod:`repro.core.engine`).
+
+Covers the pieces the mode-specific suites do not reach directly: trace
+reconstruction under symmetry reduction (including the fallback-step
+path), the unified termination-reason enum across all four exploration
+modes, and the StateStore / StepChecker seams.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Action, Rec, Spec, bfs_explore, run_scenario, simulate
+from repro.core.engine import (
+    InMemoryStateStore,
+    NullStateStore,
+    SearchStats,
+    StepChecker,
+    StopReason,
+)
+from repro.core.explorer import BFSExplorer
+from repro.core.liveness import LivenessProperty, measure_progress
+from repro.core.simulation import random_walk
+from repro.core.state import fingerprint
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+
+class TwoRoadsSpec(Spec):
+    """Two distinct actions reach the same successor state from x=0.
+
+    Used to exercise ``find_matching_step``'s fallback: when the recorded
+    action name matches no successor, any fingerprint-matching transition
+    must do (under symmetry reduction two actions can land in one orbit).
+    """
+
+    name = "two-roads"
+    nodes = ("n1",)
+
+    def init_states(self):
+        yield Rec(x=0)
+
+    def actions(self):
+        return [Action("Inc", self._inc), Action("Jump", self._jump)]
+
+    def _inc(self, state):
+        if state["x"] < 2:
+            yield ("n1",), state.set("x", state["x"] + 1)
+
+    def _jump(self, state):
+        if state["x"] == 0:
+            yield ("n1",), state.set("x", 1)
+
+
+class TestTraceReconstructionUnderSymmetry:
+    def test_violation_trace_replays_under_symmetry(self):
+        """A counterexample found with symmetry reduction must still be a
+        real path through the (unreduced) spec, up to orbit equivalence:
+        every step lands in the orbit of some successor of the previous
+        state (the concrete representatives may be permuted variants)."""
+        spec = CounterSpec(n_nodes=3, maximum=3, bound=2)
+        explorer = BFSExplorer(spec, symmetry=True)
+        result = explorer.run()
+        assert result.found_violation
+        trace = result.violation.trace
+        state = trace.initial
+
+        def orbit_fp(s):
+            return fingerprint(explorer._canonical(s))
+
+        for step in trace:
+            successor_orbits = {orbit_fp(t.target) for t in spec.successors(state)}
+            assert orbit_fp(step.state) in successor_orbits
+            state = step.state
+        assert sum(state["counters"].values()) > 2
+        # BFS depth is minimal: bound+1 increments violate "sum <= bound".
+        assert result.violation.depth == 3
+
+    def test_trace_to_reaches_every_stored_fingerprint(self):
+        spec = CounterSpec(n_nodes=2, maximum=2)
+        explorer = BFSExplorer(spec, symmetry=True)
+        explorer.run()
+        canonical = explorer._canonical
+        for fp in list(explorer.store._parents):
+            trace = explorer._trace_to(fp)
+            assert fingerprint(canonical(trace.final_state)) == fp
+
+    def test_find_step_prefers_recorded_action(self):
+        spec = TwoRoadsSpec()
+        explorer = BFSExplorer(spec)
+        init = next(iter(spec.init_states()))
+        target_fp = fingerprint(Rec(x=1))
+        step = explorer._find_step(init, target_fp, "Jump")
+        assert step is not None and step.action == "Jump"
+        step = explorer._find_step(init, target_fp, "Inc")
+        assert step is not None and step.action == "Inc"
+
+    def test_find_step_falls_back_on_fingerprint_match(self):
+        """An action name that matches no successor still resolves, as long
+        as some transition reaches the target fingerprint."""
+        spec = TwoRoadsSpec()
+        explorer = BFSExplorer(spec)
+        init = next(iter(spec.init_states()))
+        target_fp = fingerprint(Rec(x=1))
+        step = explorer._find_step(init, target_fp, "Teleport")
+        assert step is not None
+        assert step.action in ("Inc", "Jump")
+        assert step.state == Rec(x=1)
+
+    def test_find_step_returns_none_when_unreachable(self):
+        spec = TwoRoadsSpec()
+        explorer = BFSExplorer(spec)
+        init = next(iter(spec.init_states()))
+        assert explorer._find_step(init, fingerprint(Rec(x=7)), "Inc") is None
+
+
+class TestUnifiedStopReasons:
+    """All four modes report termination through the one StopReason enum,
+    and its members stay string-comparable (the historical API)."""
+
+    def test_bfs_reasons(self):
+        assert bfs_explore(CounterSpec(2, 2)).stop_reason is StopReason.EXHAUSTED
+        assert (
+            bfs_explore(TokenRingSpec(buggy=True)).stop_reason
+            is StopReason.VIOLATION
+        )
+        bounded = bfs_explore(CounterSpec(3, 5), max_states=50)
+        assert bounded.stop_reason is StopReason.MAX_STATES
+
+    def test_walk_reasons(self):
+        # Depth bound: plenty of room to keep incrementing.
+        walk = random_walk(CounterSpec(2, 100), random.Random(0), max_depth=5)
+        assert walk.terminated is StopReason.MAX_DEPTH
+        # Deadlock: both counters saturate before the depth bound.
+        walk = random_walk(CounterSpec(2, 2), random.Random(0), max_depth=50)
+        assert walk.terminated is StopReason.DEADLOCK
+        # State constraint: the ring's step budget expires first.
+        walk = random_walk(
+            TokenRingSpec(max_steps=4), random.Random(0), max_depth=50
+        )
+        assert walk.terminated is StopReason.CONSTRAINT
+        # Violation: a buggy walk that trips MutualExclusion stops there.
+        rng = random.Random(0)
+        reasons = {
+            str(random_walk(TokenRingSpec(buggy=True), rng, max_depth=30).terminated)
+            for _ in range(30)
+        }
+        assert "violation" in reasons
+
+    def test_scenario_reasons(self):
+        spec = TokenRingSpec(n_nodes=3, buggy=True)
+        done = run_scenario(spec, ["PassToken"])
+        assert done.stop_reason is StopReason.COMPLETE
+        violated = run_scenario(spec, [("Enter", "n1"), ("Enter", "n3")])
+        assert violated.stop_reason is StopReason.VIOLATION
+        assert violated.found_violation
+
+    def test_simulate_batch_reasons(self):
+        result = simulate(CounterSpec(2, 2), n_walks=20, max_depth=50, seed=0)
+        assert result.stop_reason is StopReason.COMPLETE
+        assert set(result.stop_reasons) == {"deadlock"}
+        assert result.stats.walks == 20
+
+    def test_liveness_reasons(self):
+        prop = LivenessProperty("Saturated", lambda s: False)
+        stats = measure_progress(CounterSpec(2, 2), prop, n_walks=10, max_depth=50)
+        assert set(stats.stop_reasons) <= {str(r) for r in StopReason}
+        assert stats.stats is not None and stats.stats.walks == 10
+
+    def test_members_compare_as_strings(self):
+        assert StopReason.MAX_STATES == "max_states"
+        assert StopReason.DEADLOCK in ("deadlock", "constraint")
+        assert f"{StopReason.TIME_BUDGET}" == "time_budget"
+        assert {StopReason.EXHAUSTED: 1}["exhausted"] == 1
+
+
+class TestStateStore:
+    def test_in_memory_store_round_trip(self):
+        store = InMemoryStateStore()
+        init = Rec(x=0)
+        store.record_init("fp0", init)
+        store.record("fp1", "fp0", "Inc")
+        store.record("fp2", "fp1", "Inc")
+        assert store.seen("fp1") and "fp2" in store
+        assert not store.seen("fp9")
+        assert len(store) == 3
+        assert store.init_state("fp0") == init
+        assert store.chain("fp2") == [
+            ("fp0", "<init>"),
+            ("fp1", "Inc"),
+            ("fp2", "Inc"),
+        ]
+
+    def test_null_store_never_sees(self):
+        store = NullStateStore()
+        store.record_init("fp0", Rec(x=0))
+        store.record("fp1", "fp0", "Inc")
+        assert not store.seen("fp1")
+        assert len(store) == 0
+        assert store.chain("fp1") == []
+        with pytest.raises(KeyError):
+            store.init_state("fp0")
+
+
+class TestStepChecker:
+    def test_collects_violations_with_tracer_trace(self):
+        spec = CounterSpec(n_nodes=1, maximum=2, bound=-1)
+        checker = StepChecker(spec)
+        sentinel = object()
+        checker.tracer = lambda fp, step: sentinel
+        bad_state = next(iter(spec.init_states()))
+        violation = checker.check_state(bad_state, "fp0", None)
+        assert violation is not None
+        assert violation.invariant == "SumWithinBound"
+        assert violation.trace is sentinel
+        assert checker.first_violation is violation
+        assert checker.violations == [violation]
+
+    def test_check_invariants_off_is_a_no_op(self):
+        spec = CounterSpec(n_nodes=1, maximum=2, bound=-1)
+        checker = StepChecker(spec, check_invariants=False)
+        bad_state = next(iter(spec.init_states()))
+        assert checker.check_state(bad_state, "fp0", None) is None
+        assert checker.first_violation is None
+
+
+class TestSearchStats:
+    def test_describe_and_rate(self):
+        stats = SearchStats(distinct_states=100, transitions=250, elapsed=2.0)
+        assert stats.states_per_second == 50.0
+        assert "100 states" in stats.describe()
+        assert SearchStats(elapsed=0.0).states_per_second == float("inf")
+        walked = SearchStats(distinct_states=10, elapsed=1.0, walks=5)
+        assert "5 walks" in walked.describe()
