@@ -10,6 +10,8 @@ per-minute rate and the exhaustible-vs-not contrast are the reproduced
 shape).
 """
 
+import os
+
 import pytest
 
 from repro.core import bfs_explore
@@ -66,6 +68,9 @@ EXP1_KW = dict(
 
 EXP2_BUDGET_S = 10.0
 
+#: worker processes for the exploration runs (sharded parallel BFS when > 1)
+WORKERS = int(os.environ.get("SANDTABLE_WORKERS", "1"))
+
 _rows = {}
 
 
@@ -98,7 +103,7 @@ def make_spec(name, scaled=False):
 
 
 def run_exp1(name):
-    result = bfs_explore(make_spec(name), time_budget=300.0)
+    result = bfs_explore(make_spec(name), time_budget=300.0, workers=WORKERS)
     return {
         "exhausted": result.exhausted,
         "time_s": round(result.stats.elapsed, 2),
@@ -110,7 +115,9 @@ def run_exp1(name):
 
 
 def run_exp2(name):
-    result = bfs_explore(make_spec(name, scaled=True), time_budget=EXP2_BUDGET_S)
+    result = bfs_explore(
+        make_spec(name, scaled=True), time_budget=EXP2_BUDGET_S, workers=WORKERS
+    )
     per_minute = result.stats.states_per_second * 60
     return {
         "exhausted": result.exhausted,
@@ -147,6 +154,25 @@ def test_table3_experiment2(benchmark, name):
         # the budget we cover more states than the exhaustible space or
         # simply fail to finish it.
         assert row["states"] >= exp1["states"] or not row["exhausted"]
+
+
+def test_table3_parallel_equivalence(benchmark):
+    """Sharded parallel BFS covers exactly the serial state space.
+
+    Fingerprint-sharded workers dedupe against disjoint slices of the
+    same canonical fingerprint space, so a depth-bounded search must
+    reach the identical distinct-state count.
+    """
+
+    def run():
+        serial = bfs_explore(make_spec("raftos"), max_depth=8)
+        par = bfs_explore(make_spec("raftos"), max_depth=8, workers=2)
+        return serial, par
+
+    serial, par = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert serial.exhausted and par.exhausted
+    assert par.stats.distinct_states == serial.stats.distinct_states
+    assert par.stats.transitions == serial.stats.transitions
 
 
 def test_table3_report(benchmark, emit):

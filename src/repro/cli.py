@@ -70,6 +70,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         max_states=args.max_states,
         time_budget=args.time_budget,
         symmetry=args.symmetry,
+        workers=args.workers,
     )
     print(f"explored {result.describe()}")
     if result.found_violation:
@@ -188,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(check)
     check.add_argument("--max-states", type=int, default=1_000_000)
     check.add_argument("--symmetry", action="store_true")
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel BFS worker processes (fingerprint-sharded; 1 = serial)",
+    )
     check.set_defaults(fn=cmd_check)
 
     sim = sub.add_parser("simulate", help="random-walk exploration")

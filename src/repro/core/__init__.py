@@ -20,6 +20,8 @@ Public surface:
 """
 
 from .engine import (
+    CompactStore,
+    DictStore,
     ExplorationEngine,
     FIFOFrontier,
     FrontierStrategy,
@@ -29,6 +31,7 @@ from .engine import (
     ScenarioFrontier,
     SearchResult,
     SearchStats,
+    ShardedStateStore,
     StateStore,
     StepChecker,
     StopReason,
@@ -38,16 +41,19 @@ from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore
 from .guided import ScenarioError, ScenarioResult, run_scenario
 from .linearizability import LinearizabilityResult, Operation, check_linearizable
 from .liveness import LivenessProperty, LivenessStats, compare_progress, measure_progress
+from .parallel import ParallelBFS, parallel_bfs
 from .ranking import ConstraintScore, RankedConstraints, rank_constraints
 from .simulation import SimulationResult, WalkResult, random_walk, simulate
 from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInvariant
-from .state import Rec, freeze, strong_fingerprint, thaw
+from .state import Rec, decode, encode, fingerprint, freeze, strong_fingerprint, thaw
 from .symmetry import SymmetryReducer, canonicalize
 from .trace import Trace, TraceStep
 from .violation import Violation
 
 __all__ = [
     "Action",
+    "CompactStore",
+    "DictStore",
     "ExplorationEngine",
     "FIFOFrontier",
     "FrontierStrategy",
@@ -57,6 +63,7 @@ __all__ = [
     "ScenarioFrontier",
     "SearchResult",
     "SearchStats",
+    "ShardedStateStore",
     "StateStore",
     "StepChecker",
     "StopReason",
@@ -76,6 +83,7 @@ __all__ = [
     "BFSStats",
     "ConstraintScore",
     "Invariant",
+    "ParallelBFS",
     "RankedConstraints",
     "Rec",
     "SimulationResult",
@@ -90,7 +98,11 @@ __all__ = [
     "WalkResult",
     "bfs_explore",
     "canonicalize",
+    "decode",
+    "encode",
+    "fingerprint",
     "freeze",
+    "parallel_bfs",
     "random_walk",
     "rank_constraints",
     "simulate",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import threading
 import time
 from collections import deque
 from typing import (
@@ -56,6 +57,9 @@ __all__ = [
     "SearchResult",
     "StateStore",
     "InMemoryStateStore",
+    "DictStore",
+    "CompactStore",
+    "ShardedStateStore",
     "NullStateStore",
     "StepChecker",
     "FrontierStrategy",
@@ -191,6 +195,19 @@ class StateStore:
         """The ``(fingerprint, action)`` path from a root to ``fp``, root first."""
         raise NotImplementedError
 
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        """All recorded ``(fp, parent_fp, action)`` edges (roots: parent None).
+
+        The export seam for merging stores: the parallel driver collects
+        each worker shard's edges into one store to reconstruct
+        counterexample traces that cross shard boundaries.
+        """
+        raise NotImplementedError
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        """All recorded ``(fp, initial_state)`` roots."""
+        raise NotImplementedError
+
     def __contains__(self, fp: Any) -> bool:
         return self.seen(fp)
 
@@ -231,8 +248,167 @@ class InMemoryStateStore(StateStore):
         chain.reverse()
         return chain
 
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        for fp, (parent, action) in self._parents.items():
+            yield fp, parent, action
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        yield from self._inits.items()
+
     def __len__(self) -> int:
         return len(self._parents)
+
+
+#: Historical name for the dict-backed store, matching TLC's naming.
+DictStore = InMemoryStateStore
+
+
+class CompactStore(StateStore):
+    """Fingerprints and parent edges only — no state retention past roots.
+
+    Where :class:`InMemoryStateStore` keeps one ``(parent, action)``
+    tuple object per state, this store keeps two int-to-int dict entries
+    with action names interned to small ids: no per-state tuple
+    allocation, and the per-state cost is independent of action-name
+    length.  The per-shard building block of :class:`ShardedStateStore`
+    and the worker-local store of :mod:`repro.core.parallel`.
+    """
+
+    __slots__ = ("_parents", "_action_of", "_action_ids", "_action_names", "_inits")
+
+    _ROOT_ACTION = "<init>"
+
+    def __init__(self) -> None:
+        # fingerprint -> parent fingerprint (None for roots)
+        self._parents: Dict[Any, Optional[Any]] = {}
+        # fingerprint -> interned action id (roots have no entry)
+        self._action_of: Dict[Any, int] = {}
+        self._action_ids: Dict[str, int] = {}
+        self._action_names: List[str] = []
+        self._inits: Dict[Any, Rec] = {}
+
+    def seen(self, fp: Any) -> bool:
+        return fp in self._parents
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = self._action_ids[action] = len(self._action_names)
+            self._action_names.append(action)
+        self._parents[fp] = parent_fp
+        self._action_of[fp] = aid
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        self._parents[fp] = None
+        self._inits[fp] = state
+
+    def init_state(self, fp: Any) -> Rec:
+        return self._inits[fp]
+
+    def _action_name(self, fp: Any) -> str:
+        aid = self._action_of.get(fp)
+        return self._ROOT_ACTION if aid is None else self._action_names[aid]
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        chain: List[Tuple[Any, str]] = []
+        cursor: Optional[Any] = fp
+        while cursor is not None:
+            chain.append((cursor, self._action_name(cursor)))
+            cursor = self._parents[cursor]
+        chain.reverse()
+        return chain
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        for fp, parent in self._parents.items():
+            yield fp, parent, self._action_name(fp)
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        yield from self._inits.items()
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+
+class ShardedStateStore(StateStore):
+    """A store partitioned by fingerprint bits with per-shard locks.
+
+    Fingerprints are canonical 64-bit ints (:func:`repro.core.state.fingerprint`),
+    so a fixed bit-slice partitions states uniformly and *identically in
+    every process*.  Each shard is an independent :class:`CompactStore`
+    guarded by its own lock: concurrent expanders contend only when they
+    touch the same shard, the same partitioning TLC uses for its
+    fingerprint-set workers.  ``shards`` is rounded up to a power of two.
+    """
+
+    __slots__ = ("_shards", "_locks", "_mask")
+
+    def __init__(self, shards: int = 16) -> None:
+        n = 1
+        while n < max(1, shards):
+            n <<= 1
+        self._mask = n - 1
+        self._shards = [CompactStore() for _ in range(n)]
+        self._locks = [threading.Lock() for _ in range(n)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, fp: Any) -> int:
+        """The shard index owning ``fp`` (stable across processes)."""
+        if isinstance(fp, int):
+            return fp & self._mask
+        if isinstance(fp, bytes):
+            return int.from_bytes(fp[:8], "big") & self._mask
+        return hash(fp) & self._mask
+
+    def seen(self, fp: Any) -> bool:
+        index = self.shard_of(fp)
+        with self._locks[index]:
+            return self._shards[index].seen(fp)
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        index = self.shard_of(fp)
+        with self._locks[index]:
+            self._shards[index].record(fp, parent_fp, action)
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        index = self.shard_of(fp)
+        with self._locks[index]:
+            self._shards[index].record_init(fp, state)
+
+    def init_state(self, fp: Any) -> Rec:
+        index = self.shard_of(fp)
+        with self._locks[index]:
+            return self._shards[index].init_state(fp)
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        # Walks edges across shards, locking one hop at a time.
+        chain: List[Tuple[Any, str]] = []
+        cursor: Optional[Any] = fp
+        while cursor is not None:
+            index = self.shard_of(cursor)
+            with self._locks[index]:
+                shard = self._shards[index]
+                chain.append((cursor, shard._action_name(cursor)))
+                cursor = shard._parents[cursor]
+        chain.reverse()
+        return chain
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                snapshot = list(shard.edges())
+            yield from snapshot
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                snapshot = list(shard.roots())
+            yield from snapshot
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
 
 
 class NullStateStore(StateStore):
@@ -254,6 +430,12 @@ class NullStateStore(StateStore):
 
     def chain(self, fp: Any) -> List[Tuple[Any, str]]:
         return []
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        return iter(())
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        return iter(())
 
     def __len__(self) -> int:
         return 0

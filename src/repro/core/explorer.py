@@ -119,6 +119,17 @@ class BFSExplorer:
         )
 
 
-def bfs_explore(spec: Spec, **kwargs: Any) -> BFSResult:
-    """Run one BFS exploration of ``spec``; see :class:`BFSExplorer`."""
+def bfs_explore(spec: Spec, workers: int = 1, **kwargs: Any) -> BFSResult:
+    """Run one BFS exploration of ``spec``; see :class:`BFSExplorer`.
+
+    With ``workers > 1`` the search runs as a sharded parallel BFS
+    (:func:`repro.core.parallel.parallel_bfs`): the fingerprint space is
+    partitioned ``fp % workers`` across forked engine workers, which is
+    sound because :func:`~repro.core.state.fingerprint` is canonical and
+    process-stable.  Results are merged into the same :class:`BFSResult`.
+    """
+    if workers > 1:
+        from .parallel import parallel_bfs  # local import: parallel imports us
+
+        return parallel_bfs(spec, workers=workers, **kwargs)
     return BFSExplorer(spec, **kwargs).run()

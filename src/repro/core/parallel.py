@@ -1,0 +1,483 @@
+"""Sharded parallel BFS: N engine workers over a partitioned frontier.
+
+The scalability story of TLC-style stateful exploration is a visited-
+fingerprint set partitioned across workers.  This module provides that
+layer for the pure-Python kernel: breadth-first search driven by a
+master process and ``N`` worker processes, with the fingerprint space
+partitioned by ``fp % N`` ("owner computes").  It exists because
+:func:`repro.core.state.fingerprint` is canonical — a blake2b digest of
+the canonical state codec — so every process assigns every state to the
+same owner without any coordination.
+
+The search is level-synchronous; each round covers one BFS depth in two
+phases:
+
+1. **expand** — every worker pops its slice of the current frontier,
+   enumerates successors, checks transition invariants, and fingerprints
+   each (canonicalized) child.  Children owned by the worker itself are
+   deduplicated against its local :class:`~repro.core.engine.CompactStore`
+   on the spot; foreign children are batched per owner as
+   ``(codec bytes, fingerprint, parent fingerprint, action, depth)``.
+2. **absorb** — the master routes the batches and each owner merges
+   them: duplicates are dropped, new states are recorded with their
+   parent edge, state invariants are checked once per distinct state
+   (the same per-state/per-edge check counts as the serial engine), and
+   survivors join the owner's next frontier.
+
+The master aggregates per-round deltas into the unified
+:class:`~repro.core.engine.SearchStats`, decides the
+:class:`~repro.core.engine.StopReason` (violation, ``max_states``,
+``max_depth``, time budget, exhaustion), and — because rounds are
+level-synchronous — the first violating round still yields a
+minimal-depth counterexample.  Counterexample traces are rebuilt by
+merging every worker's parent edges (``StateStore.edges()``) into one
+store and re-executing from the initial state, exactly like the serial
+explorer.
+
+Workers are forked, so specs need not be picklable; all cross-process
+state travels as canonical codec bytes.  On platforms without ``fork``
+(or with ``workers <= 1``) :func:`parallel_bfs` transparently falls back
+to the serial :class:`~repro.core.explorer.BFSExplorer`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from collections import defaultdict, deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .engine import (
+    CompactStore,
+    SearchResult,
+    SearchStats,
+    StopReason,
+    reconstruct_trace,
+)
+from .spec import Spec
+from .state import decode, encode, fingerprint
+from .symmetry import SymmetryReducer
+from .trace import TraceStep
+from .violation import Violation
+
+__all__ = ["parallel_bfs", "ParallelBFS"]
+
+#: violation descriptor: (kind, invariant, depth, fp, action, args, branch,
+#: encoded target or None) — everything the master needs to rebuild the
+#: Violation once the workers' parent edges are merged.
+_ViolationDesc = Tuple[str, str, int, int, str, tuple, str, Optional[bytes]]
+
+_ROOT_ACTION = "<init>"
+
+
+def _make_reducer(spec: Spec, symmetry: bool) -> Optional[SymmetryReducer]:
+    if not symmetry:
+        return None
+    return SymmetryReducer(spec.symmetry_sets(), key=fingerprint)
+
+
+def _worker_main(
+    wid: int,
+    n_workers: int,
+    spec: Spec,
+    symmetry: bool,
+    stop_on_violation: bool,
+    in_q: Any,
+    out_q: Any,
+) -> None:
+    """One shard worker: owns fingerprints with ``fp % n_workers == wid``."""
+    try:
+        reducer = _make_reducer(spec, symmetry)
+        canon = reducer.canonical if reducer is not None else None
+        store = CompactStore()
+        frontier: deque = deque()
+        constraint = spec.state_constraint
+        successors = spec.successors
+        check_state = spec.check_state
+        check_transition = spec.check_transition
+        monotonic = time.monotonic
+
+        while True:
+            msg = in_q.get()
+            op = msg[0]
+
+            if op == "stop":
+                return
+
+            if op == "absorb":
+                added = 0
+                violations: List[_ViolationDesc] = []
+                for enc, fp, parent_fp, action, depth in msg[1]:
+                    if store.seen(fp):
+                        continue
+                    state = decode(enc)
+                    if parent_fp is None:
+                        store.record_init(fp, state)
+                    else:
+                        store.record(fp, parent_fp, action)
+                    added += 1
+                    bad = check_state(state)
+                    if bad is not None:
+                        violations.append(
+                            ("state", bad, depth, fp, action, (), "", None)
+                        )
+                    frontier.append((state, fp, depth))
+                out_q.put(("absorbed", wid, added, violations, len(frontier)))
+
+            elif op == "expand":
+                deadline = msg[1]
+                current, frontier = frontier, deque()
+                transitions = pruned = added = 0
+                truncated = stopping = False
+                batches: Dict[int, list] = defaultdict(list)
+                violations = []
+                while current and not stopping:
+                    state, fp, depth = current.popleft()
+                    if deadline is not None and monotonic() > deadline:
+                        truncated = True
+                        break
+                    if not constraint(state):
+                        pruned += 1
+                        continue
+                    for transition in successors(state):
+                        transitions += 1
+                        bad = check_transition(state, transition)
+                        if bad is not None:
+                            violations.append(
+                                (
+                                    "transition",
+                                    bad,
+                                    depth + 1,
+                                    fp,
+                                    transition.action,
+                                    tuple(transition.args),
+                                    transition.branch,
+                                    encode(transition.target),
+                                )
+                            )
+                            if stop_on_violation:
+                                stopping = True
+                                break
+                        target = transition.target
+                        child = canon(target) if canon is not None else target
+                        child_fp = fingerprint(child)
+                        if child_fp % n_workers == wid:
+                            if store.seen(child_fp):
+                                continue
+                            store.record(child_fp, fp, transition.action)
+                            added += 1
+                            bad = check_state(child)
+                            if bad is not None:
+                                violations.append(
+                                    (
+                                        "state",
+                                        bad,
+                                        depth + 1,
+                                        child_fp,
+                                        transition.action,
+                                        (),
+                                        "",
+                                        None,
+                                    )
+                                )
+                                if stop_on_violation:
+                                    stopping = True
+                                    break
+                            frontier.append((child, child_fp, depth + 1))
+                        else:
+                            batches[child_fp % n_workers].append(
+                                (
+                                    encode(child),
+                                    child_fp,
+                                    fp,
+                                    transition.action,
+                                    depth + 1,
+                                )
+                            )
+                out_q.put(
+                    (
+                        "expanded",
+                        wid,
+                        transitions,
+                        pruned,
+                        added,
+                        dict(batches),
+                        violations,
+                        len(frontier),
+                        truncated,
+                    )
+                )
+
+            elif op == "edges":
+                out_q.put(
+                    (
+                        "edges",
+                        wid,
+                        list(store.edges()),
+                        [(fp, encode(state)) for fp, state in store.roots()],
+                    )
+                )
+
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown parallel-BFS op {op!r}")
+    except BaseException:
+        out_q.put(("error", wid, traceback.format_exc()))
+
+
+class ParallelBFS:
+    """Master driver for the sharded parallel breadth-first search.
+
+    Mirrors the serial :class:`~repro.core.explorer.BFSExplorer` surface:
+    one instance runs one exploration and :meth:`run` returns the unified
+    :class:`~repro.core.engine.SearchResult`.  ``max_states`` is checked
+    between rounds, so the distinct-state count can overshoot the bound
+    by up to one BFS level (the serial explorer stops exactly at the
+    bound).
+    """
+
+    def __init__(
+        self,
+        spec: Spec,
+        workers: int = 2,
+        symmetry: bool = False,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        stop_on_violation: bool = True,
+        progress: Optional[Callable[[SearchStats], None]] = None,
+        progress_interval: int = 50_000,  # accepted for API parity; per-round here
+    ):
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.symmetry = symmetry
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.time_budget = time_budget
+        self.stop_on_violation = stop_on_violation
+        self.progress = progress
+        self.stats = SearchStats()
+
+    # -- the search ----------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        ctx = multiprocessing.get_context("fork")
+        n = self.workers
+        in_qs = [ctx.Queue() for _ in range(n)]
+        out_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    n,
+                    self.spec,
+                    self.symmetry,
+                    self.stop_on_violation,
+                    in_qs[wid],
+                    out_q,
+                ),
+                daemon=True,
+                name=f"sandtable-bfs-{wid}",
+            )
+            for wid in range(n)
+        ]
+        for proc in procs:
+            proc.start()
+        self._procs = procs
+        self._out_q = out_q
+        try:
+            return self._drive(in_qs, out_q)
+        finally:
+            for in_q in in_qs:
+                try:
+                    in_q.put(("stop",))
+                except Exception:
+                    pass
+            for proc in procs:
+                proc.join(timeout=5)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - hard shutdown
+                    proc.terminate()
+                    proc.join(timeout=5)
+            for in_q in in_qs + [out_q]:
+                in_q.close()
+                in_q.cancel_join_thread()
+
+    def _drive(self, in_qs: list, out_q: Any) -> SearchResult:
+        stats = self.stats = SearchStats()
+        monotonic = time.monotonic
+        started = monotonic()
+        deadline = (
+            started + self.time_budget if self.time_budget is not None else None
+        )
+        n = self.workers
+        stop_on_violation = self.stop_on_violation
+        violations: List[_ViolationDesc] = []
+        frontier_sizes: Dict[int, int] = {wid: 0 for wid in range(n)}
+
+        # -- seed: route deduplicated initial states to their owners --------
+        reducer = _make_reducer(self.spec, self.symmetry)
+        seed_batches: Dict[int, list] = defaultdict(list)
+        seeded = set()
+        for init in self.spec.init_states():
+            canon = reducer.canonical(init) if reducer is not None else init
+            fp = fingerprint(canon)
+            if fp in seeded:
+                continue
+            seeded.add(fp)
+            seed_batches[fp % n].append((encode(canon), fp, None, _ROOT_ACTION, 0))
+        targets = sorted(seed_batches)
+        for wid in targets:
+            in_qs[wid].put(("absorb", seed_batches[wid]))
+        for _, wid, added, viols, size in self._gather("absorbed", len(targets)):
+            stats.distinct_states += added
+            violations.extend(viols)
+            frontier_sizes[wid] = size
+
+        # -- level-synchronous rounds ---------------------------------------
+        def finish(reason: StopReason) -> SearchResult:
+            stats.elapsed = monotonic() - started
+            violation = self._build_violation(in_qs, violations, reducer)
+            exhausted = reason is StopReason.EXHAUSTED and (
+                violation is None or not stop_on_violation
+            )
+            return SearchResult(stats, violation, exhausted, reason)
+
+        depth = 0
+        while True:
+            if violations and stop_on_violation:
+                return finish(StopReason.VIOLATION)
+            if deadline is not None and monotonic() > deadline:
+                return finish(StopReason.TIME_BUDGET)
+            if (
+                self.max_states is not None
+                and stats.distinct_states >= self.max_states
+            ):
+                return finish(StopReason.MAX_STATES)
+            if not any(frontier_sizes.values()):
+                return finish(StopReason.EXHAUSTED)
+            if self.max_depth is not None and depth >= self.max_depth:
+                # BFS semantics: states at the depth bound are not expanded.
+                stats.max_depth = self.max_depth
+                return finish(StopReason.EXHAUSTED)
+
+            # expand: every worker pops its slice of the depth-`depth` level
+            for in_q in in_qs:
+                in_q.put(("expand", deadline))
+            round_batches: Dict[int, list] = defaultdict(list)
+            truncated = False
+            for (
+                _,
+                wid,
+                transitions,
+                pruned,
+                added,
+                batches,
+                viols,
+                size,
+                was_truncated,
+            ) in self._gather("expanded", n):
+                stats.transitions += transitions
+                stats.pruned += pruned
+                stats.distinct_states += added
+                violations.extend(viols)
+                frontier_sizes[wid] = size
+                truncated = truncated or was_truncated
+                for owner, items in batches.items():
+                    round_batches[owner].extend(items)
+            stats.max_depth = max(stats.max_depth, depth)
+
+            # absorb: owners dedupe and enqueue the routed children
+            targets = sorted(round_batches)
+            for wid in targets:
+                in_qs[wid].put(("absorb", round_batches[wid]))
+            for _, wid, added, viols, size in self._gather(
+                "absorbed", len(targets)
+            ):
+                stats.distinct_states += added
+                violations.extend(viols)
+                frontier_sizes[wid] = size
+
+            depth += 1
+            if self.progress is not None:
+                stats.elapsed = monotonic() - started
+                self.progress(stats)
+            if truncated:
+                return finish(StopReason.TIME_BUDGET)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _gather(self, kind: str, count: int) -> List[tuple]:
+        """Collect ``count`` messages of ``kind``, watching worker health."""
+        messages: List[tuple] = []
+        while len(messages) < count:
+            try:
+                msg = self._out_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                for proc in self._procs:
+                    if not proc.is_alive():
+                        raise RuntimeError(
+                            f"parallel BFS worker {proc.name} died unexpectedly"
+                        ) from None
+                continue
+            if msg[0] == "error":
+                raise RuntimeError(
+                    f"parallel BFS worker {msg[1]} failed:\n{msg[2]}"
+                )
+            if msg[0] != kind:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unexpected {msg[0]!r} (awaiting {kind!r})")
+            messages.append(msg)
+        return messages
+
+    def _build_violation(
+        self,
+        in_qs: list,
+        violations: List[_ViolationDesc],
+        reducer: Optional[SymmetryReducer],
+    ) -> Optional[Violation]:
+        """Reconstruct the minimal-depth violation from merged worker edges."""
+        if not violations:
+            return None
+        # Level synchrony guarantees all candidates from the stopping round
+        # share the minimal depth; the rest of the key makes the pick
+        # deterministic across runs.
+        kind, invariant, _, fp, action, args, branch, target_enc = min(
+            violations, key=lambda v: (v[2], v[1], v[0], v[3])
+        )
+        merged = CompactStore()
+        for in_q in in_qs:
+            in_q.put(("edges",))
+        for _, _, edges, roots in self._gather("edges", len(in_qs)):
+            for edge_fp, parent_fp, edge_action in edges:
+                if parent_fp is not None:
+                    merged.record(edge_fp, parent_fp, edge_action)
+            for root_fp, enc in roots:
+                merged.record_init(root_fp, decode(enc))
+        canonical = reducer.canonical if reducer is not None else None
+        trace = reconstruct_trace(self.spec, merged, fp, canonical, fingerprint)
+        if kind == "transition":
+            trace = trace.extend(
+                TraceStep(action, tuple(args), decode(target_enc), branch)
+            )
+        return Violation(invariant, trace, kind=kind)
+
+
+def parallel_bfs(
+    spec: Spec,
+    workers: int = 2,
+    **kwargs: Any,
+) -> SearchResult:
+    """Run a sharded parallel BFS of ``spec`` across ``workers`` processes.
+
+    Accepts the :class:`ParallelBFS` options (``symmetry``, ``max_states``,
+    ``max_depth``, ``time_budget``, ``stop_on_violation``, ``progress``).
+    Falls back to the serial explorer when ``workers <= 1`` or the
+    platform has no ``fork`` start method.
+    """
+    if workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        from .explorer import BFSExplorer
+
+        return BFSExplorer(spec, **kwargs).run()
+    return ParallelBFS(spec, workers=workers, **kwargs).run()

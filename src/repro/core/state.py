@@ -1,4 +1,4 @@
-"""Immutable state values and canonical fingerprinting.
+"""Immutable state values, the canonical state codec, and fingerprinting.
 
 Specification states are immutable so that the stateful BFS explorer can
 hash, deduplicate and safely share them.  The building block is :class:`Rec`,
@@ -9,15 +9,38 @@ All values stored in a state must be *frozen*: ints, strings, booleans,
 ``None``, tuples, frozensets, or nested :class:`Rec` instances.
 :func:`freeze` converts ordinary dicts/lists/sets into frozen form, and
 :func:`thaw` converts back for serialization and debugging.
+
+State identity is defined by the **canonical codec**: :func:`encode` maps
+every frozen value to a unique byte string (equal values encode equally,
+different values differently — records are serialized in a canonical key
+order and frozensets in sorted-encoding order), and :func:`decode` maps it
+back (``decode(encode(x)) == x``).  :func:`fingerprint` is a 64-bit
+blake2b digest of that encoding: unlike Python's ``hash`` it does not
+depend on ``PYTHONHASHSEED``, so fingerprints agree across processes and
+runs — the property the sharded parallel explorer
+(:mod:`repro.core.parallel`) and any future disk-backed or distributed
+state store rely on.  Fingerprints and encodings are cached on
+:class:`Rec`, so functional updates that share substructure encode mostly
+from cache.
 """
 
 from __future__ import annotations
 
-import hashlib
+import struct
 from collections.abc import Mapping
-from typing import Any, Callable, Iterator, Tuple
+from hashlib import blake2b
+from typing import Any, Callable, Iterator, List, Tuple
 
-__all__ = ["Rec", "freeze", "thaw", "fingerprint", "strong_fingerprint", "substitute"]
+__all__ = [
+    "Rec",
+    "freeze",
+    "thaw",
+    "encode",
+    "decode",
+    "fingerprint",
+    "strong_fingerprint",
+    "substitute",
+]
 
 _FROZEN_SCALARS = (int, float, str, bytes, bool, type(None))
 
@@ -30,7 +53,7 @@ class Rec(Mapping):
     order.
     """
 
-    __slots__ = ("_dict", "_hash")
+    __slots__ = ("_dict", "_hash", "_enc", "_fp")
 
     def __init__(self, mapping: Any = (), **kwargs: Any):
         if isinstance(mapping, Rec):
@@ -42,6 +65,8 @@ class Rec(Mapping):
             _check_frozen(value, key)
         self._dict = base
         self._hash = None
+        self._enc = None
+        self._fp = None
 
     # -- Mapping interface -------------------------------------------------
 
@@ -62,7 +87,8 @@ class Rec(Mapping):
     def __hash__(self) -> int:
         # Order-independent and cached; nested Recs cache their own
         # hashes, so functional updates that share substructure hash
-        # mostly from cache.
+        # mostly from cache.  (Per-process only — cross-process identity
+        # goes through fingerprint().)
         if self._hash is None:
             self._hash = hash(frozenset(self._dict.items()))
         return self._hash
@@ -78,6 +104,11 @@ class Rec(Mapping):
         inner = ", ".join(f"{k!r}: {v!r}" for k, v in self.items_sorted())
         return f"Rec({{{inner}}})"
 
+    def __reduce__(self):
+        # Pickle only the contents; caches are rebuilt lazily on the
+        # other side (where they are recomputed identically anyway).
+        return (_rec_from_dict, (self._dict,))
+
     # -- functional update ---------------------------------------------------
 
     @classmethod
@@ -86,6 +117,8 @@ class Rec(Mapping):
         rec = object.__new__(cls)
         rec._dict = contents
         rec._hash = None
+        rec._enc = None
+        rec._fp = None
         return rec
 
     def set(self, key: Any, value: Any) -> "Rec":
@@ -120,6 +153,10 @@ class Rec(Mapping):
     def items_sorted(self) -> Tuple[Tuple[Any, Any], ...]:
         """Items in a canonical (type-name, repr) key order."""
         return tuple(sorted(self._dict.items(), key=_key_sort))
+
+
+def _rec_from_dict(contents: dict) -> Rec:
+    return Rec._make(contents)
 
 
 def _key_sort(item: Tuple[Any, Any]) -> Tuple[str, str]:
@@ -170,47 +207,298 @@ def thaw(value: Any) -> Any:
 
 def _thaw_key(key: Any) -> Any:
     if isinstance(key, tuple):
-        return "|".join(str(part) for part in key)
+        return "|".join(_thaw_key_part(part) for part in key)
     return key
 
 
+def _thaw_key_part(part: Any) -> str:
+    """Render one tuple-key component collision-free.
+
+    Separator and escape characters inside a component are escaped, and
+    nested tuples are parenthesized, so distinct tuple keys always render
+    to distinct strings — ``("a", "b|c")`` becomes ``a|b\\|c`` while
+    ``("a|b", "c")`` becomes ``a\\|b|c``.  Typical keys (node ids, pairs
+    of node ids) render exactly as before.
+    """
+    if isinstance(part, tuple):
+        return "(" + "|".join(_thaw_key_part(p) for p in part) + ")"
+    return (
+        str(part)
+        .replace("\\", "\\\\")
+        .replace("|", "\\|")
+        .replace("(", "\\(")
+        .replace(")", "\\)")
+    )
+
+
+# ---------------------------------------------------------------------------
+# the canonical codec
+# ---------------------------------------------------------------------------
+#
+# One byte tag per value, followed by a self-delimiting payload:
+#
+#   N                      None
+#   T / F                  True / False
+#   i <uvarint>            int (zigzag-encoded, arbitrary precision)
+#   f <8 bytes>            float (IEEE-754 big-endian)
+#   s <uvarint> <utf-8>    str
+#   b <uvarint> <raw>      bytes
+#   t <uvarint> <items>    tuple, in order
+#   S <uvarint> <items>    frozenset, items sorted by their encodings
+#   R <uvarint> <pairs>    Rec, (key enc + value enc) pairs sorted bytewise
+#
+# The code is uniquely decodable from the front, hence prefix-free, so
+# sorting concatenated encodings gives a canonical container order that
+# is identical in every process.  Rec caches its encoding, so encoding a
+# functionally-updated state only re-serializes the changed subtree.
+
+_T_NONE = 0x4E  # 'N'
+_T_TRUE = 0x54  # 'T'
+_T_FALSE = 0x46  # 'F'
+_T_INT = 0x69  # 'i'
+_T_FLOAT = 0x66  # 'f'
+_T_STR = 0x73  # 's'
+_T_BYTES = 0x62  # 'b'
+_T_TUPLE = 0x74  # 't'
+_T_SET = 0x53  # 'S'
+_T_REC = 0x52  # 'R'
+
+_pack_float = struct.Struct(">d").pack
+_unpack_float = struct.Struct(">d").unpack_from
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    cls = value.__class__
+    if cls is Rec:
+        enc = value._enc
+        out += enc if enc is not None else _encode_rec(value)
+    elif cls is str:
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_uvarint(out, len(data))
+        out += data
+    elif cls is int:
+        out.append(_T_INT)
+        _write_uvarint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+    elif cls is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif cls is tuple:
+        out.append(_T_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif cls is frozenset:
+        out.append(_T_SET)
+        _write_uvarint(out, len(value))
+        for part in sorted(encode(item) for item in value):
+            out += part
+    elif value is None:
+        out.append(_T_NONE)
+    elif cls is float:
+        out.append(_T_FLOAT)
+        out += _pack_float(value)
+    elif cls is bytes:
+        out.append(_T_BYTES)
+        _write_uvarint(out, len(value))
+        out += value
+    elif isinstance(value, Rec):  # Rec subclass
+        enc = value._enc
+        out += enc if enc is not None else _encode_rec(value)
+    elif isinstance(value, _FROZEN_SCALARS) or isinstance(value, (tuple, frozenset)):
+        # subclass of a frozen type (e.g. IntEnum): encode as the base type
+        _encode_into(out, _as_base(value))
+    else:
+        raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _as_base(value: Any) -> Any:
+    if isinstance(value, bool):
+        return bool(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return str(value)
+    if isinstance(value, bytes):
+        return bytes(value)
+    if isinstance(value, tuple):
+        return tuple(value)
+    return frozenset(value)
+
+
+#: canonical pair layouts, interned per key set — record shapes (state
+#: variables, per-node maps, message records) recur across millions of
+#: states, so the sort runs once per shape, not once per encode.  Keyed
+#: by the keys in dict insertion order; different insertion orders of
+#: one key set cost an extra entry but produce the same canonical layout.
+_LAYOUT: dict = {}
+
+
+def _encode_key(key: Any) -> bytes:
+    out = bytearray()
+    _encode_into(out, key)
+    return bytes(out)
+
+
+def _layout_for(keys: Tuple[Any, ...]) -> List[Tuple[bytes, Any]]:
+    # Keys are unique and the code is prefix-free, so sorting by the key
+    # encoding alone fixes a canonical pair order.
+    layout = sorted((_encode_key(key), key) for key in keys)
+    _LAYOUT[keys] = layout
+    return layout
+
+
+def _encode_rec(rec: Rec) -> bytes:
+    contents = rec._dict
+    keys = tuple(contents)
+    layout = _LAYOUT.get(keys)
+    if layout is None:
+        layout = _layout_for(keys)
+    out = bytearray()
+    out.append(_T_REC)
+    _write_uvarint(out, len(contents))
+    for key_enc, key in layout:
+        out += key_enc
+        value = contents[key]
+        if value.__class__ is Rec:  # inlined hot path: cached nested Rec
+            enc = value._enc
+            out += enc if enc is not None else _encode_rec(value)
+        else:
+            _encode_into(out, value)
+    enc = bytes(out)
+    rec._enc = enc
+    return enc
+
+
+def encode(value: Any) -> bytes:
+    """Serialize a frozen value to its canonical byte encoding.
+
+    Equal values (regardless of record key insertion order or frozenset
+    iteration order) produce identical bytes; different values produce
+    different bytes.  The encoding is stable across processes, runs, and
+    ``PYTHONHASHSEED`` values.
+    """
+    if value.__class__ is Rec:
+        enc = value._enc
+        return enc if enc is not None else _encode_rec(value)
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _read_uvarint(data: bytes, i: int) -> Tuple[int, int]:
+    shift = 0
+    n = 0
+    while True:
+        byte = data[i]
+        i += 1
+        n |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return n, i
+        shift += 7
+
+
+def _decode_at(data: bytes, i: int) -> Tuple[Any, int]:
+    tag = data[i]
+    start = i
+    i += 1
+    if tag == _T_STR:
+        length, i = _read_uvarint(data, i)
+        return data[i : i + length].decode("utf-8"), i + length
+    if tag == _T_INT:
+        n, i = _read_uvarint(data, i)
+        return (n >> 1) if not n & 1 else -((n + 1) >> 1), i
+    if tag == _T_REC:
+        count, i = _read_uvarint(data, i)
+        contents = {}
+        for _ in range(count):
+            key, i = _decode_at(data, i)
+            value, i = _decode_at(data, i)
+            contents[key] = value
+        rec = Rec._make(contents)
+        rec._enc = bytes(data[start:i])
+        return rec, i
+    if tag == _T_TUPLE:
+        count, i = _read_uvarint(data, i)
+        items = []
+        for _ in range(count):
+            item, i = _decode_at(data, i)
+            items.append(item)
+        return tuple(items), i
+    if tag == _T_SET:
+        count, i = _read_uvarint(data, i)
+        items = []
+        for _ in range(count):
+            item, i = _decode_at(data, i)
+            items.append(item)
+        return frozenset(items), i
+    if tag == _T_NONE:
+        return None, i
+    if tag == _T_TRUE:
+        return True, i
+    if tag == _T_FALSE:
+        return False, i
+    if tag == _T_FLOAT:
+        return _unpack_float(data, i)[0], i + 8
+    if tag == _T_BYTES:
+        length, i = _read_uvarint(data, i)
+        return bytes(data[i : i + length]), i + length
+    raise ValueError(f"invalid codec tag {tag:#x} at offset {start}")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize a canonical encoding back into the frozen value.
+
+    The inverse of :func:`encode`: ``decode(encode(x)) == x`` for every
+    frozen value.  Raises :class:`ValueError` on malformed input.
+    """
+    value, end = _decode_at(data, 0)
+    if end != len(data):
+        raise ValueError(f"trailing bytes after offset {end}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
 def fingerprint(state: Any) -> int:
-    """Fast 64-bit-class fingerprint of a frozen state (per-run stable)."""
-    return hash(state)
+    """Canonical 64-bit fingerprint of a frozen state.
+
+    A blake2b digest of the canonical encoding, so — unlike ``hash`` —
+    it is identical across processes, runs, and ``PYTHONHASHSEED``
+    values, which is what lets parallel workers and cross-run state
+    stores agree on state identity.  Cached on :class:`Rec`.
+    """
+    if isinstance(state, Rec):
+        fp = state._fp
+        if fp is None:
+            fp = int.from_bytes(
+                blake2b(encode(state), digest_size=8).digest(), "big"
+            )
+            state._fp = fp
+        return fp
+    return int.from_bytes(blake2b(encode(state), digest_size=8).digest(), "big")
 
 
 def strong_fingerprint(state: Any) -> bytes:
-    """Collision-resistant fingerprint, stable across runs.
+    """128-bit collision-resistant fingerprint, stable across runs.
 
-    Slower than :func:`fingerprint`; used when exact deduplication matters
-    (e.g. cross-run comparisons in tests).
+    A wider digest of the same canonical encoding as :func:`fingerprint`,
+    for callers that want effectively-zero collision probability (e.g.
+    cross-run comparisons in tests) at the cost of bytes objects instead
+    of machine ints.
     """
-    digest = hashlib.blake2b(digest_size=16)
-    _feed(digest, state)
-    return digest.digest()
-
-
-def _feed(digest: "hashlib._Hash", value: Any) -> None:
-    if isinstance(value, Rec):
-        digest.update(b"R")
-        for key, val in value.items_sorted():
-            _feed(digest, key)
-            _feed(digest, val)
-        digest.update(b"r")
-    elif isinstance(value, tuple):
-        digest.update(b"T")
-        for val in value:
-            _feed(digest, val)
-        digest.update(b"t")
-    elif isinstance(value, frozenset):
-        digest.update(b"S")
-        parts = sorted(strong_fingerprint(v) for v in value)
-        for part in parts:
-            digest.update(part)
-        digest.update(b"s")
-    else:
-        digest.update(type(value).__name__.encode())
-        digest.update(repr(value).encode())
+    return blake2b(encode(state), digest_size=16).digest()
 
 
 def substitute(value: Any, mapping: Mapping) -> Any:

@@ -131,6 +131,7 @@ def run_workflow(
     max_states: int = 200_000,
     time_budget: float = 60.0,
     seed: int = 0,
+    workers: int = 1,
 ) -> WorkflowResult:
     """Run the Figure 1 workflow for one target system.
 
@@ -167,7 +168,7 @@ def run_workflow(
     for score in ranked.top(top_constraints):
         spec = spec_factory(score.constraint)
         exploration = bfs_explore(
-            spec, max_states=max_states, time_budget=time_budget
+            spec, max_states=max_states, time_budget=time_budget, workers=workers
         )
         confirmation = None
         if exploration.found_violation:

@@ -1,0 +1,172 @@
+"""Canonical state codec and process-stable fingerprints.
+
+The codec is the identity layer everything sharded builds on: two
+processes with different ``PYTHONHASHSEED`` (so different ``hash()``)
+must produce byte-identical encodings and therefore identical 64-bit
+fingerprints for equal states.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.state import Rec, decode, encode, fingerprint, strong_fingerprint, thaw
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def frozen_values():
+    """Strategy over the frozen value universe the codec must cover."""
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.floats(allow_nan=False),
+        st.text(max_size=8),
+        st.binary(max_size=8),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4).map(tuple),
+            st.lists(children, max_size=4).map(lambda xs: frozenset(xs)),
+            st.dictionaries(st.text(max_size=4), children, max_size=4).map(
+                lambda d: Rec(d)
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            1,
+            127,
+            128,
+            -(2**64) - 3,
+            2**100,
+            0.0,
+            -2.5,
+            float("inf"),
+            "",
+            "héllo",
+            b"",
+            b"\x00\xff",
+            (),
+            (1, "a", None),
+            frozenset(),
+            frozenset({1, 2, 3}),
+            Rec(),
+            Rec(a=1, b=(True, frozenset({"x"}))),
+            Rec({("n1", "n2"): Rec(log=("e1",))}),
+        ],
+    )
+    def test_examples(self, value):
+        assert decode(encode(value)) == value
+
+    @given(frozen_values())
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    @given(frozen_values())
+    def test_encoding_is_canonical(self, value):
+        # equal values re-built a second way encode identically
+        assert encode(value) == encode(decode(encode(value)))
+
+    def test_key_order_irrelevant(self):
+        assert encode(Rec(a=1, b=2)) == encode(Rec(b=2, a=1))
+
+    def test_set_order_irrelevant(self):
+        assert encode(frozenset({"a", "b", "c"})) == encode(frozenset({"c", "a", "b"}))
+
+    def test_type_tags_distinguish(self):
+        assert encode(1) != encode(True)
+        assert encode(0) != encode(False)
+        assert encode(1) != encode(1.0)
+        assert encode("1") != encode(1)
+        assert encode(b"x") != encode("x")
+        assert encode(()) != encode(frozenset())
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            decode(encode(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode(b"\xff")
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+
+class TestFingerprintStability:
+    def test_64_bit(self):
+        fp = fingerprint(Rec(x=1))
+        assert 0 <= fp < 2**64
+
+    def test_cached_on_rec(self):
+        rec = Rec(x=(1, 2))
+        assert fingerprint(rec) == fingerprint(rec)
+        assert rec._fp is not None
+
+    @given(frozen_values(), frozen_values())
+    def test_equal_iff_encoding_equal(self, a, b):
+        assert (encode(a) == encode(b)) == (a == b)
+
+    def test_strong_fingerprint_is_128_bit(self):
+        digest = strong_fingerprint(Rec(x=1))
+        assert isinstance(digest, bytes) and len(digest) == 16
+
+    @pytest.mark.parametrize("hashseed", ["0", "1", "4242"])
+    def test_stable_across_hash_seeds(self, hashseed):
+        """fingerprint() must not depend on PYTHONHASHSEED (unlike hash())."""
+        program = (
+            "from repro.core.state import Rec, fingerprint, strong_fingerprint\n"
+            "state = Rec(leader='n2', voted=frozenset({'n1', 'n3'}),\n"
+            "            log=(Rec(term=1, cmd='x'),), nums=(0, -7, 2**70))\n"
+            "print(fingerprint(state), strong_fingerprint(state).hex())\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split()
+        state = Rec(
+            leader="n2",
+            voted=frozenset({"n1", "n3"}),
+            log=(Rec(term=1, cmd="x"),),
+            nums=(0, -7, 2**70),
+        )
+        assert int(out[0]) == fingerprint(state)
+        assert out[1] == strong_fingerprint(state).hex()
+
+
+class TestThawKeys:
+    def test_tuple_keys_flatten(self):
+        assert thaw(Rec({("n1", "n2"): 1})) == {"n1|n2": 1}
+
+    def test_colliding_tuple_keys_stay_distinct(self):
+        # the old "|".join flattened these to the same key
+        rec = Rec({("a", "b|c"): 1, ("a|b", "c"): 2})
+        thawed = thaw(rec)
+        assert len(thawed) == 2
+        assert sorted(thawed.values()) == [1, 2]
+
+    def test_nested_tuple_keys_stay_distinct(self):
+        rec = Rec({(("a", "b"), "c"): 1, ("a", ("b", "c")): 2})
+        thawed = thaw(rec)
+        assert len(thawed) == 2
