@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 from .bugs import BUGS, detect
 from .conformance import BugReplayer, ConformanceChecker, mapping_for
 from .core import bfs_explore, simulate
+from .persist import RunDirError, load_violation, save_violation
 from .specs.raft import (
     DaosRaftSpec,
     PySyncObjSpec,
@@ -65,16 +66,35 @@ def cmd_bugs(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
-    result = bfs_explore(
-        spec,
-        max_states=args.max_states,
-        time_budget=args.time_budget,
-        symmetry=args.symmetry,
-        workers=args.workers,
-    )
+    durable = {}
+    if args.run_dir:
+        durable = dict(
+            run_dir=args.run_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_states=args.checkpoint_states,
+        )
+    elif args.resume:
+        print("--resume requires --run-dir", file=sys.stderr)
+        return 2
+    try:
+        result = bfs_explore(
+            spec,
+            max_states=args.max_states,
+            time_budget=args.time_budget,
+            symmetry=args.symmetry,
+            workers=args.workers,
+            **durable,
+        )
+    except RunDirError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     print(f"explored {result.describe()}")
     if result.found_violation:
         print(result.violation.describe())
+        if args.out:
+            save_violation(args.out, result.violation)
+            print(f"saved violation trace to {args.out}")
         return 1
     print("no violation found")
     return 0
@@ -145,10 +165,42 @@ def cmd_detect(args: argparse.Namespace) -> int:
         f" (paper: {row['paper_time']}, depth {row['paper_depth']},"
         f" {row['paper_states']} states)"
     )
+    if result.found and args.out:
+        save_violation(args.out, result.violation, bug=bug.bug_id)
+        print(f"saved violation trace to {args.out}")
     return 0 if result.found else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
+    if args.trace:
+        # Replay a saved counterexample: no re-exploration, just the
+        # deterministic implementation-level confirmation.
+        try:
+            violation = load_violation(args.trace)
+        except RunDirError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.bug_id:
+            bug = BUGS[args.bug_id]
+            spec = bug.make_spec()
+            system = bug.system
+        elif args.system:
+            spec = make_spec(args.system, args.nodes, args.bug, None)
+            system = args.system
+        else:
+            print("replay --trace needs a bug_id or --system", file=sys.stderr)
+            return 2
+        checker = ConformanceChecker(
+            spec, SYSTEMS[system], mapping_for(system, spec.nodes)
+        )
+        confirmation = BugReplayer(checker).confirm(violation)
+        print(confirmation.describe())
+        if confirmation.confirmed:
+            print(violation.trace.summary())
+        return 0 if confirmation.confirmed else 1
+    if not args.bug_id:
+        print("replay needs a bug_id (or --trace FILE)", file=sys.stderr)
+        return 2
     bug = BUGS[args.bug_id]
     result = detect(bug, time_budget=args.time_budget, seed=args.seed)
     if not result.found:
@@ -195,6 +247,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel BFS worker processes (fingerprint-sharded; 1 = serial)",
     )
+    check.add_argument(
+        "--run-dir",
+        help="durable run directory: disk-backed store + crash-safe checkpoints",
+    )
+    check.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the checkpointed run in --run-dir",
+    )
+    check.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="checkpoint cadence in seconds (default 60 with --run-dir)",
+    )
+    check.add_argument(
+        "--checkpoint-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also checkpoint every N newly recorded states",
+    )
+    check.add_argument(
+        "--out", help="save the violation trace as a replayable JSON artifact"
+    )
     check.set_defaults(fn=cmd_check)
 
     sim = sub.add_parser("simulate", help="random-walk exploration")
@@ -219,10 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("bug_id", choices=sorted(BUGS))
     det.add_argument("--time-budget", type=float, default=120.0)
     det.add_argument("--seed", type=int, default=0)
+    det.add_argument(
+        "--out", help="save the violation trace as a replayable JSON artifact"
+    )
     det.set_defaults(fn=cmd_detect)
 
     rep = sub.add_parser("replay", help="detect and confirm at the impl level")
-    rep.add_argument("bug_id", choices=sorted(BUGS))
+    rep.add_argument("bug_id", nargs="?", choices=sorted(BUGS))
+    rep.add_argument(
+        "--trace",
+        help="replay this saved trace artifact instead of re-exploring",
+    )
+    rep.add_argument(
+        "--system",
+        choices=sorted(SPEC_CLASSES),
+        help="spec for --trace replay when no bug_id is given",
+    )
+    rep.add_argument("--nodes", type=int, default=3)
+    rep.add_argument("--bug", action="append", default=[], help="seed a bug flag")
     rep.add_argument("--time-budget", type=float, default=120.0)
     rep.add_argument("--seed", type=int, default=0)
     rep.set_defaults(fn=cmd_replay)

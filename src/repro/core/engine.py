@@ -868,6 +868,7 @@ class ExplorationEngine:
         fingerprint_fn: Callable[[Rec], Any] = fingerprint,
         progress: Optional[Callable[[SearchStats], None]] = None,
         progress_interval: int = 50_000,
+        checkpointer: Optional[Any] = None,
     ):
         self.spec = spec
         self.strategy = strategy
@@ -883,10 +884,21 @@ class ExplorationEngine:
         self.fingerprint = fingerprint_fn
         self.progress = progress
         self.progress_interval = progress_interval
+        self.checkpointer = checkpointer
         self.stats = SearchStats()
 
-    def run(self) -> SearchResult:
-        stats = self.stats = SearchStats()
+    def run(self, resume: Optional[Any] = None) -> SearchResult:
+        """Run the exploration; ``resume`` continues a checkpointed run.
+
+        ``resume`` (a :class:`repro.persist.checkpoint.ResumeState`)
+        replaces seeding: the engine adopts the checkpointed stats and
+        already-collected violations and starts popping the restored
+        frontier.  Checkpoints are taken at state boundaries — points
+        the uninterrupted run also passes through — so a deterministic
+        strategy resumed this way re-executes the identical step
+        sequence and returns the identical :class:`SearchResult`.
+        """
+        stats = self.stats = SearchStats() if resume is None else resume.stats
         strategy = self.strategy
         strategy.bind(self)
         checker = self.checker
@@ -896,7 +908,10 @@ class ExplorationEngine:
 
         # Hot-loop locals: every name below is read once per transition.
         monotonic = time.monotonic
-        started = monotonic()
+        # A resumed run has already burned resume.stats.elapsed of its
+        # budget; backdating the start keeps time accounting cumulative.
+        started = monotonic() - stats.elapsed
+        checkpointer = self.checkpointer
         reducer = self.reducer
         canon_fn = reducer.canonical if reducer is not None else None
         fp_fn = self.fingerprint
@@ -929,24 +944,35 @@ class ExplorationEngine:
                 violation = checker.first_violation
             return SearchResult(stats, violation, exhausted, reason)
 
-        # -- seed the frontier with initial states ---------------------------
-        for init in strategy.initial_states(spec):
-            canon = canon_fn(init) if canon_fn is not None else init
-            fp = fp_fn(canon) if dedupe else None
-            if dedupe:
-                if store_seen(fp):
-                    continue
-                store.record_init(fp, canon)
-            stats.distinct_states += 1
-            if tracks:
-                strategy.on_seed(canon, fp)
-            violation = check_state(canon, fp, None)
-            if violation is not None and stop_on_violation:
-                return finish(StopReason.VIOLATION, violation)
-            push((canon, fp, 0))
+        if resume is not None:
+            # The original run already seeded (and checked) the initial
+            # states; adopt its pending frontier and prior violations.
+            checker.violations.extend(resume.violations)
+            for node in resume.frontier:
+                push(node)
+        else:
+            # -- seed the frontier with initial states -----------------------
+            for init in strategy.initial_states(spec):
+                canon = canon_fn(init) if canon_fn is not None else init
+                fp = fp_fn(canon) if dedupe else None
+                if dedupe:
+                    if store_seen(fp):
+                        continue
+                    store.record_init(fp, canon)
+                stats.distinct_states += 1
+                if tracks:
+                    strategy.on_seed(canon, fp)
+                violation = check_state(canon, fp, None)
+                if violation is not None and stop_on_violation:
+                    return finish(StopReason.VIOLATION, violation)
+                push((canon, fp, 0))
 
         # -- the step loop ----------------------------------------------------
         while frontier:
+            # State boundary: everything recorded is consistent with the
+            # pending frontier, so this is the one safe checkpoint point.
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint(self, monotonic() - started)
             state, fp, depth = frontier.popleft()
             if depth > stats.max_depth:
                 stats.max_depth = depth

@@ -26,6 +26,7 @@ from .engine import (
     InMemoryStateStore,
     SearchResult,
     SearchStats,
+    StateStore,
     StepChecker,
     find_matching_step,
     reconstruct_trace,
@@ -58,6 +59,8 @@ class BFSExplorer:
         strong_fingerprints: bool = False,
         progress: Optional[Callable[[BFSStats], None]] = None,
         progress_interval: int = 50_000,
+        store: Optional[StateStore] = None,
+        checkpointer: Optional[Any] = None,
     ):
         self.spec = spec
         self.max_states = max_states
@@ -70,7 +73,7 @@ class BFSExplorer:
         self.reducer = (
             SymmetryReducer(spec.symmetry_sets(), key=self._fp) if symmetry else None
         )
-        self.store = InMemoryStateStore()
+        self.store = store if store is not None else InMemoryStateStore()
         self.checker = StepChecker(spec)
         self.strategy = FIFOFrontier()
         self.engine = ExplorationEngine(
@@ -86,6 +89,7 @@ class BFSExplorer:
             fingerprint_fn=self._fp,
             progress=progress,
             progress_interval=progress_interval,
+            checkpointer=checkpointer,
         )
 
     @property
@@ -95,8 +99,8 @@ class BFSExplorer:
 
     # -- the search ----------------------------------------------------------
 
-    def run(self) -> BFSResult:
-        return self.engine.run()
+    def run(self, resume: Optional[Any] = None) -> BFSResult:
+        return self.engine.run(resume=resume)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -119,7 +123,15 @@ class BFSExplorer:
         )
 
 
-def bfs_explore(spec: Spec, workers: int = 1, **kwargs: Any) -> BFSResult:
+def bfs_explore(
+    spec: Spec,
+    workers: int = 1,
+    run_dir: Optional[Any] = None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_states: Optional[int] = None,
+    resume: bool = False,
+    **kwargs: Any,
+) -> BFSResult:
     """Run one BFS exploration of ``spec``; see :class:`BFSExplorer`.
 
     With ``workers > 1`` the search runs as a sharded parallel BFS
@@ -127,7 +139,24 @@ def bfs_explore(spec: Spec, workers: int = 1, **kwargs: Any) -> BFSResult:
     partitioned ``fp % workers`` across forked engine workers, which is
     sound because :func:`~repro.core.state.fingerprint` is canonical and
     process-stable.  Results are merged into the same :class:`BFSResult`.
+
+    With ``run_dir`` the run is durable (:func:`repro.persist.run_check`):
+    a disk-backed state store, periodic crash-safe checkpoints every
+    ``checkpoint_every`` seconds and/or ``checkpoint_states`` new states,
+    and ``resume=True`` to continue a checkpointed run.
     """
+    if run_dir is not None:
+        from ..persist.runner import run_check  # local import: persist imports core
+
+        return run_check(
+            spec,
+            run_dir,
+            workers=workers,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            checkpoint_states=checkpoint_states,
+            **kwargs,
+        )
     if workers > 1:
         from .parallel import parallel_bfs  # local import: parallel imports us
 

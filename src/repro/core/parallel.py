@@ -220,6 +220,19 @@ def _worker_main(
                     )
                 )
 
+            elif op == "checkpoint":
+                # Local import: persist depends on core, never the reverse.
+                from ..persist.checkpoint import write_worker_checkpoint
+
+                write_worker_checkpoint(msg[1], store, frontier)
+                out_q.put(("checkpointed", wid))
+
+            elif op == "restore":
+                from ..persist.checkpoint import load_worker_checkpoint
+
+                frontier = deque(load_worker_checkpoint(msg[1], store))
+                out_q.put(("restored", wid, len(frontier)))
+
             else:  # pragma: no cover - protocol error
                 raise RuntimeError(f"unknown parallel-BFS op {op!r}")
     except BaseException:
@@ -248,6 +261,8 @@ class ParallelBFS:
         stop_on_violation: bool = True,
         progress: Optional[Callable[[SearchStats], None]] = None,
         progress_interval: int = 50_000,  # accepted for API parity; per-round here
+        checkpointer: Optional[Any] = None,
+        resume: Optional[Any] = None,
     ):
         self.spec = spec
         self.workers = max(1, int(workers))
@@ -257,6 +272,8 @@ class ParallelBFS:
         self.time_budget = time_budget
         self.stop_on_violation = stop_on_violation
         self.progress = progress
+        self.checkpointer = checkpointer
+        self.resume = resume
         self.stats = SearchStats()
 
     # -- the search ----------------------------------------------------------
@@ -306,35 +323,59 @@ class ParallelBFS:
                 in_q.cancel_join_thread()
 
     def _drive(self, in_qs: list, out_q: Any) -> SearchResult:
-        stats = self.stats = SearchStats()
+        resume = self.resume
+        checkpointer = self.checkpointer
+        stats = self.stats = SearchStats() if resume is None else resume.stats
         monotonic = time.monotonic
-        started = monotonic()
+        # Backdated on resume, so the time budget stays cumulative.
+        started = monotonic() - stats.elapsed
         deadline = (
             started + self.time_budget if self.time_budget is not None else None
         )
         n = self.workers
         stop_on_violation = self.stop_on_violation
-        violations: List[_ViolationDesc] = []
-        frontier_sizes: Dict[int, int] = {wid: 0 for wid in range(n)}
-
-        # -- seed: route deduplicated initial states to their owners --------
         reducer = _make_reducer(self.spec, self.symmetry)
-        seed_batches: Dict[int, list] = defaultdict(list)
-        seeded = set()
-        for init in self.spec.init_states():
-            canon = reducer.canonical(init) if reducer is not None else init
-            fp = fingerprint(canon)
-            if fp in seeded:
-                continue
-            seeded.add(fp)
-            seed_batches[fp % n].append((encode(canon), fp, None, _ROOT_ACTION, 0))
-        targets = sorted(seed_batches)
-        for wid in targets:
-            in_qs[wid].put(("absorb", seed_batches[wid]))
-        for _, wid, added, viols, size in self._gather("absorbed", len(targets)):
-            stats.distinct_states += added
-            violations.extend(viols)
-            frontier_sizes[wid] = size
+        depth = 0
+
+        if resume is not None:
+            # Shard ownership is fp % n: a checkpoint only makes sense to
+            # the worker count that wrote it.
+            if resume.workers != n:
+                raise ValueError(
+                    f"checkpoint was written by {resume.workers} workers;"
+                    f" resume with --workers {resume.workers} (got {n})"
+                )
+            violations: List[_ViolationDesc] = list(resume.violations)
+            frontier_sizes: Dict[int, int] = dict(resume.frontier_sizes)
+            for wid in range(n):
+                in_qs[wid].put(("restore", str(resume.worker_files[wid])))
+            self._gather("restored", n)
+            depth = resume.depth
+        else:
+            violations = []
+            frontier_sizes = {wid: 0 for wid in range(n)}
+
+            # -- seed: route deduplicated initial states to their owners ----
+            seed_batches: Dict[int, list] = defaultdict(list)
+            seeded = set()
+            for init in self.spec.init_states():
+                canon = reducer.canonical(init) if reducer is not None else init
+                fp = fingerprint(canon)
+                if fp in seeded:
+                    continue
+                seeded.add(fp)
+                seed_batches[fp % n].append(
+                    (encode(canon), fp, None, _ROOT_ACTION, 0)
+                )
+            targets = sorted(seed_batches)
+            for wid in targets:
+                in_qs[wid].put(("absorb", seed_batches[wid]))
+            for _, wid, added, viols, size in self._gather(
+                "absorbed", len(targets)
+            ):
+                stats.distinct_states += added
+                violations.extend(viols)
+                frontier_sizes[wid] = size
 
         # -- level-synchronous rounds ---------------------------------------
         def finish(reason: StopReason) -> SearchResult:
@@ -345,7 +386,6 @@ class ParallelBFS:
             )
             return SearchResult(stats, violation, exhausted, reason)
 
-        depth = 0
         while True:
             if violations and stop_on_violation:
                 return finish(StopReason.VIOLATION)
@@ -362,6 +402,25 @@ class ParallelBFS:
                 # BFS semantics: states at the depth bound are not expanded.
                 stats.max_depth = self.max_depth
                 return finish(StopReason.EXHAUSTED)
+
+            # Round boundary: every recorded state is consistent with the
+            # pending per-shard frontiers, so checkpoint here if due —
+            # each worker dumps its shard, then the master manifest commit
+            # publishes the fleet-wide snapshot atomically.
+            if checkpointer is not None and checkpointer.due(stats):
+                stats.elapsed = monotonic() - started
+                for wid in range(n):
+                    in_qs[wid].put(
+                        ("checkpoint", str(checkpointer.worker_path(wid)))
+                    )
+                self._gather("checkpointed", n)
+                checkpointer.commit(
+                    workers=n,
+                    depth=depth,
+                    stats=stats,
+                    frontier_sizes=dict(frontier_sizes),
+                    violations=violations,
+                )
 
             # expand: every worker pops its slice of the depth-`depth` level
             for in_q in in_qs:

@@ -32,6 +32,7 @@ from hashlib import blake2b
 from typing import Any, Callable, Iterator, List, Tuple
 
 __all__ = [
+    "CODEC_VERSION",
     "Rec",
     "freeze",
     "thaw",
@@ -41,6 +42,16 @@ __all__ = [
     "strong_fingerprint",
     "substitute",
 ]
+
+#: Version of the canonical codec *and* the fingerprint construction.
+#: Any change to the byte layout produced by :func:`encode`, to the key
+#: ordering of records, or to the digest behind :func:`fingerprint`
+#: must bump this number: durable artifacts (run directories,
+#: checkpoints, saved traces — :mod:`repro.persist`) record it and
+#: refuse to load data written under a different version, because
+#: fingerprints and stored codec bytes from one version are
+#: meaningless under another.
+CODEC_VERSION = 1
 
 _FROZEN_SCALARS = (int, float, str, bytes, bool, type(None))
 

@@ -13,9 +13,9 @@ import dataclasses
 import json
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
-from .state import Rec, thaw
+from .state import Rec, decode, encode, freeze, thaw
 
-__all__ = ["TraceStep", "Trace"]
+__all__ = ["TraceStep", "Trace", "to_jsonable", "from_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,24 +71,76 @@ class Trace:
     def action_names(self) -> List[str]:
         return [step.action for step in self.steps]
 
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.initial == other.initial and self.steps == other.steps
+
     # -- serialization -------------------------------------------------------
+    #
+    # Traces are the durable interchange artifact between the checker and
+    # the implementation replayer, so serialization must be *lossless*:
+    # ``Trace.from_json(t.to_json())`` reconstructs a trace equal to
+    # ``t``.  Each state is carried twice — once as a human-readable
+    # ``thaw`` rendering (``initial``/``state``) and once as the hex of
+    # its canonical codec bytes (``initial_codec``/``state_codec``),
+    # which is what ``from_dict`` rehydrates from.  Step arguments go
+    # through the tagged :func:`to_jsonable` encoding, which falls back
+    # to codec bytes for frozen values JSON cannot carry faithfully.
 
     def to_dict(self) -> dict:
         return {
+            "version": 1,
             "initial": thaw(self.initial),
+            "initial_codec": encode(self.initial).hex(),
             "steps": [
                 {
                     "action": step.action,
-                    "args": [_jsonable(a) for a in step.args],
+                    "args": [to_jsonable(a) for a in step.args],
                     "branch": step.branch,
                     "state": thaw(step.state),
+                    "state_codec": encode(step.state).hex(),
                 }
                 for step in self.steps
             ],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output, losslessly.
+
+        States are decoded from their canonical codec bytes when present;
+        artifacts without codec fields (written before lossless
+        serialization) fall back to re-freezing the thawed rendering,
+        which is best-effort (frozensets come back as tuples and
+        non-string record keys as their string renderings).
+        """
+        if "initial_codec" in data:
+            initial = decode(bytes.fromhex(data["initial_codec"]))
+        else:
+            initial = freeze(data["initial"])
+        steps = []
+        for raw in data.get("steps", ()):
+            if "state_codec" in raw:
+                state = decode(bytes.fromhex(raw["state_codec"]))
+            else:
+                state = freeze(raw["state"])
+            steps.append(
+                TraceStep(
+                    raw["action"],
+                    tuple(from_jsonable(a) for a in raw.get("args", ())),
+                    state,
+                    raw.get("branch", ""),
+                )
+            )
+        return cls(initial, steps)
+
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> str:
         lines = [f"trace of depth {self.depth}:"]
@@ -100,7 +152,60 @@ class Trace:
         return f"Trace(depth={self.depth})"
 
 
-def _jsonable(value: Any) -> Any:
-    if isinstance(value, (Rec, tuple, frozenset)):
-        return thaw(value)
+# ---------------------------------------------------------------------------
+# tagged lossless JSON encoding of frozen values
+# ---------------------------------------------------------------------------
+#
+# ``thaw`` is for reading, not round-tripping: it collapses tuples and
+# frozensets into lists and stringifies record keys.  The tagged form
+# below keeps scalars as bare JSON (so typical arguments — node names,
+# terms, indexes — read exactly as before) and wraps containers in a
+# single-key ``{"$kind": ...}`` object that ``from_jsonable`` inverts
+# exactly.  Frozen values JSON cannot carry faithfully (bytes, NaN and
+# infinite floats) are carried as canonical codec bytes, and values that
+# are not frozen at all degrade explicitly to a ``$str`` rendering.
+
+
+def to_jsonable(value: Any) -> Any:
+    """Encode a value into a JSON-compatible, losslessly invertible form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value == value and value not in (float("inf"), float("-inf")):
+            return value
+        return {"$codec": encode(value).hex()}
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if isinstance(value, tuple):
+        return {"$tuple": [to_jsonable(v) for v in value]}
+    if isinstance(value, frozenset):
+        # canonical-encoding order: stable across runs and hash seeds
+        return {"$set": [to_jsonable(v) for v in sorted(value, key=encode)]}
+    if isinstance(value, Rec):
+        return {
+            "$rec": [[to_jsonable(k), to_jsonable(v)] for k, v in value.items_sorted()]
+        }
+    return {"$str": str(value)}
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable` (``$str`` markers decode to their string)."""
+    if isinstance(value, dict):
+        if "$tuple" in value:
+            return tuple(from_jsonable(v) for v in value["$tuple"])
+        if "$set" in value:
+            return frozenset(from_jsonable(v) for v in value["$set"])
+        if "$rec" in value:
+            return Rec(
+                {from_jsonable(k): from_jsonable(v) for k, v in value["$rec"]}
+            )
+        if "$bytes" in value:
+            return bytes.fromhex(value["$bytes"])
+        if "$codec" in value:
+            return decode(bytes.fromhex(value["$codec"]))
+        if "$str" in value:
+            return value["$str"]
+        return Rec({k: from_jsonable(v) for k, v in value.items()})
+    if isinstance(value, list):
+        return tuple(from_jsonable(v) for v in value)
     return value

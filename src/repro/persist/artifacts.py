@@ -1,0 +1,94 @@
+"""Replayable artifacts: saved traces, violations, and reports.
+
+Artifacts are what a run leaves behind for *later* sessions: a violation
+trace saved today replays against the implementation tomorrow (``sandtable
+replay --trace``) with no re-exploration.  Trace and violation files are
+JSON built on the lossless :meth:`repro.core.trace.Trace.to_dict` encoding
+— every state carries its canonical codec bytes — and are stamped with
+:data:`~repro.core.state.CODEC_VERSION` so a build with a different codec
+refuses them with a clear error instead of silently mis-decoding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Union
+
+from ..core.state import CODEC_VERSION
+from ..core.trace import Trace
+from ..core.violation import Violation
+from .rundir import RunDirError, atomic_write_bytes, atomic_write_json, read_json
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_violation",
+    "load_violation",
+    "write_text_artifact",
+]
+
+
+def _check_codec(obj: Dict[str, Any], path: Any) -> None:
+    codec = obj.get("codec_version")
+    if codec is not None and codec != CODEC_VERSION:
+        raise RunDirError(
+            f"artifact {path} was written with state-codec version {codec};"
+            f" this build uses codec version {CODEC_VERSION} and cannot"
+            " decode its states"
+        )
+
+
+def save_trace(path: Union[str, os.PathLike], trace: Trace, **extra: Any) -> None:
+    """Write a trace as a replayable JSON artifact (atomic)."""
+    payload = {"codec_version": CODEC_VERSION, "trace": trace.to_dict()}
+    payload.update(extra)
+    atomic_write_json(path, payload)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Load a trace artifact written by :func:`save_trace`.
+
+    Also accepts a bare ``Trace.to_dict`` JSON object, so traces dumped
+    by hand (``json.dump(trace.to_dict(), ...)``) replay too.
+    """
+    data = read_json(path)
+    _check_codec(data, path)
+    return Trace.from_dict(data["trace"] if "trace" in data else data)
+
+
+def save_violation(
+    path: Union[str, os.PathLike], violation: Violation, **extra: Any
+) -> None:
+    """Write a violation (invariant + trace) as a replayable artifact."""
+    payload = {
+        "codec_version": CODEC_VERSION,
+        "invariant": violation.invariant,
+        "kind": violation.kind,
+        "detail": violation.detail,
+        "depth": violation.depth,
+        "trace": violation.trace.to_dict(),
+    }
+    payload.update(extra)
+    atomic_write_json(path, payload)
+
+
+def load_violation(path: Union[str, os.PathLike]) -> Violation:
+    """Load a violation artifact; bare trace files become an unnamed one."""
+    data = read_json(path)
+    _check_codec(data, path)
+    if "invariant" not in data:
+        trace = Trace.from_dict(data["trace"] if "trace" in data else data)
+        return Violation("(saved trace)", trace)
+    return Violation(
+        data["invariant"],
+        Trace.from_dict(data["trace"]),
+        kind=data.get("kind", "state"),
+        detail=data.get("detail", ""),
+    )
+
+
+def write_text_artifact(
+    path: Union[str, os.PathLike], text: str, encoding: str = "utf-8"
+) -> None:
+    """Write a text artifact (Markdown report, summary) atomically."""
+    atomic_write_bytes(path, text.encode(encoding))

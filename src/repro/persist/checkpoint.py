@@ -1,0 +1,537 @@
+"""Checkpoint files and checkpointers: pausable, resumable exploration.
+
+A checkpoint captures everything a breadth-first search needs to
+continue exactly where it left off: the unified
+:class:`~repro.core.engine.SearchStats` counters, the pending frontier
+(as canonical codec bytes), the visited set with its parent edges, and
+any violations already collected (``stop_on_violation=False`` runs).
+Because the serial engine checkpoints only at *state boundaries* (just
+before a frontier pop) and the parallel driver only at *round
+boundaries*, every checkpoint is a point the uninterrupted run also
+passes through — so a resumed run re-executes the identical step
+sequence from that point and finishes with the identical
+:class:`~repro.core.engine.SearchResult`.  Checkpointing is
+observation-only: it never changes which states are explored or in what
+order.
+
+The container format is one file, committed by atomic rename::
+
+    b"STCKPT1\\n"
+    u32 header length, JSON header (codec version, stats, store meta, ...)
+    actions   n x (u32 length + utf-8 name)      interned action table
+    edges     n x (u64 fp, u64 parent, u32 action id, u8 flags)
+    roots     n x (u64 fp, u32 length + codec bytes)
+    frontier  n x (u64 fp, u32 depth, u32 length + codec bytes)
+
+Serial runs write ``checkpoint/serial.ckpt``.  With a
+:class:`~repro.persist.diskstore.DiskStore` the edge/root sections stay
+empty — the store is already on disk — and the header instead pins the
+store's byte offsets and segment list, making checkpoints O(frontier)
+instead of O(visited).  Parallel runs write one ``worker-N.ckpt`` per
+shard (each worker dumps its own store and frontier) plus a master
+``parallel.json`` manifest that merges the per-shard files with the
+round number, aggregated stats, and pending violations; the master
+manifest's rename is the commit point for the whole fleet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import struct
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.engine import CompactStore, SearchStats, StateStore
+from ..core.state import CODEC_VERSION, Rec, decode, encode
+from ..core.trace import Trace, from_jsonable, to_jsonable
+from ..core.violation import Violation
+from .diskstore import DiskStore
+from .rundir import RunDir, RunDirError, atomic_write_json, read_json
+
+__all__ = [
+    "ResumeState",
+    "CheckpointData",
+    "write_checkpoint",
+    "read_checkpoint",
+    "SerialCheckpointer",
+    "load_serial_resume",
+    "ParallelCheckpointer",
+    "ParallelResume",
+    "load_parallel_resume",
+    "write_worker_checkpoint",
+    "load_worker_checkpoint",
+]
+
+_MAGIC = b"STCKPT1\n"
+_U32 = struct.Struct(">I")
+_EDGE = struct.Struct(">QQIB")  # fp, parent (0 when absent), action id, flags
+_BLOB = struct.Struct(">QI")  # fp, payload length
+_FRONTIER = struct.Struct(">QII")  # fp, depth, payload length
+
+_HAS_PARENT = 0x01
+_ROOT_ACTION = "<init>"
+
+SERIAL_CHECKPOINT = "serial.ckpt"
+PARALLEL_CHECKPOINT = "parallel.json"
+
+
+@dataclasses.dataclass
+class ResumeState:
+    """What the serial engine needs to continue a checkpointed run."""
+
+    stats: SearchStats
+    frontier: List[Tuple[Rec, Any, int]]
+    violations: List[Violation] = dataclasses.field(default_factory=list)
+
+
+class CheckpointData:
+    """A parsed checkpoint file."""
+
+    def __init__(
+        self,
+        header: Dict[str, Any],
+        actions: List[str],
+        edges: List[Tuple[int, Optional[int], int]],
+        roots: List[Tuple[int, bytes]],
+        frontier: List[Tuple[int, int, bytes]],
+    ):
+        self.header = header
+        self.actions = actions
+        self.edges = edges
+        self.roots = roots
+        self.frontier = frontier
+
+    def stats(self) -> SearchStats:
+        return SearchStats(**self.header.get("stats", {}))
+
+    def violations(self) -> List[Violation]:
+        return [_violation_from_dict(raw) for raw in self.header.get("violations", ())]
+
+    def frontier_items(self) -> List[Tuple[Rec, int, int]]:
+        return [(decode(enc), fp, depth) for fp, depth, enc in self.frontier]
+
+    def restore_into(self, store: StateStore) -> StateStore:
+        """Replay the dumped roots and edges into ``store``."""
+        for fp, enc in self.roots:
+            store.record_init(fp, decode(enc))
+        root_fps = {fp for fp, _ in self.roots}
+        for fp, parent, aid in self.edges:
+            if parent is None and fp in root_fps:
+                continue  # roots were recorded above
+            store.record(fp, parent, self.actions[aid])
+        return store
+
+
+def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
+    return {
+        "invariant": violation.invariant,
+        "kind": violation.kind,
+        "detail": violation.detail,
+        "trace": violation.trace.to_dict(),
+    }
+
+
+def _violation_from_dict(raw: Dict[str, Any]) -> Violation:
+    return Violation(
+        raw["invariant"],
+        Trace.from_dict(raw["trace"]),
+        kind=raw.get("kind", "state"),
+        detail=raw.get("detail", ""),
+    )
+
+
+def write_checkpoint(
+    path: Union[str, os.PathLike],
+    *,
+    stats: Optional[SearchStats] = None,
+    store: Optional[StateStore] = None,
+    store_meta: Optional[Dict[str, Any]] = None,
+    frontier: Iterable[Tuple[Rec, Any, int]] = (),
+    violations: Sequence[Violation] = (),
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write one checkpoint file atomically.
+
+    Pass ``store`` to dump an in-memory store's edges and roots inline
+    (via the generic ``edges()``/``roots()`` seam — works for any
+    :class:`~repro.core.engine.StateStore`), or ``store_meta`` to record
+    a :class:`DiskStore`'s offsets instead of its contents.
+    """
+    action_ids: Dict[str, int] = {}
+    actions: List[str] = []
+    edge_records = bytearray()
+    root_records = bytearray()
+    n_edges = n_roots = 0
+    if store is not None:
+        for fp, state in store.roots():
+            enc = encode(state)
+            root_records += _BLOB.pack(fp, len(enc)) + enc
+            n_roots += 1
+        for fp, parent, action in store.edges():
+            aid = action_ids.get(action)
+            if aid is None:
+                aid = action_ids[action] = len(actions)
+                actions.append(action)
+            flags = _HAS_PARENT if parent is not None else 0
+            edge_records += _EDGE.pack(fp, parent or 0, aid, flags)
+            n_edges += 1
+
+    frontier_records = bytearray()
+    n_frontier = 0
+    for state, fp, depth in frontier:
+        enc = encode(state)
+        frontier_records += _FRONTIER.pack(fp, depth, len(enc)) + enc
+        n_frontier += 1
+
+    header = {
+        "codec_version": CODEC_VERSION,
+        "stats": dataclasses.asdict(stats) if stats is not None else {},
+        "store": store_meta if store_meta is not None else {"kind": "inline"},
+        "violations": [_violation_to_dict(v) for v in violations],
+        "counts": {
+            "actions": len(actions),
+            "edges": n_edges,
+            "roots": n_roots,
+            "frontier": n_frontier,
+        },
+    }
+    if extra:
+        header.update(extra)
+    header_bytes = json.dumps(header).encode("utf-8")
+
+    out = bytearray()
+    out += _MAGIC
+    out += _U32.pack(len(header_bytes))
+    out += header_bytes
+    for action in actions:
+        data = action.encode("utf-8")
+        out += _U32.pack(len(data))
+        out += data
+    out += edge_records
+    out += root_records
+    out += frontier_records
+
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(out)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)  # the commit point
+
+
+def read_checkpoint(path: Union[str, os.PathLike]) -> CheckpointData:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_MAGIC):
+        raise RunDirError(f"{path} is not a checkpoint file")
+    offset = len(_MAGIC)
+    (header_len,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    offset += header_len
+    codec = header.get("codec_version")
+    if codec != CODEC_VERSION:
+        raise RunDirError(
+            f"checkpoint {path} was written with codec version {codec};"
+            f" this build uses {CODEC_VERSION} and cannot load it"
+        )
+    counts = header["counts"]
+
+    actions: List[str] = []
+    for _ in range(counts["actions"]):
+        (length,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        actions.append(data[offset : offset + length].decode("utf-8"))
+        offset += length
+
+    edges: List[Tuple[int, Optional[int], int]] = []
+    for _ in range(counts["edges"]):
+        fp, parent, aid, flags = _EDGE.unpack_from(data, offset)
+        offset += _EDGE.size
+        edges.append((fp, parent if flags & _HAS_PARENT else None, aid))
+
+    roots: List[Tuple[int, bytes]] = []
+    for _ in range(counts["roots"]):
+        fp, length = _BLOB.unpack_from(data, offset)
+        offset += _BLOB.size
+        roots.append((fp, data[offset : offset + length]))
+        offset += length
+
+    frontier: List[Tuple[int, int, bytes]] = []
+    for _ in range(counts["frontier"]):
+        fp, depth, length = _FRONTIER.unpack_from(data, offset)
+        offset += _FRONTIER.size
+        frontier.append((fp, depth, data[offset : offset + length]))
+        offset += length
+
+    return CheckpointData(header, actions, edges, roots, frontier)
+
+
+# ---------------------------------------------------------------------------
+# serial checkpointing
+# ---------------------------------------------------------------------------
+
+
+class SerialCheckpointer:
+    """The engine's checkpoint seam for serial BFS runs.
+
+    The engine calls :meth:`maybe_checkpoint` at every state boundary
+    (just before a frontier pop); the call is a couple of comparisons
+    unless a cadence threshold — ``every_seconds`` of wall clock or
+    ``every_states`` newly-recorded distinct states — has tripped, in
+    which case the full checkpoint is written and committed by rename.
+    ``on_checkpoint`` (if set) runs after each commit; tests use it to
+    kill the run at a known-consistent point.
+    """
+
+    def __init__(
+        self,
+        run_dir: RunDir,
+        every_seconds: Optional[float] = 60.0,
+        every_states: Optional[int] = None,
+        on_checkpoint: Optional[Callable[["SerialCheckpointer"], None]] = None,
+    ):
+        self.run_dir = run_dir
+        self.path = run_dir.checkpoint_dir / SERIAL_CHECKPOINT
+        self.every_seconds = every_seconds
+        self.every_states = every_states
+        self.on_checkpoint = on_checkpoint
+        self.checkpoints_written = 0
+        self._last_states = 0
+        self._last_time = time.monotonic()
+
+    def _due(self, stats: SearchStats) -> bool:
+        if (
+            self.every_states is not None
+            and stats.distinct_states - self._last_states >= self.every_states
+        ):
+            return True
+        return (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_time >= self.every_seconds
+        )
+
+    def maybe_checkpoint(self, engine: Any, elapsed: float) -> None:
+        if self._due(engine.stats):
+            self.checkpoint(engine, elapsed)
+
+    def checkpoint(self, engine: Any, elapsed: float) -> None:
+        stats = engine.stats
+        stats.elapsed = elapsed
+        store = engine.store
+        frontier = list(engine.strategy.frontier)
+        violations = engine.checker.violations
+        if isinstance(store, DiskStore):
+            meta, obsolete = store.checkpoint()
+            write_checkpoint(
+                self.path,
+                stats=stats,
+                store_meta=meta,
+                frontier=frontier,
+                violations=violations,
+            )
+            for stale in obsolete:  # safe only after the rename above
+                if stale.exists():
+                    stale.unlink()
+        else:
+            write_checkpoint(
+                self.path,
+                stats=stats,
+                store=store,
+                frontier=frontier,
+                violations=violations,
+            )
+        self._last_states = stats.distinct_states
+        self._last_time = time.monotonic()
+        self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self)
+
+
+def load_serial_resume(
+    run_dir: RunDir,
+    memory_budget: int = 1_000_000,
+    max_segments: int = 8,
+) -> Tuple[StateStore, ResumeState]:
+    """Load a serial checkpoint: the restored store plus the resume state."""
+    path = run_dir.checkpoint_dir / SERIAL_CHECKPOINT
+    if not path.exists():
+        raise RunDirError(
+            f"nothing to resume in {run_dir.path}: no checkpoint was written"
+            " (the run stopped before its first checkpoint)"
+        )
+    data = read_checkpoint(path)
+    store_meta = data.header["store"]
+    if store_meta.get("kind") == "disk":
+        store: StateStore = DiskStore.resume(
+            run_dir.store_dir, store_meta, memory_budget, max_segments
+        )
+    else:
+        store = data.restore_into(CompactStore())
+    resume = ResumeState(
+        stats=data.stats(),
+        frontier=data.frontier_items(),
+        violations=data.violations(),
+    )
+    return store, resume
+
+
+# ---------------------------------------------------------------------------
+# parallel checkpointing
+# ---------------------------------------------------------------------------
+
+
+def _desc_to_json(desc: tuple) -> list:
+    kind, invariant, depth, fp, action, args, branch, enc = desc
+    return [
+        kind,
+        invariant,
+        depth,
+        fp,
+        action,
+        to_jsonable(tuple(args)),
+        branch,
+        enc.hex() if enc is not None else None,
+    ]
+
+
+def _desc_from_json(raw: list) -> tuple:
+    kind, invariant, depth, fp, action, args, branch, enc = raw
+    return (
+        kind,
+        invariant,
+        depth,
+        fp,
+        action,
+        from_jsonable(args),
+        branch,
+        bytes.fromhex(enc) if enc is not None else None,
+    )
+
+
+@dataclasses.dataclass
+class ParallelResume:
+    """What the parallel master needs to continue a checkpointed run."""
+
+    stats: SearchStats
+    depth: int
+    frontier_sizes: Dict[int, int]
+    violations: List[tuple]
+    worker_files: List[pathlib.Path]
+    workers: int
+
+
+class ParallelCheckpointer:
+    """Round-boundary checkpointing for the sharded parallel BFS.
+
+    The master (between BFS levels) tells every worker to write its
+    per-shard checkpoint file, then commits the fleet-wide snapshot by
+    atomically writing the master manifest.  A crash between a worker
+    file and the master commit leaves the previous manifest in place,
+    still pointing at per-shard files consistent with it — worker files
+    are themselves replaced atomically, and a manifest only references
+    files written before its own commit... so resume always sees a
+    matched set.
+    """
+
+    def __init__(
+        self,
+        run_dir: RunDir,
+        every_seconds: Optional[float] = 60.0,
+        every_states: Optional[int] = None,
+        on_checkpoint: Optional[Callable[["ParallelCheckpointer"], None]] = None,
+    ):
+        self.run_dir = run_dir
+        self.master_path = run_dir.checkpoint_dir / PARALLEL_CHECKPOINT
+        self.every_seconds = every_seconds
+        self.every_states = every_states
+        self.on_checkpoint = on_checkpoint
+        self.checkpoints_written = 0
+        self._last_states = 0
+        self._last_time = time.monotonic()
+
+    def worker_path(self, wid: int) -> pathlib.Path:
+        return self.run_dir.checkpoint_dir / f"worker-{wid}.ckpt"
+
+    def due(self, stats: SearchStats) -> bool:
+        if (
+            self.every_states is not None
+            and stats.distinct_states - self._last_states >= self.every_states
+        ):
+            return True
+        return (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_time >= self.every_seconds
+        )
+
+    def commit(
+        self,
+        *,
+        workers: int,
+        depth: int,
+        stats: SearchStats,
+        frontier_sizes: Dict[int, int],
+        violations: Sequence[tuple],
+    ) -> None:
+        """Publish the master manifest: the fleet-wide commit point."""
+        manifest = {
+            "codec_version": CODEC_VERSION,
+            "workers": workers,
+            "depth": depth,
+            "stats": dataclasses.asdict(stats),
+            "frontier_sizes": {str(wid): size for wid, size in frontier_sizes.items()},
+            "violations": [_desc_to_json(desc) for desc in violations],
+            "files": [self.worker_path(wid).name for wid in range(workers)],
+        }
+        atomic_write_json(self.master_path, manifest)
+        self._last_states = stats.distinct_states
+        self._last_time = time.monotonic()
+        self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self)
+
+
+def load_parallel_resume(run_dir: RunDir) -> ParallelResume:
+    path = run_dir.checkpoint_dir / PARALLEL_CHECKPOINT
+    if not path.exists():
+        raise RunDirError(
+            f"nothing to resume in {run_dir.path}: no parallel checkpoint"
+            " was written (the run stopped before its first checkpoint)"
+        )
+    manifest = read_json(path)
+    codec = manifest.get("codec_version")
+    if codec != CODEC_VERSION:
+        raise RunDirError(
+            f"checkpoint {path} was written with codec version {codec};"
+            f" this build uses {CODEC_VERSION} and cannot load it"
+        )
+    return ParallelResume(
+        stats=SearchStats(**manifest["stats"]),
+        depth=manifest["depth"],
+        frontier_sizes={int(wid): size for wid, size in manifest["frontier_sizes"].items()},
+        violations=[_desc_from_json(raw) for raw in manifest["violations"]],
+        worker_files=[run_dir.checkpoint_dir / name for name in manifest["files"]],
+        workers=manifest["workers"],
+    )
+
+
+def write_worker_checkpoint(
+    path: Union[str, os.PathLike],
+    store: StateStore,
+    frontier: Iterable[Tuple[Rec, Any, int]],
+) -> None:
+    """One shard worker's checkpoint: its store dump plus its frontier."""
+    write_checkpoint(path, store=store, frontier=frontier)
+
+
+def load_worker_checkpoint(
+    path: Union[str, os.PathLike], store: StateStore
+) -> List[Tuple[Rec, int, int]]:
+    """Restore a shard store in place; returns the shard's frontier."""
+    data = read_checkpoint(path)
+    data.restore_into(store)
+    return data.frontier_items()

@@ -1,0 +1,385 @@
+"""A disk-backed :class:`~repro.core.engine.StateStore` (TLC-style).
+
+TLC's scalability on large models rests on a fingerprint set that
+spills to disk; this module is that layer for the SandTable kernel.
+It is only possible because :func:`repro.core.state.fingerprint` is a
+canonical 64-bit digest of the canonical state codec: fingerprints mean
+the same thing in every process and every session, so a file of sorted
+8-byte fingerprints written today is still a valid visited set tomorrow.
+
+Layout (all inside one store directory):
+
+``edges.log``
+    Append-only parent-edge log: one fixed-width record
+    ``(fp, parent_fp, action_id, flags)`` per :meth:`DiskStore.record`.
+    The source of :meth:`edges` (the parallel merge seam) and of
+    :meth:`chain` (counterexample reconstruction, which loads the log
+    into an index only when a violation actually needs a trace).
+``roots.log``
+    Append-only ``(fp, codec bytes)`` log of initial states.
+``actions.txt``
+    The interned action-name table, one name per line; edge records
+    store the line number.
+``seg-N.fp``
+    Immutable sorted arrays of 8-byte big-endian fingerprints — the
+    spilled visited set.  Membership is one memory-set probe plus a
+    binary search per segment (with a min/max pre-filter), and when the
+    segment count passes ``max_segments`` a flush merge-compacts them
+    into a single sorted segment (streaming, constant memory).
+
+Recent fingerprints live in an in-memory set until it reaches
+``memory_budget`` entries, then spill to a new segment — so resident
+memory for the visited set is bounded by the budget regardless of how
+many states the run touches.  :meth:`checkpoint` spills and fsyncs
+everything and returns the exact byte offsets and segment list that make
+the store reconstructible (:meth:`DiskStore.resume`); any bytes past the
+checkpointed offsets (a torn tail from a crash) are truncated away on
+resume.  Compaction never deletes segment files eagerly — replaced files
+are reported as obsolete by the next :meth:`checkpoint` and deleted by
+the checkpointer only after the new checkpoint has committed, so the
+last committed checkpoint always references live files.
+"""
+
+from __future__ import annotations
+
+import heapq
+import mmap
+import os
+import pathlib
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.engine import StateStore
+from ..core.state import Rec, decode, encode
+
+__all__ = ["DiskStore"]
+
+_EDGE = struct.Struct(">QQIB")  # fp, parent fp (0 when absent), action id, flags
+_ROOT = struct.Struct(">QI")  # fp, codec length (codec bytes follow)
+_FP = struct.Struct(">Q")
+
+_HAS_PARENT = 0x01
+_ROOT_ACTION = "<init>"
+
+
+class _Segment:
+    """One immutable sorted array of 8-byte fingerprints, mmapped."""
+
+    __slots__ = ("path", "count", "_mm", "lo", "hi")
+
+    def __init__(self, path: pathlib.Path):
+        self.path = path
+        size = path.stat().st_size
+        if size % 8:
+            raise ValueError(f"segment {path} has a torn size {size}")
+        self.count = size // 8
+        handle = open(path, "rb")
+        try:
+            self._mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        finally:
+            handle.close()
+        self.lo = _FP.unpack_from(self._mm, 0)[0]
+        self.hi = _FP.unpack_from(self._mm, (self.count - 1) * 8)[0]
+
+    def contains(self, fp: int) -> bool:
+        if fp < self.lo or fp > self.hi:
+            return False
+        lo, hi = 0, self.count - 1
+        mm = self._mm
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            probe = _FP.unpack_from(mm, mid * 8)[0]
+            if probe == fp:
+                return True
+            if probe < fp:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return False
+
+    def iter_fps(self) -> Iterator[int]:
+        mm = self._mm
+        for index in range(self.count):
+            yield _FP.unpack_from(mm, index * 8)[0]
+
+    def close(self) -> None:
+        self._mm.close()
+
+
+class DiskStore(StateStore):
+    """Append-only fingerprint/edge store with a bounded memory index."""
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        memory_budget: int = 1_000_000,
+        max_segments: int = 8,
+        _resume_meta: Optional[Dict[str, Any]] = None,
+    ):
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.memory_budget = max(1, int(memory_budget))
+        self.max_segments = max(2, int(max_segments))
+        self._mem: set = set()
+        self._segments: List[_Segment] = []
+        self._obsolete: List[pathlib.Path] = []
+        self._inits: Dict[int, Rec] = {}
+        self._action_ids: Dict[str, int] = {}
+        self._action_names: List[str] = []
+        self._count = 0
+        self._seg_seq = 0
+        self._edge_index: Optional[Dict[int, Tuple[Optional[int], Optional[int]]]] = None
+
+        if _resume_meta is None:
+            # a fresh store: clear leftovers from any crashed prior run
+            for leftover in self._store_files():
+                leftover.unlink()
+        else:
+            self._attach(_resume_meta)
+
+        self._edges_f = open(self._edges_path, "ab")
+        self._roots_f = open(self._roots_path, "ab")
+        self._actions_f = open(self._actions_path, "ab")
+
+    # -- construction helpers ------------------------------------------------
+
+    @property
+    def _edges_path(self) -> pathlib.Path:
+        return self.path / "edges.log"
+
+    @property
+    def _roots_path(self) -> pathlib.Path:
+        return self.path / "roots.log"
+
+    @property
+    def _actions_path(self) -> pathlib.Path:
+        return self.path / "actions.txt"
+
+    def _store_files(self) -> List[pathlib.Path]:
+        names = [self._edges_path, self._roots_path, self._actions_path]
+        return [p for p in names if p.exists()] + sorted(self.path.glob("seg-*.fp"))
+
+    @classmethod
+    def resume(
+        cls,
+        path: Union[str, os.PathLike],
+        meta: Dict[str, Any],
+        memory_budget: int = 1_000_000,
+        max_segments: int = 8,
+    ) -> "DiskStore":
+        """Reopen a store exactly as a committed checkpoint described it."""
+        return cls(path, memory_budget, max_segments, _resume_meta=meta)
+
+    def _attach(self, meta: Dict[str, Any]) -> None:
+        # Truncate every log to its checkpointed length: anything past it
+        # was written after the checkpoint committed (or torn by a crash)
+        # and will be regenerated by the resumed exploration.
+        for path, key in (
+            (self._edges_path, "edges_len"),
+            (self._roots_path, "roots_len"),
+            (self._actions_path, "actions_len"),
+        ):
+            if not path.exists():
+                path.touch()
+            os.truncate(path, meta[key])
+        with open(self._actions_path, "r", encoding="utf-8") as handle:
+            self._action_names = handle.read().splitlines()
+        self._action_ids = {name: i for i, name in enumerate(self._action_names)}
+        referenced = set()
+        for name, count in meta["segments"]:
+            segment = _Segment(self.path / name)
+            if segment.count != count:
+                raise ValueError(
+                    f"segment {name} holds {segment.count} fingerprints,"
+                    f" checkpoint recorded {count}"
+                )
+            self._segments.append(segment)
+            referenced.add(name)
+            self._seg_seq = max(self._seg_seq, int(name.split("-")[1].split(".")[0]) + 1)
+        for stray in sorted(self.path.glob("seg-*.fp")):
+            if stray.name not in referenced:
+                stray.unlink()  # written after the checkpoint; dead weight
+        self._count = meta["count"]
+        with open(self._roots_path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            fp, length = _ROOT.unpack_from(data, offset)
+            offset += _ROOT.size
+            self._inits[fp] = decode(data[offset : offset + length])
+            offset += length
+
+    # -- the StateStore contract ---------------------------------------------
+
+    def seen(self, fp: Any) -> bool:
+        if fp in self._mem:
+            return True
+        for segment in self._segments:
+            if segment.contains(fp):
+                return True
+        return False
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        if not isinstance(fp, int):
+            raise TypeError(
+                f"DiskStore requires int fingerprints, got {type(fp).__name__}"
+                " (strong/bytes fingerprints are not supported on disk)"
+            )
+        aid = self._action_ids.get(action)
+        if aid is None:
+            aid = self._intern(action)
+        flags = _HAS_PARENT if parent_fp is not None else 0
+        self._edges_f.write(_EDGE.pack(fp, parent_fp or 0, aid, flags))
+        self._edge_index = None
+        self._add(fp)
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        enc = encode(state)
+        self._roots_f.write(_ROOT.pack(fp, len(enc)) + enc)
+        self._inits[fp] = state
+        self._edge_index = None
+        self._add(fp)
+
+    def init_state(self, fp: Any) -> Rec:
+        return self._inits[fp]
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        index = self._ensure_edge_index()
+        chain: List[Tuple[Any, str]] = []
+        cursor: Optional[int] = fp
+        while cursor is not None:
+            parent, aid = index[cursor]
+            chain.append((cursor, _ROOT_ACTION if aid is None else self._action_names[aid]))
+            cursor = parent
+        chain.reverse()
+        return chain
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        for fp in self._inits:
+            yield fp, None, _ROOT_ACTION
+        self._edges_f.flush()
+        with open(self._edges_path, "rb") as handle:
+            while True:
+                record = handle.read(_EDGE.size)
+                if len(record) < _EDGE.size:
+                    break
+                fp, parent, aid, flags = _EDGE.unpack(record)
+                yield fp, parent if flags & _HAS_PARENT else None, self._action_names[aid]
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        yield from self._inits.items()
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- spill, compaction, durability ---------------------------------------
+
+    def _intern(self, action: str) -> int:
+        if "\n" in action:
+            raise ValueError(f"action name {action!r} contains a newline")
+        aid = self._action_ids[action] = len(self._action_names)
+        self._action_names.append(action)
+        self._actions_f.write(action.encode("utf-8") + b"\n")
+        return aid
+
+    def _add(self, fp: int) -> None:
+        self._mem.add(fp)
+        self._count += 1
+        if len(self._mem) >= self.memory_budget:
+            self._spill()
+
+    def _new_segment_path(self) -> pathlib.Path:
+        path = self.path / f"seg-{self._seg_seq}.fp"
+        self._seg_seq += 1
+        return path
+
+    def _write_segment(self, fps: Iterator[int], path: pathlib.Path) -> _Segment:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pack = _FP.pack
+            for fp in fps:
+                handle.write(pack(fp))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return _Segment(path)
+
+    def _spill(self) -> None:
+        if not self._mem:
+            return
+        segment = self._write_segment(iter(sorted(self._mem)), self._new_segment_path())
+        self._segments.append(segment)
+        self._mem.clear()
+        if len(self._segments) > self.max_segments:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge every segment into one (streaming; constant memory)."""
+        merged = heapq.merge(*(segment.iter_fps() for segment in self._segments))
+        segment = self._write_segment(merged, self._new_segment_path())
+        for old in self._segments:
+            old.close()
+            self._obsolete.append(old.path)
+        self._segments = [segment]
+
+    def flush(self) -> None:
+        self._edges_f.flush()
+        self._roots_f.flush()
+        self._actions_f.flush()
+
+    def checkpoint(self) -> Tuple[Dict[str, Any], List[pathlib.Path]]:
+        """Make the store fully reconstructible from disk.
+
+        Spills the memory index, fsyncs every log, and returns
+        ``(meta, obsolete)``: the exact offsets/segments a later
+        :meth:`resume` needs, and the files made obsolete by compaction —
+        to be deleted only *after* the enclosing checkpoint commits.
+        """
+        self._spill()
+        self.flush()
+        for handle in (self._edges_f, self._roots_f, self._actions_f):
+            os.fsync(handle.fileno())
+        meta = {
+            "kind": "disk",
+            "edges_len": self._edges_f.tell(),
+            "roots_len": self._roots_f.tell(),
+            "actions_len": self._actions_f.tell(),
+            "count": self._count,
+            "segments": [[segment.path.name, segment.count] for segment in self._segments],
+        }
+        obsolete, self._obsolete = self._obsolete, []
+        return meta, obsolete
+
+    def close(self) -> None:
+        self.flush()
+        for handle in (self._edges_f, self._roots_f, self._actions_f):
+            handle.close()
+        for segment in self._segments:
+            segment.close()
+        for path in self._obsolete:
+            if path.exists():
+                path.unlink()
+        self._obsolete = []
+
+    # -- reconstruction -------------------------------------------------------
+
+    def _ensure_edge_index(self) -> Dict[int, Tuple[Optional[int], Optional[int]]]:
+        """The fp -> (parent, action id) map, loaded from the edge log.
+
+        Built lazily because it is only needed when a violation's trace
+        is reconstructed (once per run, at the end) — keeping it off the
+        hot path is the whole point of a disk store.
+        """
+        if self._edge_index is not None:
+            return self._edge_index
+        index: Dict[int, Tuple[Optional[int], Optional[int]]] = {
+            fp: (None, None) for fp in self._inits
+        }
+        self._edges_f.flush()
+        with open(self._edges_path, "rb") as handle:
+            data = handle.read()
+        for offset in range(0, len(data) - _EDGE.size + 1, _EDGE.size):
+            fp, parent, aid, flags = _EDGE.unpack_from(data, offset)
+            index[fp] = (parent if flags & _HAS_PARENT else None, aid)
+        self._edge_index = index
+        return index

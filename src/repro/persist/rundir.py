@@ -1,0 +1,191 @@
+"""Run directories: the durable home of one exploration run.
+
+A run directory is the on-disk unit of durability for ``sandtable``:
+one directory per run, holding a JSON **manifest** (what was checked,
+under which configuration and codec version, and how it ended), the
+**checkpoints** that make the run resumable, the **disk-backed state
+store** (serial runs), and the **artifacts** a run leaves behind —
+violation traces, conformance reports, bug reports::
+
+    run/
+      manifest.json          what + config + codec version + status/result
+      checkpoint/            serial.ckpt, or parallel.json + worker-N.ckpt
+      store/                 DiskStore segments and logs (serial runs)
+      artifacts/             violation.json, reports, saved traces
+
+Every file that must be consistent after a crash is written with
+:func:`atomic_write_bytes`: the bytes go to a temporary sibling, are
+fsynced, and are published with ``os.replace`` — a reader never sees a
+torn file, and the rename is the commit point of every checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Optional, Union
+
+from ..core.state import CODEC_VERSION
+
+__all__ = [
+    "RunDirError",
+    "RunDir",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "read_json",
+]
+
+#: Version of the run-directory layout itself (manifest schema, file
+#: names, checkpoint container format).
+FORMAT_VERSION = 1
+
+
+class RunDirError(Exception):
+    """A run directory is missing, incompatible, or inconsistent."""
+
+
+def atomic_write_bytes(path: Union[str, os.PathLike], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + rename)."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: Union[str, os.PathLike], obj: Any) -> None:
+    atomic_write_bytes(path, json.dumps(obj, indent=2).encode("utf-8"))
+
+
+def read_json(path: Union[str, os.PathLike]) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class RunDir:
+    """One run's directory: manifest, checkpoints, store, artifacts."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = pathlib.Path(path)
+
+    # -- layout --------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.path / self.MANIFEST
+
+    @property
+    def checkpoint_dir(self) -> pathlib.Path:
+        return self.path / "checkpoint"
+
+    @property
+    def store_dir(self) -> pathlib.Path:
+        return self.path / "store"
+
+    @property
+    def artifacts_dir(self) -> pathlib.Path:
+        return self.path / "artifacts"
+
+    def artifact_path(self, name: str) -> pathlib.Path:
+        return self.artifacts_dir / name
+
+    # -- creation and opening ------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, os.PathLike],
+        config: Optional[Dict[str, Any]] = None,
+        **extra: Any,
+    ) -> "RunDir":
+        """Create a fresh run directory and write its manifest.
+
+        Refuses to reuse a directory that already holds a manifest:
+        starting over in an existing run directory would silently orphan
+        its checkpoints and artifacts — resume it (``--resume``) or pick
+        a new directory instead.
+        """
+        run = cls(path)
+        if run.manifest_path.exists():
+            raise RunDirError(
+                f"run directory {run.path} already contains a run"
+                " (pass --resume to continue it, or choose a new directory)"
+            )
+        for sub in (run.path, run.checkpoint_dir, run.store_dir, run.artifacts_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "codec_version": CODEC_VERSION,
+            "created": time.time(),
+            "status": "running",
+            "config": dict(config or {}),
+        }
+        manifest.update(extra)
+        run.write_manifest(manifest)
+        return run
+
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike]) -> "RunDir":
+        """Open an existing run directory, validating its manifest."""
+        run = cls(path)
+        if not run.manifest_path.exists():
+            raise RunDirError(f"{run.path} is not a run directory (no manifest.json)")
+        manifest = run.manifest()
+        fmt = manifest.get("format_version")
+        if fmt != FORMAT_VERSION:
+            raise RunDirError(
+                f"run directory {run.path} uses layout version {fmt};"
+                f" this build reads version {FORMAT_VERSION}"
+            )
+        codec = manifest.get("codec_version")
+        if codec != CODEC_VERSION:
+            raise RunDirError(
+                f"run directory {run.path} was written with state-codec"
+                f" version {codec}, but this build uses codec version"
+                f" {CODEC_VERSION}; its fingerprints and checkpoints cannot"
+                " be loaded — re-run from scratch in a new directory"
+            )
+        return run
+
+    # -- manifest ------------------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        return read_json(self.manifest_path)
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        atomic_write_json(self.manifest_path, manifest)
+
+    def update_manifest(self, **fields: Any) -> Dict[str, Any]:
+        manifest = self.manifest()
+        manifest.update(fields)
+        self.write_manifest(manifest)
+        return manifest
+
+    def check_config(self, config: Dict[str, Any], ignore: Any = ()) -> None:
+        """Refuse to resume under a different configuration.
+
+        Budget-style keys (``ignore``) may change between sessions — a
+        resumed run may get a bigger state or time budget — but the
+        spec-defining keys must match or the checkpointed fingerprints
+        describe a different state space.
+        """
+        recorded = self.manifest().get("config", {})
+        skip = set(ignore)
+        for key in sorted(set(recorded) | set(config)):
+            if key in skip:
+                continue
+            if recorded.get(key) != config.get(key):
+                raise RunDirError(
+                    f"cannot resume {self.path}: configuration key {key!r}"
+                    f" was {recorded.get(key)!r} when the run started but is"
+                    f" {config.get(key)!r} now"
+                )
+
+    def __repr__(self) -> str:
+        return f"RunDir({str(self.path)!r})"

@@ -1,0 +1,165 @@
+"""Durable check runs: run-directory orchestration for BFS exploration.
+
+:func:`run_check` is the one entry point behind ``sandtable check
+--run-dir`` and ``bfs_explore(..., run_dir=...)``.  It owns the life
+cycle of a durable run:
+
+* **fresh run** — create the run directory, record the configuration in
+  the manifest, and explore with a disk-backed state store (serial) or
+  checkpointed shard workers (parallel), checkpointing periodically;
+* **resume** — reopen the directory, refuse incompatible codec/layout
+  versions and changed non-budget configuration, reload the latest
+  checkpoint, and continue.  Checkpoints are taken at state/round
+  boundaries the uninterrupted run also passes through, so a resumed
+  run finishes with the identical :class:`~repro.core.engine.SearchResult`
+  (budget keys — ``max_states``, ``max_depth``, ``time_budget`` — may
+  grow between sessions to extend a stopped run);
+* **finish** — stamp the manifest with the outcome and save any
+  violation as a replayable artifact (``artifacts/violation.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Optional, Union
+
+from ..core.engine import SearchResult
+from ..core.explorer import BFSExplorer
+from ..core.spec import Spec
+from .artifacts import save_violation
+from .checkpoint import (
+    ParallelCheckpointer,
+    SerialCheckpointer,
+    load_parallel_resume,
+    load_serial_resume,
+)
+from .diskstore import DiskStore
+from .rundir import RunDir
+
+__all__ = ["run_check", "BUDGET_KEYS", "VIOLATION_ARTIFACT"]
+
+#: Configuration keys allowed to change between a run and its resume:
+#: growing a budget extends a stopped run over the same state space.
+BUDGET_KEYS = ("max_states", "max_depth", "time_budget")
+
+VIOLATION_ARTIFACT = "violation.json"
+
+
+def _spec_label(spec: Spec) -> str:
+    cls = type(spec)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def run_check(
+    spec: Spec,
+    run_dir: Union[str, os.PathLike],
+    *,
+    workers: int = 1,
+    resume: bool = False,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_states: Optional[int] = None,
+    symmetry: bool = False,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    stop_on_violation: bool = True,
+    memory_budget: int = 1_000_000,
+    progress: Optional[Callable[[Any], None]] = None,
+    on_checkpoint: Optional[Callable[[Any], None]] = None,
+    spec_label: Optional[str] = None,
+) -> SearchResult:
+    """Run (or resume) one durable BFS check in ``run_dir``."""
+    if checkpoint_every is None and checkpoint_states is None:
+        checkpoint_every = 60.0
+    parallel = workers > 1 and "fork" in multiprocessing.get_all_start_methods()
+    config = {
+        "spec": spec_label or _spec_label(spec),
+        "mode": "parallel" if parallel else "serial",
+        "workers": workers if parallel else 1,
+        "symmetry": bool(symmetry),
+        "stop_on_violation": bool(stop_on_violation),
+        "max_states": max_states,
+        "max_depth": max_depth,
+        "time_budget": time_budget,
+    }
+    if resume:
+        rd = RunDir.open(run_dir)
+        rd.check_config(config, ignore=BUDGET_KEYS)
+        rd.update_manifest(status="running", config=config)
+    else:
+        rd = RunDir.create(run_dir, config=config)
+
+    explore = dict(
+        symmetry=symmetry,
+        max_states=max_states,
+        max_depth=max_depth,
+        time_budget=time_budget,
+        stop_on_violation=stop_on_violation,
+        progress=progress,
+    )
+    store: Optional[DiskStore] = None
+    try:
+        if parallel:
+            presume = load_parallel_resume(rd) if resume else None
+            checkpointer = ParallelCheckpointer(
+                rd, checkpoint_every, checkpoint_states, on_checkpoint
+            )
+            from ..core.parallel import ParallelBFS  # heavy import, keep local
+
+            result = ParallelBFS(
+                spec,
+                workers=workers,
+                checkpointer=checkpointer,
+                resume=presume,
+                **explore,
+            ).run()
+        else:
+            if resume:
+                loaded, resume_state = load_serial_resume(rd, memory_budget)
+                store = loaded  # type: ignore[assignment]
+            else:
+                store = DiskStore(rd.store_dir, memory_budget)
+                resume_state = None
+            checkpointer = SerialCheckpointer(
+                rd, checkpoint_every, checkpoint_states, on_checkpoint
+            )
+            explorer = BFSExplorer(
+                spec, store=store, checkpointer=checkpointer, **explore
+            )
+            result = explorer.run(resume=resume_state)
+    except BaseException:
+        # Leave the checkpoints intact; the manifest records that this
+        # run needs --resume rather than looking merely stale.
+        try:
+            rd.update_manifest(status="interrupted")
+        except Exception:
+            pass
+        raise
+    finally:
+        if store is not None and hasattr(store, "close"):
+            store.close()
+
+    if result.found_violation:
+        status = "violation"
+        save_violation(
+            rd.artifact_path(VIOLATION_ARTIFACT),
+            result.violation,
+            spec=config["spec"],
+        )
+    elif result.exhausted:
+        status = "complete"
+    else:
+        status = "stopped"
+    rd.update_manifest(
+        status=status,
+        finished=time.time(),
+        result={
+            "stop_reason": str(result.stop_reason),
+            "stats": dataclasses.asdict(result.stats),
+            "violation": result.violation.invariant if result.found_violation else None,
+        },
+    )
+    return result

@@ -132,13 +132,31 @@ def run_workflow(
     time_budget: float = 60.0,
     seed: int = 0,
     workers: int = 1,
+    run_dir: Optional[Any] = None,
 ) -> WorkflowResult:
     """Run the Figure 1 workflow for one target system.
 
     ``spec_factory(constraint)`` builds the spec for a candidate budget
     constraint; the first constraint is used for the conformance phase.
+    With ``run_dir`` the workflow is durable: the conformance report,
+    every violation trace (as a replayable artifact), the confirmed-bug
+    Markdown reports, and the summary land in the run directory.
     """
     factory = SYSTEMS[system]
+    rd = None
+    if run_dir is not None:
+        from .persist import RunDir  # local import: persist imports core
+
+        rd = RunDir.create(
+            run_dir,
+            config={
+                "workflow": system,
+                "seed": seed,
+                "workers": workers,
+                "max_states": max_states,
+                "time_budget": time_budget,
+            },
+        )
 
     # -- phase 1: conformance checking -------------------------------------
     conformance_spec = spec_factory(constraints[0])
@@ -152,7 +170,9 @@ def run_workflow(
         quiet_period=conformance_quiet, max_traces=conformance_traces, seed=seed
     )
     if not conformance.passed:
-        return WorkflowResult(system, conformance, None, [])
+        result = WorkflowResult(system, conformance, None, [])
+        _save_workflow_artifacts(rd, result)
+        return result
 
     # -- phase 2: constraint selection (Algorithm 1) ------------------------
     ranked = rank_constraints(
@@ -177,4 +197,41 @@ def run_workflow(
             )
             confirmation = BugReplayer(bug_checker).confirm(exploration.violation)
         checks.append(CheckOutcome(score.constraint, exploration, confirmation))
-    return WorkflowResult(system, conformance, ranked, checks)
+    result = WorkflowResult(system, conformance, ranked, checks)
+    _save_workflow_artifacts(rd, result)
+    return result
+
+
+def _save_workflow_artifacts(rd: Optional[Any], result: WorkflowResult) -> None:
+    """Write a workflow's durable leftovers into its run directory."""
+    if rd is None:
+        return
+    from .persist import save_violation, write_text_artifact
+
+    write_text_artifact(rd.artifact_path("summary.md"), result.summary() + "\n")
+    conformance = result.conformance
+    if not result.passed_conformance and conformance.failure is not None:
+        write_text_artifact(
+            rd.artifact_path("conformance-failure.md"),
+            "# Conformance failure\n\n"
+            + "\n".join(d.describe() for d in conformance.failure.discrepancies)
+            + "\n\n"
+            + conformance.failure.trace.summary()
+            + "\n",
+        )
+        rd.update_manifest(status="conformance-failed")
+        return
+    for index, outcome in enumerate(result.checks):
+        if outcome.exploration.found_violation:
+            save_violation(
+                rd.artifact_path(f"check-{index}-violation.json"),
+                outcome.exploration.violation,
+                constraint=dict(outcome.constraint),
+            )
+    for index, report in enumerate(result.bug_reports()):
+        write_text_artifact(
+            rd.artifact_path(f"bug-report-{index}.md"), report.to_markdown()
+        )
+    rd.update_manifest(
+        status="bugs-confirmed" if result.confirmed_bugs else "complete"
+    )

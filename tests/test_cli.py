@@ -128,3 +128,58 @@ class TestDetectAndReplay:
     def test_unknown_bug_rejected(self):
         with pytest.raises(SystemExit):
             main(["detect", "NoSuch#1"])
+
+
+class TestDurableRuns:
+    def test_check_run_dir_and_resume(self, tmp_path, capsys):
+        argv = [
+            "check",
+            "--system",
+            "pysyncobj",
+            "--nodes",
+            "2",
+            "--time-budget",
+            "60",
+            "--run-dir",
+            str(tmp_path / "run"),
+            "--checkpoint-states",
+            "200",
+        ]
+        assert main(argv + ["--max-states", "800"]) == 0
+        first = capsys.readouterr().out
+        assert "800 states" in first
+        assert main(argv + ["--resume", "--max-states", "5000"]) == 0
+        resumed = capsys.readouterr().out
+        assert "no violation" in resumed
+        # The resumed run went past the first leg's budget.
+        from repro.persist import RunDir
+
+        manifest = RunDir.open(tmp_path / "run").manifest()
+        assert manifest["status"] in ("complete", "stopped")
+        assert manifest["result"]["stats"]["distinct_states"] > 800
+
+    def test_resume_requires_run_dir(self, capsys):
+        assert main(["check", "--system", "raftos", "--resume"]) == 2
+        assert "requires --run-dir" in capsys.readouterr().err
+
+    def test_resume_of_missing_run_is_a_clean_error(self, tmp_path, capsys):
+        argv = [
+            "check",
+            "--system",
+            "raftos",
+            "--run-dir",
+            str(tmp_path / "nowhere"),
+            "--resume",
+        ]
+        assert main(argv) == 2
+        assert "not a run directory" in capsys.readouterr().err
+
+    def test_detect_out_then_replay_trace(self, tmp_path, capsys):
+        out = tmp_path / "bug.json"
+        code = main(["detect", "RaftOS#1", "--time-budget", "60", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+        # Confirmation from the saved trace alone: no re-exploration.
+        assert main(["replay", "RaftOS#1", "--trace", str(out)]) == 0
+        assert "CONFIRMED" in capsys.readouterr().out

@@ -24,6 +24,7 @@ from repro.core import (
 )
 from repro.core.engine import ExplorationEngine, FIFOFrontier, StepChecker
 from repro.core.state import fingerprint
+from repro.persist import DiskStore
 
 from toy_specs import CounterSpec, TokenRingSpec
 
@@ -162,33 +163,48 @@ class TestViolations:
         assert par.violation is not None and par.violation.depth == 2
 
 
+#: Store factories for the equivalence suite; the disk-backed store gets
+#: a deliberately tiny memory budget so every run exercises segment
+#: spills and merge compaction, not just the in-memory fast path.
+STORE_FACTORIES = [
+    pytest.param(lambda tmp: DictStore(), id="dict"),
+    pytest.param(lambda tmp: CompactStore(), id="compact"),
+    pytest.param(lambda tmp: ShardedStateStore(), id="sharded"),
+    pytest.param(
+        lambda tmp: DiskStore(tmp / "store", memory_budget=8, max_segments=3),
+        id="disk",
+    ),
+]
+
+
 class TestStoreEquivalence:
-    """DictStore/CompactStore/ShardedStateStore yield identical BFS results."""
+    """Dict/Compact/Sharded/Disk stores yield identical BFS results."""
 
     @pytest.mark.parametrize("spec_fn", [lambda: CounterSpec(2, 3), lambda: TokenRingSpec(3)])
-    @pytest.mark.parametrize("store_cls", [DictStore, CompactStore, ShardedStateStore])
-    def test_identical_results(self, spec_fn, store_cls):
+    @pytest.mark.parametrize("store_factory", STORE_FACTORIES)
+    def test_identical_results(self, spec_fn, store_factory, tmp_path):
         spec = spec_fn()
         baseline = bfs_explore(spec)
         engine = ExplorationEngine(
-            spec, FIFOFrontier(), store=store_cls(), checker=StepChecker(spec)
+            spec, FIFOFrontier(), store=store_factory(tmp_path), checker=StepChecker(spec)
         )
         result = engine.run()
         assert result.stats.distinct_states == baseline.stats.distinct_states
         assert result.stats.transitions == baseline.stats.transitions
         assert result.exhausted == baseline.exhausted
 
-    @pytest.mark.parametrize("store_cls", [DictStore, CompactStore, ShardedStateStore])
-    def test_violation_traces_match(self, store_cls):
+    @pytest.mark.parametrize("store_factory", STORE_FACTORIES)
+    def test_violation_traces_match(self, store_factory, tmp_path):
         spec = TokenRingSpec(3, buggy=True)
         baseline = bfs_explore(spec)
         engine = ExplorationEngine(
-            spec, FIFOFrontier(), store=store_cls(), checker=StepChecker(spec)
+            spec, FIFOFrontier(), store=store_factory(tmp_path), checker=StepChecker(spec)
         )
         result = engine.run()
         assert result.violation is not None
         assert result.violation.invariant == baseline.violation.invariant
         assert result.violation.depth == baseline.violation.depth
+        assert result.violation.trace == baseline.violation.trace
 
 
 class TestStores:

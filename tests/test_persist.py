@@ -1,0 +1,527 @@
+"""Durable runs: disk store, checkpoints, resume, and replayable artifacts.
+
+The load-bearing property throughout: a run interrupted at a checkpoint
+and resumed finishes with the *identical* SearchResult — same distinct
+states, transitions, depth, stop reason, and minimal-depth
+counterexample trace — as the uninterrupted run, for the serial engine
+and the sharded parallel driver alike.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core import Rec, Trace, TraceStep, bfs_explore
+from repro.core.engine import (
+    CompactStore,
+    ExplorationEngine,
+    FIFOFrontier,
+    SearchStats,
+    StepChecker,
+)
+from repro.core.state import CODEC_VERSION, fingerprint
+from repro.core.trace import from_jsonable, to_jsonable
+from repro.persist import (
+    DiskStore,
+    RunDir,
+    RunDirError,
+    load_serial_resume,
+    load_trace,
+    load_violation,
+    read_checkpoint,
+    run_check,
+    save_trace,
+    save_violation,
+    write_checkpoint,
+)
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def assert_same_result(a, b):
+    assert a.stats.distinct_states == b.stats.distinct_states
+    assert a.stats.transitions == b.stats.transitions
+    assert a.stats.max_depth == b.stats.max_depth
+    assert a.stop_reason == b.stop_reason
+    assert a.exhausted == b.exhausted
+    if a.violation is None:
+        assert b.violation is None
+    else:
+        assert a.violation.invariant == b.violation.invariant
+        assert a.violation.trace == b.violation.trace
+
+
+# ---------------------------------------------------------------------------
+# lossless trace serialization
+# ---------------------------------------------------------------------------
+
+
+class TestTraceRoundTrip:
+    def make_gnarly_trace(self):
+        s0 = Rec(x=0, members=frozenset(), log=())
+        s1 = Rec(x=1, members=frozenset({"n1"}), log=(("term", 1),))
+        s2 = Rec(x=2, members=frozenset({"n1", "n2"}), log=(("term", 1), ("term", 2)))
+        return Trace(
+            s0,
+            [
+                TraceStep("Join", ("n1", frozenset({"n1"})), s1),
+                TraceStep("Join", ("n2", ("a", 1), Rec(k=b"\x00\xff")), s2, branch="b"),
+            ],
+        )
+
+    def test_round_trip_identity(self):
+        trace = self.make_gnarly_trace()
+        assert Trace.from_json(trace.to_json()) == trace
+
+    def test_round_trip_through_dict(self):
+        trace = self.make_gnarly_trace()
+        assert Trace.from_dict(trace.to_dict()) == trace
+
+    def test_round_trip_preserves_fingerprints(self):
+        trace = self.make_gnarly_trace()
+        loaded = Trace.from_json(trace.to_json())
+        for before, after in zip(trace.states(), loaded.states()):
+            assert fingerprint(before) == fingerprint(after)
+
+    def test_readable_rendering_preserved(self):
+        # The human-readable thaw rendering rides along with the codec
+        # bytes, so saved traces stay greppable.
+        data = json.loads(self.make_gnarly_trace().to_json())
+        assert data["initial"]["x"] == 0
+        assert data["steps"][1]["branch"] == "b"
+
+    def test_legacy_dict_without_codec_fields(self):
+        data = {"initial": {"x": 0}, "steps": [{"action": "Inc", "state": {"x": 1}}]}
+        trace = Trace.from_dict(data)
+        assert trace.depth == 1
+        assert trace.final_state["x"] == 1
+
+    def test_jsonable_tags_invert(self):
+        values = [
+            ("a", 1, None),
+            frozenset({1, 2, 3}),
+            Rec(k=(1, 2), v=frozenset({"x"})),
+            b"\x00\x01",
+            float("nan"),
+            float("inf"),
+            -0.5,
+            True,
+        ]
+        for value in values:
+            back = from_jsonable(json.loads(json.dumps(to_jsonable(value))))
+            if isinstance(value, float) and value != value:
+                assert back != back  # NaN round-trips as NaN
+            else:
+                assert back == value
+
+    def test_real_counterexample_round_trips(self):
+        result = bfs_explore(TokenRingSpec(3, buggy=True))
+        trace = result.violation.trace
+        assert Trace.from_json(trace.to_json()) == trace
+
+
+# ---------------------------------------------------------------------------
+# the disk-backed state store
+# ---------------------------------------------------------------------------
+
+
+class TestDiskStore:
+    def test_seen_across_spills(self, tmp_path):
+        store = DiskStore(tmp_path, memory_budget=4, max_segments=2)
+        root = Rec(x=0)
+        store.record_init(fingerprint(root), root)
+        for fp in range(1, 40):
+            assert not store.seen(fp)
+            store.record(fp, fp - 1 if fp > 1 else fingerprint(root), "Inc")
+        assert all(store.seen(fp) for fp in range(1, 40))
+        assert not store.seen(999)
+        assert len(store) == 40
+        assert store._segments, "tiny budget must have spilled to segments"
+        store.close()
+
+    def test_chain_and_edges_survive_spills(self, tmp_path):
+        store = DiskStore(tmp_path, memory_budget=4, max_segments=2)
+        root = Rec(x=0)
+        store.record_init(fingerprint(root), root)
+        prev = fingerprint(root)
+        for fp in range(1, 20):
+            store.record(fp, prev, f"Act{fp % 3}")
+            prev = fp
+        chain = store.chain(19)
+        assert [fp for fp, _ in chain] == [fingerprint(root)] + list(range(1, 20))
+        edges = {fp: (parent, action) for fp, parent, action in store.edges()}
+        assert edges[5] == (4, "Act2")
+        assert edges[fingerprint(root)][0] is None
+        assert list(store.roots()) == [(fingerprint(root), root)]
+        store.close()
+
+    def test_rejects_non_integer_fingerprints(self, tmp_path):
+        store = DiskStore(tmp_path)
+        with pytest.raises(TypeError):
+            store.record(b"\x00" * 8, None, "Inc")
+        store.close()
+
+    def test_fresh_store_wipes_leftovers(self, tmp_path):
+        store = DiskStore(tmp_path, memory_budget=2)
+        store.record_init(fingerprint(Rec(x=0)), Rec(x=0))
+        for fp in range(1, 10):
+            store.record(fp, fp - 1, "Inc")
+        store.close()
+        fresh = DiskStore(tmp_path)
+        assert len(fresh) == 0
+        assert not fresh.seen(5)
+        fresh.close()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint files
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        store = CompactStore()
+        root = Rec(x=0)
+        store.record_init(fingerprint(root), root)
+        store.record(7, fingerprint(root), "Inc")
+        stats = SearchStats(distinct_states=2, transitions=1, max_depth=1, elapsed=0.5)
+        path = tmp_path / "test.ckpt"
+        write_checkpoint(
+            path, stats=stats, store=store, frontier=[(Rec(x=1), 7, 1)]
+        )
+        data = read_checkpoint(path)
+        assert data.stats() == stats
+        restored = data.restore_into(CompactStore())
+        assert restored.seen(7) and restored.seen(fingerprint(root))
+        assert restored.chain(7) == store.chain(7)
+        assert data.frontier_items() == [(Rec(x=1), 7, 1)]
+
+    def test_refuses_wrong_codec_version(self, tmp_path):
+        path = tmp_path / "test.ckpt"
+        write_checkpoint(path, stats=SearchStats())
+        raw = path.read_bytes()
+        bumped = raw.replace(
+            json.dumps({"codec_version": CODEC_VERSION})[1:-1].encode(),
+            json.dumps({"codec_version": CODEC_VERSION + 1})[1:-1].encode(),
+            1,
+        )
+        path.write_bytes(bumped)
+        with pytest.raises(RunDirError, match="codec version"):
+            read_checkpoint(path)
+
+    def test_refuses_non_checkpoint_file(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        with pytest.raises(RunDirError):
+            read_checkpoint(path)
+
+
+# ---------------------------------------------------------------------------
+# run directories
+# ---------------------------------------------------------------------------
+
+
+class TestRunDir:
+    def test_create_then_open(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run", config={"spec": "toy"})
+        manifest = RunDir.open(tmp_path / "run").manifest()
+        assert manifest["codec_version"] == CODEC_VERSION
+        assert manifest["status"] == "running"
+        assert manifest["config"] == {"spec": "toy"}
+        assert rd.checkpoint_dir.is_dir() and rd.artifacts_dir.is_dir()
+
+    def test_refuses_existing_run(self, tmp_path):
+        RunDir.create(tmp_path / "run")
+        with pytest.raises(RunDirError, match="already contains a run"):
+            RunDir.create(tmp_path / "run")
+
+    def test_refuses_wrong_codec_version(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run")
+        rd.update_manifest(codec_version=CODEC_VERSION + 1)
+        with pytest.raises(RunDirError, match="codec version"):
+            RunDir.open(tmp_path / "run")
+
+    def test_refuses_wrong_layout_version(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run")
+        rd.update_manifest(format_version=99)
+        with pytest.raises(RunDirError, match="layout version"):
+            RunDir.open(tmp_path / "run")
+
+    def test_config_check_ignores_budget_keys(self, tmp_path):
+        rd = RunDir.create(
+            tmp_path / "run", config={"spec": "toy", "max_states": 100}
+        )
+        rd.check_config({"spec": "toy", "max_states": 5000}, ignore=("max_states",))
+        with pytest.raises(RunDirError, match="spec"):
+            rd.check_config({"spec": "other", "max_states": 100}, ignore=("max_states",))
+
+
+# ---------------------------------------------------------------------------
+# interrupted + resumed == uninterrupted
+# ---------------------------------------------------------------------------
+
+
+class Interrupted(Exception):
+    """Stands in for a kill arriving right after a checkpoint commits."""
+
+
+def kill_after(n):
+    def hook(checkpointer):
+        if checkpointer.checkpoints_written == n:
+            raise Interrupted
+
+    return hook
+
+
+class TestSerialResume:
+    def test_resume_matches_uninterrupted_exhaustion(self, tmp_path):
+        baseline = bfs_explore(CounterSpec(3, 3))
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                checkpoint_states=10,
+                memory_budget=16,
+                on_checkpoint=kill_after(2),
+            )
+        resumed = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            resume=True,
+            checkpoint_states=10,
+            memory_budget=16,
+        )
+        assert_same_result(resumed, baseline)
+        assert RunDir.open(tmp_path / "run").manifest()["status"] == "complete"
+
+    def test_resume_matches_uninterrupted_violation(self, tmp_path):
+        baseline = bfs_explore(TokenRingSpec(3, buggy=True))
+        with pytest.raises(Interrupted):
+            run_check(
+                TokenRingSpec(3, buggy=True),
+                tmp_path / "run",
+                checkpoint_states=2,
+                on_checkpoint=kill_after(1),
+            )
+        resumed = run_check(
+            TokenRingSpec(3, buggy=True),
+            tmp_path / "run",
+            resume=True,
+            checkpoint_states=2,
+        )
+        assert_same_result(resumed, baseline)
+        assert resumed.violation.trace == baseline.violation.trace
+        saved = load_violation(tmp_path / "run" / "artifacts" / "violation.json")
+        assert saved.trace == baseline.violation.trace
+
+    def test_repeated_interruptions(self, tmp_path):
+        baseline = bfs_explore(CounterSpec(3, 3))
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                checkpoint_states=10,
+                on_checkpoint=kill_after(1),
+            )
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                resume=True,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(2),
+            )
+        resumed = run_check(
+            CounterSpec(3, 3), tmp_path / "run", resume=True, checkpoint_states=10
+        )
+        assert_same_result(resumed, baseline)
+
+    def test_budget_may_grow_on_resume(self, tmp_path):
+        baseline = bfs_explore(CounterSpec(3, 3))
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                max_states=40,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(2),
+            )
+        resumed = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            resume=True,
+            checkpoint_states=10,
+        )
+        assert_same_result(resumed, baseline)
+
+    def test_resume_refuses_changed_spec_config(self, tmp_path):
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                checkpoint_states=10,
+                on_checkpoint=kill_after(1),
+            )
+        with pytest.raises(RunDirError, match="symmetry"):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                resume=True,
+                symmetry=True,
+                checkpoint_states=10,
+            )
+
+    def test_resume_without_checkpoint_is_a_clear_error(self, tmp_path):
+        run_check(CounterSpec(2, 2), tmp_path / "run", checkpoint_every=3600)
+        with pytest.raises(RunDirError, match="no checkpoint"):
+            run_check(CounterSpec(2, 2), tmp_path / "run", resume=True)
+
+    def test_resume_fresh_directory_is_a_clear_error(self, tmp_path):
+        with pytest.raises(RunDirError, match="not a run directory"):
+            run_check(CounterSpec(2, 2), tmp_path / "nope", resume=True)
+
+    def test_checkpoint_reloads_disk_store(self, tmp_path):
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                checkpoint_states=10,
+                memory_budget=8,
+                on_checkpoint=kill_after(2),
+            )
+        store, resume = load_serial_resume(RunDir.open(tmp_path / "run"), 8)
+        assert isinstance(store, DiskStore)
+        assert len(store) == resume.stats.distinct_states
+        assert resume.frontier, "a mid-run checkpoint has pending states"
+        store.close()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="parallel BFS requires fork")
+class TestParallelResume:
+    def test_resume_matches_uninterrupted_exhaustion(self, tmp_path):
+        baseline = bfs_explore(CounterSpec(3, 3), workers=2)
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                workers=2,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(2),
+            )
+        resumed = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            workers=2,
+            resume=True,
+            checkpoint_states=10,
+        )
+        assert_same_result(resumed, baseline)
+
+    def test_resume_matches_uninterrupted_violation(self, tmp_path):
+        baseline = bfs_explore(TokenRingSpec(3, buggy=True, max_steps=20), workers=2)
+        with pytest.raises(Interrupted):
+            run_check(
+                TokenRingSpec(3, buggy=True, max_steps=20),
+                tmp_path / "run",
+                workers=2,
+                checkpoint_states=2,
+                on_checkpoint=kill_after(1),
+            )
+        resumed = run_check(
+            TokenRingSpec(3, buggy=True, max_steps=20),
+            tmp_path / "run",
+            workers=2,
+            resume=True,
+            checkpoint_states=2,
+        )
+        assert_same_result(resumed, baseline)
+        assert resumed.violation.trace == baseline.violation.trace
+
+    def test_resume_refuses_changed_worker_count(self, tmp_path):
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                workers=2,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(1),
+            )
+        with pytest.raises(RunDirError, match="workers"):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                workers=3,
+                resume=True,
+                checkpoint_states=10,
+            )
+
+
+# ---------------------------------------------------------------------------
+# durable runs end to end
+# ---------------------------------------------------------------------------
+
+
+class TestRunCheck:
+    def test_disk_backed_run_matches_in_memory(self, tmp_path):
+        baseline = bfs_explore(CounterSpec(3, 3))
+        durable = run_check(
+            CounterSpec(3, 3), tmp_path / "run", memory_budget=16
+        )
+        assert_same_result(durable, baseline)
+        manifest = RunDir.open(tmp_path / "run").manifest()
+        assert manifest["status"] == "complete"
+        assert manifest["result"]["stop_reason"] == "exhausted"
+
+    def test_violation_writes_artifact_and_status(self, tmp_path):
+        result = run_check(TokenRingSpec(3, buggy=True), tmp_path / "run")
+        assert result.found_violation
+        manifest = RunDir.open(tmp_path / "run").manifest()
+        assert manifest["status"] == "violation"
+        assert manifest["result"]["violation"] == "MutualExclusion"
+        saved = load_violation(tmp_path / "run" / "artifacts" / "violation.json")
+        assert saved.invariant == "MutualExclusion"
+        assert saved.trace == result.violation.trace
+
+    def test_bfs_explore_run_dir_kwarg(self, tmp_path):
+        result = bfs_explore(
+            CounterSpec(2, 3), run_dir=tmp_path / "run", checkpoint_states=5
+        )
+        assert result.stats.distinct_states == 16
+        assert (tmp_path / "run" / "manifest.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# replayable artifacts
+# ---------------------------------------------------------------------------
+
+
+class TestArtifacts:
+    def test_trace_artifact_round_trip(self, tmp_path):
+        trace = bfs_explore(TokenRingSpec(3, buggy=True)).violation.trace
+        save_trace(tmp_path / "trace.json", trace)
+        assert load_trace(tmp_path / "trace.json") == trace
+
+    def test_violation_artifact_round_trip(self, tmp_path):
+        violation = bfs_explore(TokenRingSpec(3, buggy=True)).violation
+        save_violation(tmp_path / "v.json", violation)
+        loaded = load_violation(tmp_path / "v.json")
+        assert loaded.invariant == violation.invariant
+        assert loaded.kind == violation.kind
+        assert loaded.trace == violation.trace
+
+    def test_artifact_refuses_wrong_codec_version(self, tmp_path):
+        violation = bfs_explore(TokenRingSpec(3, buggy=True)).violation
+        save_violation(tmp_path / "v.json", violation)
+        data = json.loads((tmp_path / "v.json").read_text())
+        data["codec_version"] = CODEC_VERSION + 1
+        (tmp_path / "v.json").write_text(json.dumps(data))
+        with pytest.raises(RunDirError, match="codec version"):
+            load_violation(tmp_path / "v.json")
+
+    def test_bare_trace_dict_loads(self, tmp_path):
+        trace = bfs_explore(TokenRingSpec(3, buggy=True)).violation.trace
+        (tmp_path / "bare.json").write_text(json.dumps(trace.to_dict()))
+        assert load_trace(tmp_path / "bare.json") == trace

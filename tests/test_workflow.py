@@ -1,5 +1,6 @@
 """Tests for the end-to-end SandTable workflow driver (Figure 1)."""
 
+from repro.persist import RunDir, load_violation
 from repro.specs.raft import RaftConfig, RaftOSSpec, XraftSpec
 from repro.workflow import run_workflow
 
@@ -31,7 +32,7 @@ def raftos_factory(bugs):
 
 
 class TestHealthySystem:
-    def test_clean_run(self):
+    def test_clean_run(self, tmp_path):
         result = run_workflow(
             "raftos",
             raftos_factory(()),
@@ -40,12 +41,19 @@ class TestHealthySystem:
             conformance_traces=40,
             max_states=30_000,
             time_budget=30.0,
+            run_dir=tmp_path / "wf",
         )
         assert result.passed_conformance
         assert result.ranking is not None
         assert len(result.checks) == 2
         assert result.confirmed_bugs == []
         assert "clean" in result.summary()
+        # The durable run directory captured the outcome.
+        rd = RunDir.open(tmp_path / "wf")
+        assert rd.manifest()["status"] == "complete"
+        summary = rd.artifact_path("summary.md").read_text()
+        assert "clean" in summary
+        assert not list(rd.artifacts_dir.glob("bug-report-*.md"))
 
     def test_constraints_ranked(self):
         result = run_workflow(
@@ -62,7 +70,7 @@ class TestHealthySystem:
 
 
 class TestBuggySystem:
-    def test_bug_found_and_confirmed(self):
+    def test_bug_found_and_confirmed(self, tmp_path):
         result = run_workflow(
             "raftos",
             raftos_factory(("R1",)),
@@ -71,12 +79,23 @@ class TestBuggySystem:
             conformance_traces=40,
             max_states=150_000,
             time_budget=90.0,
+            run_dir=tmp_path / "wf",
         )
         assert result.passed_conformance  # bug seeded in both levels
         assert result.confirmed_bugs, result.summary()
         outcome = result.confirmed_bugs[0]
         assert outcome.exploration.violation.invariant == "MatchIndexMonotonic"
         assert "CONFIRMED" in result.summary()
+        # Replayable artifacts: the violation trace and the rendered report.
+        rd = RunDir.open(tmp_path / "wf")
+        assert rd.manifest()["status"] == "bugs-confirmed"
+        saved = sorted(rd.artifacts_dir.glob("check-*-violation.json"))
+        assert saved
+        loaded = [load_violation(path) for path in saved]
+        assert outcome.exploration.violation.trace in [v.trace for v in loaded]
+        reports = sorted(rd.artifacts_dir.glob("bug-report-*.md"))
+        assert reports
+        assert "MatchIndexMonotonic" in reports[0].read_text()
 
     def test_bug_reports_render(self):
         result = run_workflow(
@@ -98,7 +117,7 @@ class TestBuggySystem:
 
 
 class TestDivergentImplementation:
-    def test_workflow_stops_at_conformance(self):
+    def test_workflow_stops_at_conformance(self, tmp_path):
         def xraft_factory(constraint):
             return XraftSpec(
                 RaftConfig(nodes=("n1", "n2", "n3"), **constraint)
@@ -117,7 +136,11 @@ class TestDivergentImplementation:
             conformance_quiet=20.0,
             conformance_traces=300,
             seed=3,
+            run_dir=tmp_path / "wf",
         )
         assert not result.passed_conformance
         assert result.checks == []
         assert "FAILED" in result.summary()
+        rd = RunDir.open(tmp_path / "wf")
+        assert rd.manifest()["status"] == "conformance-failed"
+        assert rd.artifact_path("conformance-failure.md").exists()
