@@ -76,6 +76,9 @@ class Trace:
             return NotImplemented
         return self.initial == other.initial and self.steps == other.steps
 
+    def __hash__(self) -> int:
+        return hash((self.initial, tuple(self.steps)))
+
     # -- serialization -------------------------------------------------------
     #
     # Traces are the durable interchange artifact between the checker and

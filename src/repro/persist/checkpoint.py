@@ -27,11 +27,14 @@ Serial runs write ``checkpoint/serial.ckpt``.  With a
 :class:`~repro.persist.diskstore.DiskStore` the edge/root sections stay
 empty — the store is already on disk — and the header instead pins the
 store's byte offsets and segment list, making checkpoints O(frontier)
-instead of O(visited).  Parallel runs write one ``worker-N.ckpt`` per
-shard (each worker dumps its own store and frontier) plus a master
-``parallel.json`` manifest that merges the per-shard files with the
-round number, aggregated stats, and pending violations; the master
-manifest's rename is the commit point for the whole fleet.
+instead of O(visited).  Parallel runs write one ``worker-N-G.ckpt`` per
+shard (each worker dumps its own store and frontier; ``G`` is the
+checkpoint generation, so a new checkpoint never overwrites the files
+the committed manifest references) plus a master ``parallel.json``
+manifest that names the exact per-shard files of its generation along
+with the round number, aggregated stats, and pending violations; the
+master manifest's rename is the commit point for the whole fleet, and
+superseded generations are deleted only after it.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ import dataclasses
 import json
 import os
 import pathlib
+import re
 import struct
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -76,6 +80,14 @@ _ROOT_ACTION = "<init>"
 
 SERIAL_CHECKPOINT = "serial.ckpt"
 PARALLEL_CHECKPOINT = "parallel.json"
+
+_WORKER_FILE = re.compile(r"^worker-\d+-(\d+)\.ckpt$")
+
+
+def _worker_generation(path: pathlib.Path) -> Optional[int]:
+    """The generation number of a ``worker-N-G.ckpt`` file name."""
+    match = _WORKER_FILE.match(path.name)
+    return int(match.group(1)) if match else None
 
 
 @dataclasses.dataclass
@@ -430,12 +442,15 @@ class ParallelCheckpointer:
 
     The master (between BFS levels) tells every worker to write its
     per-shard checkpoint file, then commits the fleet-wide snapshot by
-    atomically writing the master manifest.  A crash between a worker
-    file and the master commit leaves the previous manifest in place,
-    still pointing at per-shard files consistent with it — worker files
-    are themselves replaced atomically, and a manifest only references
-    files written before its own commit... so resume always sees a
-    matched set.
+    atomically writing the master manifest.  Worker files are
+    *generation-addressed* (``worker-N-G.ckpt``): each fleet-wide
+    checkpoint writes a fresh set of file names, the manifest records
+    exactly the names of its own generation, and superseded generations
+    are deleted only after the manifest rename commits.  A crash at any
+    point — even after some new-generation worker files are on disk but
+    before the master commit — therefore leaves the previous manifest
+    pointing at its own complete, untouched set of worker files, so
+    resume always sees a matched set from a single round.
     """
 
     def __init__(
@@ -453,9 +468,20 @@ class ParallelCheckpointer:
         self.checkpoints_written = 0
         self._last_states = 0
         self._last_time = time.monotonic()
+        # Start past every generation already on disk (committed or
+        # orphaned by a crash) so this session never overwrites a file
+        # the committed manifest may still reference.
+        self._generation = 1 + max(
+            (
+                gen
+                for gen in map(_worker_generation, run_dir.checkpoint_dir.glob("worker-*.ckpt"))
+                if gen is not None
+            ),
+            default=-1,
+        )
 
     def worker_path(self, wid: int) -> pathlib.Path:
-        return self.run_dir.checkpoint_dir / f"worker-{wid}.ckpt"
+        return self.run_dir.checkpoint_dir / f"worker-{wid}-{self._generation}.ckpt"
 
     def due(self, stats: SearchStats) -> bool:
         if (
@@ -488,6 +514,13 @@ class ParallelCheckpointer:
             "files": [self.worker_path(wid).name for wid in range(workers)],
         }
         atomic_write_json(self.master_path, manifest)
+        # Only now — after the commit point — is it safe to drop worker
+        # files from superseded (or crash-orphaned) generations.
+        keep = set(manifest["files"])
+        for stale in self.run_dir.checkpoint_dir.glob("worker-*.ckpt"):
+            if stale.name not in keep:
+                stale.unlink()
+        self._generation += 1
         self._last_states = stats.distinct_states
         self._last_time = time.monotonic()
         self.checkpoints_written += 1

@@ -351,14 +351,16 @@ class DiskStore(StateStore):
         return meta, obsolete
 
     def close(self) -> None:
+        # Deliberately does NOT delete self._obsolete: those compaction
+        # inputs may still be referenced by the last committed checkpoint
+        # (compaction after the checkpoint, no newer commit).  Resume
+        # needs them; _attach unlinks whatever the checkpoint it loads
+        # does not reference, so cleanup is deferred, not lost.
         self.flush()
         for handle in (self._edges_f, self._roots_f, self._actions_f):
             handle.close()
         for segment in self._segments:
             segment.close()
-        for path in self._obsolete:
-            if path.exists():
-                path.unlink()
         self._obsolete = []
 
     # -- reconstruction -------------------------------------------------------

@@ -9,7 +9,7 @@ violation traces, conformance reports, bug reports::
 
     run/
       manifest.json          what + config + codec version + status/result
-      checkpoint/            serial.ckpt, or parallel.json + worker-N.ckpt
+      checkpoint/            serial.ckpt, or parallel.json + worker-N-G.ckpt
       store/                 DiskStore segments and logs (serial runs)
       artifacts/             violation.json, reports, saved traces
 

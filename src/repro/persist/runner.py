@@ -66,12 +66,20 @@ def run_check(
     max_depth: Optional[int] = None,
     time_budget: Optional[float] = None,
     stop_on_violation: bool = True,
+    strong_fingerprints: bool = False,
     memory_budget: int = 1_000_000,
     progress: Optional[Callable[[Any], None]] = None,
+    progress_interval: int = 50_000,
     on_checkpoint: Optional[Callable[[Any], None]] = None,
     spec_label: Optional[str] = None,
 ) -> SearchResult:
     """Run (or resume) one durable BFS check in ``run_dir``."""
+    if strong_fingerprints:
+        raise ValueError(
+            "durable runs do not support strong_fingerprints: the disk"
+            " store and checkpoint files hold 64-bit integer fingerprints"
+            " only (drop run_dir to explore with strong fingerprints)"
+        )
     if checkpoint_every is None and checkpoint_states is None:
         checkpoint_every = 60.0
     parallel = workers > 1 and "fork" in multiprocessing.get_all_start_methods()
@@ -99,6 +107,7 @@ def run_check(
         time_budget=time_budget,
         stop_on_violation=stop_on_violation,
         progress=progress,
+        progress_interval=progress_interval,
     )
     store: Optional[DiskStore] = None
     try:

@@ -52,6 +52,13 @@ class TestTrace:
         assert data["steps"][1]["branch"] == "fast"
         assert data["steps"][1]["state"] == {"x": 2}
 
+    def test_hashable_consistent_with_equality(self):
+        a, b = make_trace(), make_trace()
+        assert a == b and a is not b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert {a: "found"}[b] == "found"
+
     def test_summary_mentions_every_step(self):
         summary = make_trace().summary()
         assert "Inc(n1)" in summary

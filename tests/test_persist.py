@@ -24,8 +24,10 @@ from repro.core.state import CODEC_VERSION, fingerprint
 from repro.core.trace import from_jsonable, to_jsonable
 from repro.persist import (
     DiskStore,
+    ParallelCheckpointer,
     RunDir,
     RunDirError,
+    load_parallel_resume,
     load_serial_resume,
     load_trace,
     load_violation,
@@ -35,6 +37,7 @@ from repro.persist import (
     save_violation,
     write_checkpoint,
 )
+from repro.persist.checkpoint import write_worker_checkpoint
 
 from toy_specs import CounterSpec, TokenRingSpec
 
@@ -174,6 +177,29 @@ class TestDiskStore:
         assert len(fresh) == 0
         assert not fresh.seen(5)
         fresh.close()
+
+    def test_close_keeps_segments_the_last_checkpoint_references(self, tmp_path):
+        # Compaction inputs may still be named by the last committed
+        # checkpoint; close() must leave them on disk or resuming an
+        # interrupted/stopped run would hit missing segment files.
+        store = DiskStore(tmp_path, memory_budget=2, max_segments=2)
+        root = Rec(x=0)
+        store.record_init(fingerprint(root), root)
+        for fp in range(1, 20):
+            store.record(fp, fp - 1, "Inc")
+        meta, obsolete = store.checkpoint()
+        for stale in obsolete:
+            stale.unlink()  # what the checkpointer does after its commit
+        # keep recording so compaction consumes the checkpointed segments
+        for fp in range(100, 140):
+            store.record(fp, fp - 1, "Inc")
+        store.close()
+        assert all((tmp_path / name).exists() for name, _ in meta["segments"])
+        resumed = DiskStore.resume(tmp_path, meta, memory_budget=2, max_segments=2)
+        assert len(resumed) == meta["count"]
+        assert resumed.seen(5) and resumed.seen(19)
+        assert not resumed.seen(105), "post-checkpoint states must be gone"
+        resumed.close()
 
 
 # ---------------------------------------------------------------------------
@@ -357,6 +383,29 @@ class TestSerialResume:
         )
         assert_same_result(resumed, baseline)
 
+    def test_budget_stopped_run_resumes_after_clean_close(self, tmp_path):
+        # A budget stop goes through run_check's finally-close; the store
+        # must not delete files the last checkpoint references, or this
+        # advertised grow-the-budget flow dies on resume.
+        baseline = bfs_explore(CounterSpec(3, 3))
+        stopped = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            max_states=30,
+            checkpoint_states=5,
+            memory_budget=2,
+        )
+        assert not stopped.exhausted
+        assert RunDir.open(tmp_path / "run").manifest()["status"] == "stopped"
+        resumed = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            resume=True,
+            checkpoint_states=5,
+            memory_budget=2,
+        )
+        assert_same_result(resumed, baseline)
+
     def test_resume_refuses_changed_spec_config(self, tmp_path):
         with pytest.raises(Interrupted):
             run_check(
@@ -399,6 +448,61 @@ class TestSerialResume:
         store.close()
 
 
+class TestParallelCheckpointGenerations:
+    """Worker checkpoint files must never be overwritten before the
+    master manifest commits: a crash between the two would otherwise
+    leave the old manifest pointing at new-generation shard files from
+    a different round, silently losing states on resume."""
+
+    def commit(self, cp, depth):
+        cp.commit(
+            workers=2,
+            depth=depth,
+            stats=SearchStats(distinct_states=depth),
+            frontier_sizes={0: 1, 1: 0},
+            violations=[],
+        )
+
+    def write_worker_files(self, cp):
+        paths = [cp.worker_path(wid) for wid in range(2)]
+        for path in paths:
+            write_worker_checkpoint(path, CompactStore(), [])
+        return paths
+
+    def test_crash_between_worker_files_and_commit_is_safe(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run")
+        cp = ParallelCheckpointer(rd)
+        gen0 = self.write_worker_files(cp)
+        self.commit(cp, depth=1)
+        gen1 = self.write_worker_files(cp)
+        assert set(gen1).isdisjoint(gen0), "a new generation gets fresh names"
+        # crash here: new worker files exist, master manifest not rewritten
+        resume = load_parallel_resume(rd)
+        assert resume.worker_files == gen0
+        assert resume.depth == 1
+        assert all(path.exists() for path in gen0)
+
+    def test_commit_prunes_superseded_generations(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run")
+        cp = ParallelCheckpointer(rd)
+        gen0 = self.write_worker_files(cp)
+        self.commit(cp, depth=1)
+        gen1 = self.write_worker_files(cp)
+        self.commit(cp, depth=2)
+        assert load_parallel_resume(rd).worker_files == gen1
+        assert all(path.exists() for path in gen1)
+        assert not any(path.exists() for path in gen0)
+
+    def test_resumed_checkpointer_skips_committed_generation(self, tmp_path):
+        rd = RunDir.create(tmp_path / "run")
+        cp = ParallelCheckpointer(rd)
+        committed = self.write_worker_files(cp)
+        self.commit(cp, depth=1)
+        # a new session (resume) must not reuse the committed file names
+        fresh = ParallelCheckpointer(rd)
+        assert set(fresh.worker_path(wid) for wid in range(2)).isdisjoint(committed)
+
+
 @pytest.mark.skipif(not HAS_FORK, reason="parallel BFS requires fork")
 class TestParallelResume:
     def test_resume_matches_uninterrupted_exhaustion(self, tmp_path):
@@ -439,6 +543,36 @@ class TestParallelResume:
         )
         assert_same_result(resumed, baseline)
         assert resumed.violation.trace == baseline.violation.trace
+
+    def test_repeated_interruptions(self, tmp_path):
+        # Each session commits fresh checkpoint generations; resuming
+        # across several of them still matches the uninterrupted run.
+        baseline = bfs_explore(CounterSpec(3, 3), workers=2)
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                workers=2,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(1),
+            )
+        with pytest.raises(Interrupted):
+            run_check(
+                CounterSpec(3, 3),
+                tmp_path / "run",
+                workers=2,
+                resume=True,
+                checkpoint_states=10,
+                on_checkpoint=kill_after(1),
+            )
+        resumed = run_check(
+            CounterSpec(3, 3),
+            tmp_path / "run",
+            workers=2,
+            resume=True,
+            checkpoint_states=10,
+        )
+        assert_same_result(resumed, baseline)
 
     def test_resume_refuses_changed_worker_count(self, tmp_path):
         with pytest.raises(Interrupted):
@@ -491,6 +625,25 @@ class TestRunCheck:
         )
         assert result.stats.distinct_states == 16
         assert (tmp_path / "run" / "manifest.json").exists()
+
+    def test_bfs_explore_run_dir_accepts_explorer_kwargs(self, tmp_path):
+        # kwargs valid without run_dir must not blow up with it
+        result = bfs_explore(
+            CounterSpec(2, 3),
+            run_dir=tmp_path / "run",
+            checkpoint_states=5,
+            progress_interval=10,
+        )
+        assert result.stats.distinct_states == 16
+
+    def test_run_dir_rejects_strong_fingerprints_clearly(self, tmp_path):
+        with pytest.raises(ValueError, match="strong_fingerprints"):
+            bfs_explore(
+                CounterSpec(2, 3),
+                run_dir=tmp_path / "run",
+                strong_fingerprints=True,
+            )
+        assert not (tmp_path / "run").exists(), "rejected before creating the dir"
 
 
 # ---------------------------------------------------------------------------
