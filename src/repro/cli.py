@@ -7,7 +7,10 @@ Subcommands mirror Figure 1:
 * ``simulate`` — random-walk exploration;
 * ``conformance`` — iterative conformance checking of spec vs. impl;
 * ``detect`` — run the registry-recorded detection for one bug;
-* ``replay`` — detect a bug and confirm it at the implementation level.
+* ``replay`` — detect a bug and confirm it at the implementation level;
+* ``selftest`` — differential fuzzing of the checker itself
+  (:mod:`repro.testkit`): random specs, a naive oracle, the full engine
+  configuration matrix.
 """
 
 from __future__ import annotations
@@ -171,6 +174,35 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0 if result.found else 1
 
 
+def cmd_selftest(args: argparse.Namespace) -> int:
+    from .testkit import replay_artifact, run_differential
+
+    if args.replay:
+        original, fresh = replay_artifact(args.replay)
+        print(f"replaying artifact: {original.describe()}")
+        if fresh:
+            for item in fresh:
+                print(f"  still disagrees: {item.describe()}")
+            return 1
+        print("  no longer reproduces")
+        return 0
+
+    def progress(index: int, generated, n_bad: int) -> None:
+        if not args.quiet:
+            verdict = "ok" if n_bad == 0 else f"{n_bad} DISAGREEMENTS"
+            print(f"spec {generated.seed} ({generated.params.n_nodes} nodes): {verdict}")
+
+    report = run_differential(
+        args.specs,
+        seed=args.seed,
+        out_dir=args.out,
+        parallel=not args.serial_only,
+        progress=progress,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     if args.trace:
         # Replay a saved counterexample: no re-exploration, just the
@@ -318,6 +350,26 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--time-budget", type=float, default=120.0)
     rep.add_argument("--seed", type=int, default=0)
     rep.set_defaults(fn=cmd_replay)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="differentially fuzz the checker itself against a naive oracle",
+    )
+    selftest.add_argument("--specs", type=int, default=20, help="random specs to fuzz")
+    selftest.add_argument("--seed", default="0", help="sweep seed (any string)")
+    selftest.add_argument(
+        "--out", help="write disagreement artifacts (replayable JSON) here"
+    )
+    selftest.add_argument(
+        "--serial-only",
+        action="store_true",
+        help="skip the parallel-worker configurations",
+    )
+    selftest.add_argument(
+        "--replay", metavar="ARTIFACT", help="re-run one saved disagreement artifact"
+    )
+    selftest.add_argument("--quiet", action="store_true", help="summary line only")
+    selftest.set_defaults(fn=cmd_selftest)
 
     return parser
 

@@ -1,0 +1,54 @@
+"""Self-checking toolkit: fuzz the model checker with the model checker.
+
+``repro.testkit`` generates seeded random specifications with known
+ground truth (:mod:`~repro.testkit.genspec`), computes that ground truth
+with a deliberately naive reference explorer
+(:mod:`~repro.testkit.oracle`), and differentially checks every engine
+configuration — serial/parallel, all state stores, symmetry on/off,
+kill-at-checkpoint→resume — against it
+(:mod:`~repro.testkit.differential`).  Exposed on the command line as
+``sandtable selftest``.
+"""
+
+from .differential import (
+    ARTIFACT_KIND,
+    DifferentialReport,
+    Disagreement,
+    MatrixConfig,
+    build_matrix,
+    check_spec,
+    replay_artifact,
+    run_differential,
+)
+from .genspec import (
+    PLANTED_INVARIANT,
+    GeneratedSpec,
+    GenParams,
+    PlantedViolation,
+    RandomSpec,
+    generate_spec,
+    sample_params,
+    signature,
+)
+from .oracle import OracleResult, oracle_explore
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "DifferentialReport",
+    "Disagreement",
+    "MatrixConfig",
+    "build_matrix",
+    "check_spec",
+    "replay_artifact",
+    "run_differential",
+    "PLANTED_INVARIANT",
+    "GeneratedSpec",
+    "GenParams",
+    "PlantedViolation",
+    "RandomSpec",
+    "generate_spec",
+    "sample_params",
+    "signature",
+    "OracleResult",
+    "oracle_explore",
+]

@@ -1,0 +1,452 @@
+"""Differential fuzzing: every engine configuration against the oracle.
+
+For each generated spec the harness runs two phases:
+
+* **census** — the spec *without* its planted invariant, explored
+  exhaustively by every configuration in the matrix: serial BFS over
+  each state store (in-memory, compact, sharded, disk), symmetry
+  reduction on, sharded parallel BFS with 2 and 3 workers (with and
+  without symmetry), and a durable run that is killed at a checkpoint
+  and resumed.  Every configuration must agree with the oracle on the
+  distinct-state count, the enumerated-transition count, the diameter,
+  and the ``exhausted`` stop reason (symmetry-reduced runs are graded
+  against the oracle's quotient counts).
+* **violation** — the spec *with* the planted invariant,
+  ``stop_on_violation=True``.  Configurations differ legitimately in how
+  much they explore before stopping (parallel BFS finishes its round),
+  so this phase compares only what BFS minimality guarantees: the
+  ``violation`` stop reason, the violated invariant's name, and the
+  counterexample depth, which must equal the planted minimal depth
+  exactly.
+
+Any mismatch — including an exception escaping a configuration — is a
+:class:`Disagreement` carrying the spec seed, generator params, and
+config: everything needed to regenerate the identical spec and re-run
+the one failing cell.  With an output directory each disagreement is
+also written as a JSON artifact (via the same crash-safe writer as
+:mod:`repro.persist`), and :func:`replay_artifact` turns such a file
+back into a live re-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import random
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.engine import CompactStore, SearchResult, ShardedStateStore, StopReason
+from ..core.explorer import BFSExplorer, bfs_explore
+from ..core.state import CODEC_VERSION
+from ..persist.diskstore import DiskStore
+from ..persist.rundir import atomic_write_json, read_json
+from ..persist.runner import run_check
+from .genspec import GeneratedSpec, GenParams, generate_spec, sample_params
+from .oracle import OracleResult, oracle_explore
+
+__all__ = [
+    "MatrixConfig",
+    "Disagreement",
+    "DifferentialReport",
+    "build_matrix",
+    "check_spec",
+    "run_differential",
+    "replay_artifact",
+    "ARTIFACT_KIND",
+]
+
+ARTIFACT_KIND = "testkit-disagreement"
+
+#: Durable configs use tiny budgets so even ~100-state specs exercise
+#: checkpointing, memory-set spills, and the kill→resume path.
+_CHECKPOINT_STATES = 7
+_MEMORY_BUDGET = 16
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixConfig:
+    """One cell of the configuration matrix."""
+
+    name: str
+    phase: str  # "census" | "violation"
+    workers: int = 1
+    store: str = "memory"  # "memory" | "compact" | "sharded" | "disk"
+    symmetry: bool = False
+    durable: bool = False  # kill at a checkpoint, then resume
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "MatrixConfig":
+        return cls(**raw)
+
+
+def build_matrix(
+    generated: GeneratedSpec, parallel: bool = True
+) -> List[MatrixConfig]:
+    """The configuration matrix for one generated spec.
+
+    Symmetry cells appear only for symmetric specs, worker cells only
+    when ``parallel`` is requested and the platform can fork, and
+    violation cells only when a violation was actually planted.
+    """
+    census: List[MatrixConfig] = [
+        MatrixConfig("census/serial-memory", "census"),
+        MatrixConfig("census/serial-compact", "census", store="compact"),
+        MatrixConfig("census/serial-sharded", "census", store="sharded"),
+        MatrixConfig("census/serial-disk", "census", store="disk"),
+        MatrixConfig("census/durable-resume", "census", store="disk", durable=True),
+    ]
+    if generated.symmetric:
+        census.append(MatrixConfig("census/serial-symmetry", "census", symmetry=True))
+    if parallel and _fork_available():
+        census.append(MatrixConfig("census/workers-2", "census", workers=2))
+        census.append(MatrixConfig("census/workers-3", "census", workers=3))
+        if generated.symmetric:
+            census.append(
+                MatrixConfig("census/workers-2-symmetry", "census", workers=2, symmetry=True)
+            )
+
+    matrix = census
+    if generated.planted is not None:
+        matrix = matrix + [
+            MatrixConfig("violation/serial-memory", "violation"),
+            MatrixConfig("violation/serial-disk", "violation", store="disk"),
+            MatrixConfig(
+                "violation/durable-resume", "violation", store="disk", durable=True
+            ),
+        ]
+        if generated.symmetric:
+            matrix.append(
+                MatrixConfig("violation/serial-symmetry", "violation", symmetry=True)
+            )
+        if parallel and _fork_available():
+            matrix.append(MatrixConfig("violation/workers-2", "violation", workers=2))
+    return matrix
+
+
+@dataclasses.dataclass
+class Disagreement:
+    """One engine-vs-oracle mismatch, replayable from its fields alone."""
+
+    spec_seed: str
+    params: GenParams
+    config: MatrixConfig
+    field: str
+    expected: Any
+    actual: Any
+
+    def describe(self) -> str:
+        return (
+            f"spec {self.spec_seed} [{self.config.name}]: {self.field}"
+            f" expected {self.expected!r}, got {self.actual!r}"
+        )
+
+    def to_dict(self, oracle: Optional[OracleResult] = None) -> Dict[str, Any]:
+        payload = {
+            "kind": ARTIFACT_KIND,
+            "codec_version": CODEC_VERSION,
+            "spec_seed": self.spec_seed,
+            "params": self.params.to_dict(),
+            "config": self.config.to_dict(),
+            "field": self.field,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+        if oracle is not None:
+            payload["oracle"] = oracle.to_dict()
+        return payload
+
+
+@dataclasses.dataclass
+class DifferentialReport:
+    """Outcome of one fuzzing sweep."""
+
+    specs: int = 0
+    configs_run: int = 0
+    disagreements: List[Disagreement] = dataclasses.field(default_factory=list)
+    artifacts: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def describe(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.disagreements)} DISAGREEMENTS"
+        lines = [
+            f"selftest: {self.specs} specs x matrix"
+            f" = {self.configs_run} configurations, {verdict}"
+        ]
+        for item in self.disagreements:
+            lines.append(f"  {item.describe()}")
+        for path in self.artifacts:
+            lines.append(f"  artifact: {path}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# running one configuration
+# ---------------------------------------------------------------------------
+
+
+class _Interrupted(RuntimeError):
+    """Raised from the checkpoint hook to simulate a mid-run kill."""
+
+
+def _kill_after(n: int) -> Callable[[Any], None]:
+    count = 0
+
+    def hook(_info: Any) -> None:
+        nonlocal count
+        count += 1
+        if count >= n:
+            raise _Interrupted(f"killed at checkpoint {count}")
+
+    return hook
+
+
+def _run_config(generated: GeneratedSpec, config: MatrixConfig) -> SearchResult:
+    """Execute one matrix cell and return its :class:`SearchResult`."""
+    spec = generated.spec(invariants=config.phase == "violation")
+    stop = config.phase == "violation"
+    if config.durable:
+        with tempfile.TemporaryDirectory(prefix="sandtable-selftest-") as tmp:
+            run_dir = os.path.join(tmp, "run")
+            try:
+                return run_check(
+                    spec,
+                    run_dir,
+                    symmetry=config.symmetry,
+                    stop_on_violation=stop,
+                    checkpoint_states=_CHECKPOINT_STATES,
+                    memory_budget=_MEMORY_BUDGET,
+                    on_checkpoint=_kill_after(2),
+                )
+            except _Interrupted:
+                pass
+            return run_check(
+                spec,
+                run_dir,
+                resume=True,
+                symmetry=config.symmetry,
+                stop_on_violation=stop,
+                checkpoint_states=_CHECKPOINT_STATES,
+                memory_budget=_MEMORY_BUDGET,
+            )
+    if config.workers > 1:
+        return bfs_explore(
+            spec,
+            workers=config.workers,
+            symmetry=config.symmetry,
+            stop_on_violation=stop,
+        )
+    if config.store == "disk":
+        with tempfile.TemporaryDirectory(prefix="sandtable-selftest-") as tmp:
+            store = DiskStore(os.path.join(tmp, "store"), memory_budget=_MEMORY_BUDGET)
+            try:
+                return BFSExplorer(
+                    spec,
+                    symmetry=config.symmetry,
+                    stop_on_violation=stop,
+                    store=store,
+                ).run()
+            finally:
+                store.close()
+    store = {
+        "memory": lambda: None,
+        "compact": CompactStore,
+        "sharded": lambda: ShardedStateStore(8),
+    }[config.store]()
+    return BFSExplorer(
+        spec, symmetry=config.symmetry, stop_on_violation=stop, store=store
+    ).run()
+
+
+# ---------------------------------------------------------------------------
+# grading results against the oracle
+# ---------------------------------------------------------------------------
+
+
+def _expected_census(
+    oracle: OracleResult, config: MatrixConfig
+) -> List[Tuple[str, Any]]:
+    if config.symmetry:
+        return [
+            ("states", oracle.orbit_states),
+            ("transitions", oracle.orbit_transitions),
+            ("max_depth", oracle.orbit_diameter),
+        ]
+    return [
+        ("states", oracle.states),
+        ("transitions", oracle.transitions),
+        ("max_depth", oracle.diameter),
+    ]
+
+
+def _grade(
+    generated: GeneratedSpec,
+    config: MatrixConfig,
+    oracle: OracleResult,
+    result: SearchResult,
+) -> List[Disagreement]:
+    def mismatch(field: str, expected: Any, actual: Any) -> Disagreement:
+        return Disagreement(
+            spec_seed=generated.seed,
+            params=generated.params,
+            config=config,
+            field=field,
+            expected=expected,
+            actual=actual,
+        )
+
+    found: List[Disagreement] = []
+    if config.phase == "census":
+        if result.stop_reason != StopReason.EXHAUSTED:
+            found.append(
+                mismatch("stop_reason", str(StopReason.EXHAUSTED), str(result.stop_reason))
+            )
+        actuals = {
+            "states": result.stats.distinct_states,
+            "transitions": result.stats.transitions,
+            "max_depth": result.stats.max_depth,
+        }
+        for field, expected in _expected_census(oracle, config):
+            if actuals[field] != expected:
+                found.append(mismatch(field, expected, actuals[field]))
+        return found
+
+    # violation phase: BFS minimality is the contract, stats are not.
+    planted = generated.planted
+    assert planted is not None
+    if result.stop_reason != StopReason.VIOLATION or result.violation is None:
+        found.append(
+            mismatch("stop_reason", str(StopReason.VIOLATION), str(result.stop_reason))
+        )
+        return found
+    if result.violation.invariant != planted.invariant:
+        found.append(
+            mismatch("invariant", planted.invariant, result.violation.invariant)
+        )
+    if result.violation.depth != planted.depth:
+        found.append(
+            mismatch("violation_depth", planted.depth, result.violation.depth)
+        )
+    return found
+
+
+def check_spec(
+    generated: GeneratedSpec,
+    parallel: bool = True,
+    configs: Optional[List[MatrixConfig]] = None,
+) -> Tuple[OracleResult, List[Disagreement]]:
+    """Run one generated spec through the matrix; return oracle + mismatches.
+
+    A configuration that raises is reported as a ``field="error"``
+    disagreement rather than aborting the sweep — a crash in one store
+    is exactly the kind of bug the harness exists to surface.
+    """
+    oracle = oracle_explore(
+        generated.spec(invariants=False), compute_orbits=generated.symmetric
+    )
+    disagreements: List[Disagreement] = []
+    for config in configs if configs is not None else build_matrix(generated, parallel):
+        try:
+            result = _run_config(generated, config)
+        except Exception as exc:  # noqa: BLE001 — every escape is a finding
+            disagreements.append(
+                Disagreement(
+                    spec_seed=generated.seed,
+                    params=generated.params,
+                    config=config,
+                    field="error",
+                    expected="SearchResult",
+                    actual=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        disagreements.extend(_grade(generated, config, oracle, result))
+    return oracle, disagreements
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def run_differential(
+    n_specs: int,
+    seed: Any = 0,
+    out_dir: Optional[os.PathLike] = None,
+    parallel: bool = True,
+    progress: Optional[Callable[[int, GeneratedSpec, int], None]] = None,
+) -> DifferentialReport:
+    """Fuzz ``n_specs`` random specs through the full matrix.
+
+    Spec ``i`` of sweep ``seed`` is always generated from the derived
+    seed ``"{seed}:{i}"`` with params drawn from a dedicated parameter
+    RNG — so any disagreement is reproducible from its artifact alone,
+    and ``run_differential(n, s)`` covers a superset of the specs of
+    ``run_differential(m, s)`` for ``n >= m``.
+    """
+    report = DifferentialReport()
+    params_rng = random.Random(f"params:{seed}")
+    for index in range(n_specs):
+        params = sample_params(params_rng)
+        generated = generate_spec(f"{seed}:{index}", params)
+        configs = build_matrix(generated, parallel)
+        oracle, disagreements = check_spec(generated, parallel, configs)
+        report.specs += 1
+        report.configs_run += len(configs)
+        if disagreements:
+            report.disagreements.extend(disagreements)
+            if out_dir is not None:
+                for item in disagreements:
+                    report.artifacts.append(_save_artifact(out_dir, item, oracle))
+        if progress is not None:
+            progress(index, generated, len(disagreements))
+    return report
+
+
+def _save_artifact(
+    out_dir: os.PathLike, item: Disagreement, oracle: OracleResult
+) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    stem = item.config.name.replace("/", "-")
+    path = os.path.join(
+        os.fspath(out_dir),
+        f"disagreement-{item.spec_seed.replace(':', '_')}-{stem}-{item.field}.json",
+    )
+    atomic_write_json(path, item.to_dict(oracle))
+    return path
+
+
+def replay_artifact(path: os.PathLike) -> Tuple[Disagreement, List[Disagreement]]:
+    """Regenerate the spec of a disagreement artifact and re-run its cell.
+
+    Returns the original disagreement and the fresh mismatches from the
+    re-run (empty when the disagreement no longer reproduces, e.g. after
+    the engine bug it exposed was fixed).
+    """
+    raw = read_json(path)
+    if raw.get("kind") != ARTIFACT_KIND:
+        raise ValueError(f"{os.fspath(path)} is not a {ARTIFACT_KIND} artifact")
+    params = GenParams.from_dict(raw["params"])
+    config = MatrixConfig.from_dict(raw["config"])
+    original = Disagreement(
+        spec_seed=raw["spec_seed"],
+        params=params,
+        config=config,
+        field=raw["field"],
+        expected=raw["expected"],
+        actual=raw["actual"],
+    )
+    generated = generate_spec(raw["spec_seed"], params)
+    _, fresh = check_spec(generated, parallel=True, configs=[config])
+    return original, fresh

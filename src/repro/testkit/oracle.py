@@ -1,0 +1,181 @@
+"""The reference explorer: deliberately simple ground truth.
+
+The engine under test deduplicates through 64-bit fingerprints of a
+canonical codec, reconstructs traces from parent chains, shards the
+frontier across processes, and spills visited sets to disk.  The oracle
+does none of that: it is a plain breadth-first search over a dict keyed
+by the states themselves (``Rec`` equality/hash), entirely independent
+of the codec, of fingerprinting, and of the engine's store/strategy
+machinery.  If the two disagree, one of them is wrong — and the oracle
+is small enough to audit by eye.
+
+The oracle reproduces the engine's *accounting conventions* exactly, so
+results are comparable field by field:
+
+* ``states`` counts deduplicated states, including initial states and
+  states that fail the state constraint (the engine records a child
+  before checking the constraint on pop);
+* ``transitions`` counts every enabled transition enumerated from every
+  expanded (constraint-passing) state — duplicates included, exactly as
+  the engine counts before its ``seen`` check;
+* ``diameter`` is the maximum BFS depth over all recorded states — the
+  engine's ``max_depth`` for an exhausted run;
+* ``min_violation_depth`` is the trace depth of the shallowest
+  invariant violation: state invariants at the state's first-record
+  depth, transition invariants at parent depth + 1, only along edges
+  from constraint-passing states.  BFS minimality means every engine
+  configuration must report exactly this depth (and one of
+  ``violation_invariants``) when it stops on a violation.
+
+For specs with symmetry sets the oracle also computes the quotient
+ground truth — ``orbit_states``, ``orbit_transitions``,
+``orbit_diameter`` — by grouping the full reachable space into orbits
+with :func:`repro.core.state.substitute` (no fingerprints involved).
+Orbit depth equals the minimum full-space depth over the orbit's
+members, and, because generated invariants and constraints are
+symmetric, the minimal violation depth is the same with and without
+reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.spec import Spec
+from ..core.state import Rec, substitute
+from ..core.symmetry import permutations_of_sets
+
+__all__ = ["OracleResult", "oracle_explore"]
+
+
+@dataclasses.dataclass
+class OracleResult:
+    """Ground truth for one spec: full-space and (optional) quotient."""
+
+    states: int
+    transitions: int
+    diameter: int
+    pruned: int
+    min_violation_depth: Optional[int]
+    violation_invariants: Tuple[str, ...]
+    orbit_states: Optional[int] = None
+    orbit_transitions: Optional[int] = None
+    orbit_diameter: Optional[int] = None
+    #: state -> minimal BFS depth (the raw census; not serialized)
+    depths: Dict[Rec, int] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "states": self.states,
+            "transitions": self.transitions,
+            "diameter": self.diameter,
+            "pruned": self.pruned,
+            "min_violation_depth": self.min_violation_depth,
+            "violation_invariants": list(self.violation_invariants),
+            "orbit_states": self.orbit_states,
+            "orbit_transitions": self.orbit_transitions,
+            "orbit_diameter": self.orbit_diameter,
+        }
+
+
+def oracle_explore(spec: Spec, compute_orbits: bool = False) -> OracleResult:
+    """Exhaustively explore ``spec`` the simple way.
+
+    Unlike the engine the oracle never stops at the first violation: it
+    completes the census and reports the *minimal* violation depth, so a
+    single oracle run grades both the stop-on-violation and the
+    exhaustive configurations.
+    """
+    invariants = list(spec.invariants())
+    transition_invariants = list(spec.transition_invariants())
+
+    depths: Dict[Rec, int] = {}
+    violations: List[Tuple[int, str]] = []  # (trace depth, invariant name)
+
+    def check_state(state: Rec, depth: int) -> None:
+        for inv in invariants:
+            if not inv.holds(state):
+                violations.append((depth, inv.name))
+
+    level: List[Rec] = []
+    for init in spec.init_states():
+        if init in depths:
+            continue
+        depths[init] = 0
+        check_state(init, 0)
+        level.append(init)
+
+    transitions = 0
+    pruned = 0
+    depth = 0
+    while level:
+        next_level: List[Rec] = []
+        for state in level:
+            if not spec.state_constraint(state):
+                pruned += 1
+                continue
+            for transition in spec.successors(state):
+                transitions += 1
+                for inv in transition_invariants:
+                    if not inv.holds(state, transition):
+                        violations.append((depth + 1, inv.name))
+                child = transition.target
+                if child in depths:
+                    continue
+                depths[child] = depth + 1
+                check_state(child, depth + 1)
+                next_level.append(child)
+        level = next_level
+        depth += 1
+
+    diameter = max(depths.values()) if depths else 0
+    min_violation_depth: Optional[int] = None
+    violated: Tuple[str, ...] = ()
+    if violations:
+        min_violation_depth = min(depth for depth, _ in violations)
+        violated = tuple(
+            sorted({name for depth, name in violations if depth == min_violation_depth})
+        )
+
+    result = OracleResult(
+        states=len(depths),
+        transitions=transitions,
+        diameter=diameter,
+        pruned=pruned,
+        min_violation_depth=min_violation_depth,
+        violation_invariants=violated,
+        depths=depths,
+    )
+    if compute_orbits and spec.symmetry_sets():
+        _compute_orbits(spec, result)
+    return result
+
+
+def _compute_orbits(spec: Spec, result: OracleResult) -> None:
+    """Fill in the quotient ground truth for symmetry-reduced runs.
+
+    Soundness requires the spec's constraint and invariants to be
+    symmetric under the declared sets (the same requirement the engine
+    places on symmetry reduction): then each reachable orbit is explored
+    once, at the minimum depth of its members, and every member
+    enumerates the same number of successors.
+    """
+    maps = list(permutations_of_sets(spec.symmetry_sets()))
+    orbit_depth: Dict[frozenset, int] = {}
+    orbit_member: Dict[frozenset, Rec] = {}
+    for state, depth in result.depths.items():
+        orbit = frozenset(substitute(state, mapping) for mapping in maps)
+        if depth < orbit_depth.get(orbit, depth + 1):
+            orbit_depth[orbit] = depth
+        orbit_member.setdefault(orbit, state)
+
+    orbit_transitions = 0
+    for orbit, member in orbit_member.items():
+        if not spec.state_constraint(member):
+            continue
+        orbit_transitions += sum(1 for _ in spec.successors(member))
+
+    result.orbit_states = len(orbit_depth)
+    result.orbit_transitions = orbit_transitions
+    result.orbit_diameter = max(orbit_depth.values()) if orbit_depth else 0

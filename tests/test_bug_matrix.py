@@ -1,0 +1,80 @@
+"""Fast tier-1 subset of the Table 2 bug matrix, paired with its control.
+
+One parametrized test per matrix row asserts *both* directions at once:
+the seeded bug flag is detected by :func:`repro.bugs.detect` with the
+registry-recorded invariant, and the bug-free configuration of the same
+system/scenario — explored with a comparable budget — reports no
+violation.  The pairing is the point: a detection that also fires on the
+fixed spec is a spec bug, not a found implementation bug.
+
+The subset is the shallow-counterexample rows (plus two simulation rows)
+so the whole matrix stays inside the tier-1 time budget; the full sweep
+lives in ``test_bug_detection.py`` and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bugs import BUGS, detect
+from repro.core import bfs_explore, simulate
+
+#: (bug_id, detection-method budget knobs) — every row must both detect
+#: and pass its clean control within these budgets.
+BFS_MATRIX = ["DaosRaft#1", "Xraft#1", "RaftOS#1", "RaftOS#2", "ZooKeeper#1"]
+SIM_MATRIX = ["PySyncObj#4", "WRaft#4"]
+
+
+def clean_spec(bug):
+    """The same system/scenario with no bug flags seeded."""
+    return bug.spec_factory(bug.config, bugs=(), only_invariants=[bug.invariant])
+
+
+@pytest.mark.parametrize("bug_id", BFS_MATRIX)
+def test_bfs_matrix_row(bug_id):
+    bug = BUGS[bug_id]
+    assert bug.method == "bfs"
+
+    result = detect(bug, time_budget=120.0)
+    assert result.found, f"{bug_id}: seeded bug not detected"
+    assert result.violation.invariant == bug.invariant
+    assert result.depth >= 1
+
+    control = bfs_explore(
+        clean_spec(bug),
+        max_states=max(10_000, 2 * result.distinct_states),
+        time_budget=90.0,
+    )
+    assert not control.found_violation, (
+        f"{bug_id}: bug-free configuration violates {bug.invariant}"
+    )
+    # The control covered at least the state budget the detection needed.
+    assert control.stats.distinct_states >= result.distinct_states
+
+
+@pytest.mark.parametrize("bug_id", SIM_MATRIX)
+def test_simulation_matrix_row(bug_id):
+    bug = BUGS[bug_id]
+    assert bug.method == "simulate"
+
+    result = detect(bug, time_budget=120.0, n_walks=30_000, max_depth=40, seed=0)
+    assert result.found, f"{bug_id}: seeded bug not detected"
+    assert result.violation.invariant == bug.invariant
+
+    control = simulate(
+        clean_spec(bug),
+        n_walks=2_000,
+        max_depth=40,
+        seed=0,
+        stop_on_violation=True,
+    )
+    assert control.first_violation is None, (
+        f"{bug_id}: bug-free configuration violates {bug.invariant}"
+    )
+
+
+def test_matrix_rows_exist_in_registry():
+    for bug_id in BFS_MATRIX + SIM_MATRIX:
+        bug = BUGS[bug_id]
+        assert bug.stage == "verification"
+        assert bug.invariant

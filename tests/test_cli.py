@@ -130,6 +130,57 @@ class TestDetectAndReplay:
             main(["detect", "NoSuch#1"])
 
 
+class TestSelftestCommand:
+    def test_clean_sweep_exits_zero(self, capsys):
+        code = main(
+            ["selftest", "--specs", "3", "--seed", "cli", "--serial-only", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 specs" in out and "OK" in out
+
+    def test_progress_lines_name_each_spec(self, capsys):
+        assert main(["selftest", "--specs", "2", "--seed", "cli", "--serial-only"]) == 0
+        out = capsys.readouterr().out
+        assert "spec cli:0" in out and "spec cli:1" in out
+
+    def test_disagreement_exits_one_and_saves_artifact(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Same injected defect as the mutation smoke tests: collapse
+        # fingerprints so every store undercounts the census.
+        from repro.core.state import fingerprint as real_fingerprint
+
+        monkeypatch.setattr(
+            "repro.core.explorer.fingerprint",
+            lambda state: real_fingerprint(state) & 0xF,
+        )
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "selftest",
+                "--specs",
+                "1",
+                "--seed",
+                "mutation",
+                "--serial-only",
+                "--quiet",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DISAGREEMENTS" in out and "artifact:" in out
+        artifacts = sorted(out_dir.glob("disagreement-*.json"))
+        assert artifacts
+
+        # Healthy engine again: --replay reports the artifact stale.
+        monkeypatch.undo()
+        assert main(["selftest", "--replay", str(artifacts[0])]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+
 class TestDurableRuns:
     def test_check_run_dir_and_resume(self, tmp_path, capsys):
         argv = [

@@ -1,0 +1,178 @@
+"""Dedicated coverage for each non-conforming replay outcome.
+
+``ReplayReport.conforms`` is false for four independent reasons —
+discrepancies, implementation crash, engine error (event not enabled),
+and resource leak.  The stochastic conformance tests exercise mostly the
+discrepancy path; here each outcome is driven deterministically through
+a stub execution engine substituted via ``checker._new_engine``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import ConformanceChecker
+from repro.conformance.mapping import Discrepancy
+from repro.core import Rec, Trace, TraceStep
+from repro.runtime.engine import CommandResult, EngineError
+from toy_specs import TokenRingSpec
+
+
+class StubConverter:
+    """Pass trace steps straight through as 'commands'."""
+
+    def convert_step(self, step):
+        return step
+
+
+class StubMapping:
+    """Return a fixed discrepancy list for every comparison."""
+
+    def __init__(self, found=()):
+        self.found = list(found)
+        self.compared = 0
+
+    def discrepancies(self, spec_state, impl_state):
+        self.compared += 1
+        return [
+            Discrepancy(d.variable, d.node, d.spec_value, d.impl_value)
+            for d in self.found
+        ]
+
+
+class StubEngine:
+    """A scriptable stand-in for :class:`repro.runtime.ExecutionEngine`."""
+
+    def __init__(self, crash_at=None, error_at=None, resources=None):
+        self.crash_at = crash_at
+        self.error_at = error_at
+        self.resources = resources or {}
+        self.executed = 0
+        self.sim_seconds = 0.0
+
+    def execute(self, command):
+        index = self.executed
+        if self.error_at is not None and index == self.error_at:
+            raise EngineError("event not enabled in the implementation")
+        self.executed += 1
+        self.sim_seconds += 0.5
+        if self.crash_at is not None and index == self.crash_at:
+            return CommandResult(command, ok=False, crash="node n1 raised KeyError")
+        return CommandResult(command)
+
+    def frozen_cluster_state(self):
+        return Rec(stub=True)
+
+    def resource_stats(self):
+        return self.resources
+
+
+def make_checker(mapping=None, engine=None):
+    spec = TokenRingSpec()
+    checker = ConformanceChecker(
+        spec,
+        factory=None,  # never called: _new_engine is stubbed below
+        mapping=mapping or StubMapping(),
+        impl_bugs=(),
+        converter=StubConverter(),
+    )
+    if engine is not None:
+        checker._new_engine = lambda: engine
+    return checker
+
+
+def make_trace(n_steps=3):
+    spec = TokenRingSpec()
+    state = next(iter(spec.init_states()))
+    steps = []
+    for _ in range(n_steps):
+        transition = next(iter(spec.successors(state)))
+        state = transition.target
+        steps.append(
+            TraceStep(transition.action, transition.args, state, transition.branch)
+        )
+    return Trace(next(iter(spec.init_states())), steps)
+
+
+def test_clean_replay_conforms():
+    engine = StubEngine()
+    report = make_checker(engine=engine).replay(make_trace())
+    assert report.conforms
+    assert report.steps_executed == 3
+    assert report.crash is None
+    assert report.engine_error is None
+    assert report.resource_leak is None
+    assert report.impl_seconds == pytest.approx(1.5)
+
+
+def test_crash_outcome_fails_conformance():
+    engine = StubEngine(crash_at=1)
+    report = make_checker(engine=engine).replay(make_trace())
+    assert not report.conforms
+    assert report.crash == "node n1 raised KeyError"
+    # The crash stops the replay at the crashing step.
+    assert report.steps_executed == 2
+    assert report.engine_error is None and report.resource_leak is None
+
+
+def test_crash_outcome_still_reports_divergence():
+    # A crash triggers a final state comparison; any divergence found
+    # there rides along in the same report.
+    mapping = StubMapping([Discrepancy("term", "n1", 2, 7)])
+    engine = StubEngine(crash_at=0)
+    report = make_checker(mapping=mapping, engine=engine).replay(make_trace())
+    assert not report.conforms
+    assert report.crash is not None
+    assert [d.variable for d in report.discrepancies] == ["term"]
+    assert report.discrepancies[0].step_index == 0
+
+
+def test_engine_error_outcome_fails_conformance():
+    engine = StubEngine(error_at=2)
+    report = make_checker(engine=engine).replay(make_trace())
+    assert not report.conforms
+    assert report.steps_executed == 2
+    assert report.engine_error is not None
+    assert "step 2" in report.engine_error
+    assert "not enabled" in report.engine_error
+    assert report.crash is None and report.resource_leak is None
+
+
+def test_resource_leak_outcome_fails_conformance():
+    # Default limits forbid any retained handled message (WRaft#6 class).
+    engine = StubEngine(resources={"n2": {"retained_messages": 4}})
+    report = make_checker(engine=engine).replay(make_trace())
+    assert not report.conforms
+    assert report.steps_executed == 3
+    assert report.resource_leak == "n2: retained_messages=4 exceeds limit 0"
+    assert report.crash is None and report.engine_error is None
+
+
+def test_resource_limits_are_configurable():
+    spec = TokenRingSpec()
+    checker = ConformanceChecker(
+        spec,
+        factory=None,
+        mapping=StubMapping(),
+        impl_bugs=(),
+        converter=StubConverter(),
+        resource_limits={"retained_messages": 10},
+    )
+    checker._new_engine = lambda: StubEngine(
+        resources={"n2": {"retained_messages": 4}}
+    )
+    report = checker.replay(make_trace())
+    assert report.conforms
+
+
+def test_run_surfaces_nonconforming_replay_as_failure():
+    # The iterative loop must stop on the first non-conforming replay,
+    # whatever the outcome kind.
+    engine_factory = lambda: StubEngine(resources={"n1": {"retained_messages": 1}})  # noqa: E731
+    checker = make_checker()
+    checker._new_engine = engine_factory
+    report = checker.run(quiet_period=5.0, max_traces=5, max_depth=6, seed=0)
+    assert not report.passed
+    assert report.traces_checked == 1
+    assert report.failure is not None
+    assert report.failure.resource_leak is not None
