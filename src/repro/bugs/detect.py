@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.engine import SearchStats, StopReason
 from ..core.explorer import bfs_explore
@@ -71,6 +71,8 @@ def detect(
     n_walks: int = 20_000,
     max_depth: int = 40,
     seed: int = 0,
+    metrics: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> DetectionResult:
     """Run the registry-recorded detection for one verification bug."""
     if bug.stage != "verification":
@@ -78,7 +80,13 @@ def detect(
     spec = bug.make_spec()
     started = time.monotonic()
     if bug.method == "bfs":
-        result = bfs_explore(spec, max_states=max_states, time_budget=time_budget)
+        result = bfs_explore(
+            spec,
+            max_states=max_states,
+            time_budget=time_budget,
+            metrics=metrics,
+            progress=progress,
+        )
         return DetectionResult(
             bug=bug,
             found=result.found_violation,
@@ -96,6 +104,7 @@ def detect(
         seed=seed,
         stop_on_violation=True,
         time_budget=time_budget,
+        metrics=metrics,
     )
     violation = sim.first_violation
     return DetectionResult(

@@ -10,7 +10,15 @@ Subcommands mirror Figure 1:
 * ``replay`` — detect a bug and confirm it at the implementation level;
 * ``selftest`` — differential fuzzing of the checker itself
   (:mod:`repro.testkit`): random specs, a naive oracle, the full engine
-  configuration matrix.
+  configuration matrix;
+* ``coverage`` — the per-action coverage report of a finished run
+  (from a durable run directory's ``metrics.jsonl`` or a ``--stats-out``
+  file).
+
+``check``, ``simulate`` and ``detect`` accept ``--stats``/``--stats-out``
+to instrument the run (:mod:`repro.obs`): TLC-style live progress lines
+on stderr, an end-of-run action-coverage report, and a JSONL metrics
+sink.
 """
 
 from __future__ import annotations
@@ -22,6 +30,14 @@ from typing import Optional, Sequence
 from .bugs import BUGS, detect
 from .conformance import BugReplayer, ConformanceChecker, mapping_for
 from .core import bfs_explore, simulate
+from .obs import (
+    MetricsRegistry,
+    MetricsSink,
+    ProgressReporter,
+    coverage_from_registry,
+    coverage_from_sink,
+    resolve_sink_path,
+)
 from .persist import RunDirError, load_violation, save_violation
 from .specs.raft import (
     DaosRaftSpec,
@@ -57,6 +73,25 @@ def make_spec(system: str, nodes: int, bugs: Sequence[str], invariant: Optional[
     return spec_cls(RaftConfig(nodes=node_names), bugs=bugs, only_invariants=only)
 
 
+def _make_stats(args: argparse.Namespace):
+    """``(registry, reporter)`` for ``--stats``/``--stats-out``, else Nones."""
+    if not (getattr(args, "stats", False) or getattr(args, "stats_out", None)):
+        return None, None
+    registry = MetricsRegistry()
+    return registry, ProgressReporter(registry=registry)
+
+
+def _finish_stats(args: argparse.Namespace, registry, stats=None, spec=None) -> None:
+    """Print the action-coverage report and write the ``--stats-out`` sink."""
+    if registry is None:
+        return
+    print(coverage_from_registry(registry, spec).render())
+    if getattr(args, "stats_out", None):
+        sink = MetricsSink(args.stats_out, registry, meta={"command": args.command})
+        sink.close(stats=stats)
+        print(f"wrote metrics to {args.stats_out}")
+
+
 def cmd_bugs(args: argparse.Namespace) -> int:
     print(f"{'bug':14s} {'system':10s} {'stage':12s} {'status':6s} consequence")
     for bug in BUGS.values():
@@ -80,6 +115,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     elif args.resume:
         print("--resume requires --run-dir", file=sys.stderr)
         return 2
+    registry, reporter = _make_stats(args)
     try:
         result = bfs_explore(
             spec,
@@ -87,12 +123,15 @@ def cmd_check(args: argparse.Namespace) -> int:
             time_budget=args.time_budget,
             symmetry=args.symmetry,
             workers=args.workers,
+            metrics=registry,
+            progress=reporter,
             **durable,
         )
     except RunDirError as exc:
         print(exc, file=sys.stderr)
         return 2
     print(f"explored {result.describe()}")
+    _finish_stats(args, registry, stats=result.stats, spec=spec)
     if result.found_violation:
         print(result.violation.describe())
         if args.out:
@@ -105,6 +144,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
+    registry, _ = _make_stats(args)
     result = simulate(
         spec,
         n_walks=args.walks,
@@ -112,6 +152,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         stop_on_violation=True,
         time_budget=args.time_budget,
+        metrics=registry,
     )
     print(
         f"{result.n_walks} walks, mean depth {result.mean_depth:.1f},"
@@ -120,6 +161,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     reasons = ", ".join(f"{k}: {v}" for k, v in sorted(result.stop_reasons.items()))
     print(f"{result.stats.describe()}, stop: {result.stop_reason} ({reasons})")
+    _finish_stats(args, registry, stats=result.stats, spec=spec)
     violation = result.first_violation
     if violation is not None:
         print(violation.describe())
@@ -159,7 +201,14 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     bug = BUGS[args.bug_id]
-    result = detect(bug, time_budget=args.time_budget, seed=args.seed)
+    registry, reporter = _make_stats(args)
+    result = detect(
+        bug,
+        time_budget=args.time_budget,
+        seed=args.seed,
+        metrics=registry,
+        progress=reporter,
+    )
     row = result.as_row()
     print(
         f"{row['bug']}: found={row['found']} depth={row['depth']}"
@@ -168,6 +217,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         f" (paper: {row['paper_time']}, depth {row['paper_depth']},"
         f" {row['paper_states']} states)"
     )
+    _finish_stats(args, registry, stats=result.stats)
     if result.found and args.out:
         save_violation(args.out, result.violation, bug=bug.bug_id)
         print(f"saved violation trace to {args.out}")
@@ -187,10 +237,16 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         print("  no longer reproduces")
         return 0
 
+    registry = MetricsRegistry() if args.stats_out else None
+    reporter = ProgressReporter(enabled=not args.quiet)
+
     def progress(index: int, generated, n_bad: int) -> None:
-        if not args.quiet:
-            verdict = "ok" if n_bad == 0 else f"{n_bad} DISAGREEMENTS"
-            print(f"spec {generated.seed} ({generated.params.n_nodes} nodes): {verdict}")
+        reporter.event(
+            "spec",
+            seed=generated.seed,
+            nodes=generated.params.n_nodes,
+            verdict="ok" if n_bad == 0 else f"{n_bad}-DISAGREEMENTS",
+        )
 
     report = run_differential(
         args.specs,
@@ -198,9 +254,26 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         out_dir=args.out,
         parallel=not args.serial_only,
         progress=progress,
+        metrics=registry,
     )
     print(report.describe())
+    if registry is not None:
+        MetricsSink(args.stats_out, registry, meta={"command": "selftest"}).close()
+        print(f"wrote metrics to {args.stats_out}")
     return 0 if report.ok else 1
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    try:
+        sink = resolve_sink_path(args.path)
+        coverage = coverage_from_sink(sink)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(coverage.render())
+    if args.strict and not coverage.complete:
+        return 1
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -269,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--time-budget", type=float, default=60.0)
         p.add_argument("--seed", type=int, default=0)
 
+    def stats_args(p):
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="live progress lines plus an end-of-run action-coverage report",
+        )
+        p.add_argument(
+            "--stats-out",
+            metavar="FILE",
+            help="also append JSONL metrics snapshots to FILE (implies --stats)",
+        )
+
     check = sub.add_parser("check", help="BFS model checking")
     common(check)
     check.add_argument("--max-states", type=int, default=1_000_000)
@@ -305,12 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--out", help="save the violation trace as a replayable JSON artifact"
     )
+    stats_args(check)
     check.set_defaults(fn=cmd_check)
 
     sim = sub.add_parser("simulate", help="random-walk exploration")
     common(sim)
     sim.add_argument("--walks", type=int, default=10_000)
     sim.add_argument("--depth", type=int, default=40)
+    stats_args(sim)
     sim.set_defaults(fn=cmd_simulate)
 
     conf = sub.add_parser("conformance", help="spec vs. implementation")
@@ -332,7 +419,23 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument(
         "--out", help="save the violation trace as a replayable JSON artifact"
     )
+    stats_args(det)
     det.set_defaults(fn=cmd_detect)
+
+    cov = sub.add_parser(
+        "coverage",
+        help="per-action coverage report from a run's metrics sink",
+    )
+    cov.add_argument(
+        "path",
+        help="a durable run directory (with metrics.jsonl) or a --stats-out file",
+    )
+    cov.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any action never fired",
+    )
+    cov.set_defaults(fn=cmd_coverage)
 
     rep = sub.add_parser("replay", help="detect and confirm at the impl level")
     rep.add_argument("bug_id", nargs="?", choices=sorted(BUGS))
@@ -369,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="ARTIFACT", help="re-run one saved disagreement artifact"
     )
     selftest.add_argument("--quiet", action="store_true", help="summary line only")
+    selftest.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        help="append sweep-wide JSONL metrics snapshots to FILE",
+    )
     selftest.set_defaults(fn=cmd_selftest)
 
     return parser

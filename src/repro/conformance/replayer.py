@@ -14,9 +14,11 @@ checking (the violation is gone) — the paper's fix-validation loop.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import time
+from typing import Any, Optional
 
 from ..core.explorer import BFSResult, bfs_explore
+from ..obs.metrics import TIME_BOUNDS
 from ..core.violation import Violation
 from .checker import ConformanceChecker, ConformanceReport, ReplayReport
 
@@ -59,8 +61,9 @@ class FixValidation:
 class BugReplayer:
     """Confirms spec-level violations at the implementation level."""
 
-    def __init__(self, checker: ConformanceChecker):
+    def __init__(self, checker: ConformanceChecker, metrics: Optional[Any] = None):
         self.checker = checker
+        self.metrics = metrics
 
     def confirm(self, violation: Violation) -> BugConfirmation:
         """Replay the violation's trace; the bug is confirmed when the
@@ -71,7 +74,18 @@ class BugReplayer:
         the crash itself — but not the safety violation being checked,
         so it is reported as not reproduced for this violation.
         """
+        metrics = self.metrics
+        started = time.monotonic() if metrics is not None else 0.0
         replay = self.checker.replay(violation.trace)
+        if metrics is not None:
+            elapsed = time.monotonic() - started
+            metrics.counter("replay.traces").inc()
+            metrics.counter("replay.steps").inc(replay.steps_executed)
+            metrics.histogram("replay.trace_seconds", TIME_BOUNDS).observe(elapsed)
+            if replay.steps_executed:
+                metrics.histogram("replay.step_seconds", TIME_BOUNDS).observe(
+                    elapsed / replay.steps_executed
+                )
         return BugConfirmation(violation, replay, confirmed=replay.conforms)
 
     def validate_fix(

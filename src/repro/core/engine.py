@@ -46,6 +46,7 @@ from typing import (
     Tuple,
 )
 
+from ..obs.metrics import ACTION_FIRES, SIZE_BOUNDS
 from .spec import Spec, Transition
 from .state import Rec, fingerprint
 from .trace import Trace, TraceStep
@@ -852,6 +853,15 @@ class ExplorationEngine:
     decides what is a violation.  ``progress`` (if given) receives the
     live :class:`SearchStats` every ``progress_interval`` new states —
     the unified progress-event stream shared by every mode.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, default
+    ``None``) turns on per-action fire counts (the
+    ``engine.action_fires`` labeled counts, pre-seeded with every spec
+    action at zero so coverage reports list never-fired actions), the
+    successor fan-out histogram (``engine.fanout``), and the queue-depth
+    / states-per-second gauges refreshed at progress ticks and at the
+    end of the run.  With ``metrics=None`` the hot loop pays one pointer
+    comparison per transition and nothing else.
     """
 
     def __init__(
@@ -869,6 +879,7 @@ class ExplorationEngine:
         progress: Optional[Callable[[SearchStats], None]] = None,
         progress_interval: int = 50_000,
         checkpointer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ):
         self.spec = spec
         self.strategy = strategy
@@ -885,6 +896,7 @@ class ExplorationEngine:
         self.progress = progress
         self.progress_interval = progress_interval
         self.checkpointer = checkpointer
+        self.metrics = metrics
         self.stats = SearchStats()
 
     def run(self, resume: Optional[Any] = None) -> SearchResult:
@@ -934,12 +946,40 @@ class ExplorationEngine:
         frontier = strategy.frontier
         push = frontier.append
 
+        # Observability hooks: all None when metrics are disabled, so the
+        # hot loop pays a single pointer comparison per transition.
+        metrics = self.metrics
+        if metrics is not None:
+            if resume is not None:
+                snapshot = getattr(resume, "metrics", None)
+                if snapshot:
+                    # Discard anything a killed run counted past its last
+                    # committed checkpoint; those steps re-run from here.
+                    metrics.restore(snapshot)
+            fires = metrics.counts(ACTION_FIRES)
+            for action in spec.actions():
+                fires.setdefault(action.name, 0)
+            fanout_observe = metrics.histogram("engine.fanout", SIZE_BOUNDS).observe
+            queue_gauge = metrics.gauge("engine.queue_depth")
+            rate_gauge = metrics.gauge("engine.states_per_sec")
+        else:
+            fires = None
+            fanout_observe = None
+
+        def refresh_gauges() -> None:
+            queue_gauge.set(len(frontier))
+            rate_gauge.set(
+                stats.distinct_states / stats.elapsed if stats.elapsed > 0 else 0.0
+            )
+
         def finish(
             reason: StopReason,
             violation: Optional[Violation] = None,
             exhausted: bool = False,
         ) -> SearchResult:
             stats.elapsed = monotonic() - started
+            if metrics is not None:
+                refresh_gauges()
             if violation is None:
                 violation = checker.first_violation
             return SearchResult(stats, violation, exhausted, reason)
@@ -985,8 +1025,12 @@ class ExplorationEngine:
                 if stop_on_bound:
                     return finish(StopReason.CONSTRAINT)
                 continue
+            fanout_base = stats.transitions
             for transition in strategy.choose(state, successors(state)):
                 stats.transitions += 1
+                if fires is not None:
+                    name = transition.action
+                    fires[name] = fires.get(name, 0) + 1
                 if tracks:
                     strategy.on_transition(transition)
                 violation = check_edge(state, fp, transition)
@@ -1021,9 +1065,13 @@ class ExplorationEngine:
                     and stats.distinct_states % progress_interval == 0
                 ):
                     stats.elapsed = monotonic() - started
+                    if metrics is not None:
+                        refresh_gauges()
                     progress(stats)
                 if time_budget is not None and monotonic() - started > time_budget:
                     return finish(StopReason.TIME_BUDGET)
+            if fanout_observe is not None:
+                fanout_observe(stats.transitions - fanout_base)
 
         reason = strategy.empty_reason()
         violation = checker.first_violation

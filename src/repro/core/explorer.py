@@ -61,6 +61,7 @@ class BFSExplorer:
         progress_interval: int = 50_000,
         store: Optional[StateStore] = None,
         checkpointer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ):
         self.spec = spec
         self.max_states = max_states
@@ -90,6 +91,7 @@ class BFSExplorer:
             progress=progress,
             progress_interval=progress_interval,
             checkpointer=checkpointer,
+            metrics=metrics,
         )
 
     @property

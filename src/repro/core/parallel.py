@@ -49,6 +49,7 @@ import traceback
 from collections import defaultdict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import ACTION_FIRES, SIZE_BOUNDS, Histogram
 from .engine import (
     CompactStore,
     SearchResult,
@@ -84,6 +85,7 @@ def _worker_main(
     spec: Spec,
     symmetry: bool,
     stop_on_violation: bool,
+    metrics_on: bool,
     in_q: Any,
     out_q: Any,
 ) -> None:
@@ -133,6 +135,12 @@ def _worker_main(
                 truncated = stopping = False
                 batches: Dict[int, list] = defaultdict(list)
                 violations = []
+                # Per-round observability deltas, shipped to the master
+                # with the "expanded" reply and merged there.
+                fires: Optional[Dict[str, int]] = {} if metrics_on else None
+                fanout = (
+                    Histogram("engine.fanout", SIZE_BOUNDS) if metrics_on else None
+                )
                 while current and not stopping:
                     state, fp, depth = current.popleft()
                     if deadline is not None and monotonic() > deadline:
@@ -141,8 +149,12 @@ def _worker_main(
                     if not constraint(state):
                         pruned += 1
                         continue
+                    fanout_base = transitions
                     for transition in successors(state):
                         transitions += 1
+                        if fires is not None:
+                            name = transition.action
+                            fires[name] = fires.get(name, 0) + 1
                         bad = check_transition(state, transition)
                         if bad is not None:
                             violations.append(
@@ -196,6 +208,8 @@ def _worker_main(
                                     depth + 1,
                                 )
                             )
+                    if fanout is not None:
+                        fanout.observe(transitions - fanout_base)
                 out_q.put(
                     (
                         "expanded",
@@ -207,6 +221,7 @@ def _worker_main(
                         violations,
                         len(frontier),
                         truncated,
+                        (fires, fanout.to_dict()) if metrics_on else None,
                     )
                 )
 
@@ -263,6 +278,7 @@ class ParallelBFS:
         progress_interval: int = 50_000,  # accepted for API parity; per-round here
         checkpointer: Optional[Any] = None,
         resume: Optional[Any] = None,
+        metrics: Optional[Any] = None,
     ):
         self.spec = spec
         self.workers = max(1, int(workers))
@@ -274,6 +290,7 @@ class ParallelBFS:
         self.progress = progress
         self.checkpointer = checkpointer
         self.resume = resume
+        self.metrics = metrics
         self.stats = SearchStats()
 
     # -- the search ----------------------------------------------------------
@@ -292,6 +309,7 @@ class ParallelBFS:
                     self.spec,
                     self.symmetry,
                     self.stop_on_violation,
+                    self.metrics is not None,
                     in_qs[wid],
                     out_q,
                 ),
@@ -337,6 +355,24 @@ class ParallelBFS:
         reducer = _make_reducer(self.spec, self.symmetry)
         depth = 0
 
+        metrics = self.metrics
+        if metrics is not None:
+            if resume is not None:
+                snapshot = getattr(resume, "metrics", None)
+                if snapshot:
+                    # Discard anything a killed run counted past its last
+                    # committed checkpoint; the rounds re-run from here.
+                    metrics.restore(snapshot)
+            fires_table = metrics.counts(ACTION_FIRES)
+            for action in self.spec.actions():
+                fires_table.setdefault(action.name, 0)
+            fanout_hist = metrics.histogram("engine.fanout", SIZE_BOUNDS)
+            batch_hist = metrics.histogram("parallel.batch_sizes", SIZE_BOUNDS)
+            rounds_counter = metrics.counter("parallel.rounds")
+            shard_states = metrics.counts("parallel.shard_states")
+            queue_gauge = metrics.gauge("engine.queue_depth")
+            rate_gauge = metrics.gauge("engine.states_per_sec")
+
         if resume is not None:
             # Shard ownership is fp % n: a checkpoint only makes sense to
             # the worker count that wrote it.
@@ -376,10 +412,21 @@ class ParallelBFS:
                 stats.distinct_states += added
                 violations.extend(viols)
                 frontier_sizes[wid] = size
+                if metrics is not None and added:
+                    key = str(wid)
+                    shard_states[key] = shard_states.get(key, 0) + added
 
         # -- level-synchronous rounds ---------------------------------------
+        def refresh_gauges() -> None:
+            queue_gauge.set(sum(frontier_sizes.values()))
+            rate_gauge.set(
+                stats.distinct_states / stats.elapsed if stats.elapsed > 0 else 0.0
+            )
+
         def finish(reason: StopReason) -> SearchResult:
             stats.elapsed = monotonic() - started
+            if metrics is not None:
+                refresh_gauges()
             violation = self._build_violation(in_qs, violations, reducer)
             exhausted = reason is StopReason.EXHAUSTED and (
                 violation is None or not stop_on_violation
@@ -420,6 +467,7 @@ class ParallelBFS:
                     stats=stats,
                     frontier_sizes=dict(frontier_sizes),
                     violations=violations,
+                    metrics=metrics.snapshot() if metrics is not None else None,
                 )
 
             # expand: every worker pops its slice of the depth-`depth` level
@@ -437,6 +485,7 @@ class ParallelBFS:
                 viols,
                 size,
                 was_truncated,
+                obs,
             ) in self._gather("expanded", n):
                 stats.transitions += transitions
                 stats.pruned += pruned
@@ -446,22 +495,39 @@ class ParallelBFS:
                 truncated = truncated or was_truncated
                 for owner, items in batches.items():
                     round_batches[owner].extend(items)
+                if metrics is not None and obs is not None:
+                    round_fires, fanout_state = obs
+                    for name, count in round_fires.items():
+                        fires_table[name] = fires_table.get(name, 0) + count
+                    fanout_hist.merge(fanout_state)
+                    if added:
+                        key = str(wid)
+                        shard_states[key] = shard_states.get(key, 0) + added
             stats.max_depth = max(stats.max_depth, depth)
 
             # absorb: owners dedupe and enqueue the routed children
             targets = sorted(round_batches)
             for wid in targets:
                 in_qs[wid].put(("absorb", round_batches[wid]))
+                if metrics is not None:
+                    batch_hist.observe(len(round_batches[wid]))
             for _, wid, added, viols, size in self._gather(
                 "absorbed", len(targets)
             ):
                 stats.distinct_states += added
                 violations.extend(viols)
                 frontier_sizes[wid] = size
+                if metrics is not None and added:
+                    key = str(wid)
+                    shard_states[key] = shard_states.get(key, 0) + added
 
             depth += 1
+            if metrics is not None:
+                rounds_counter.inc()
             if self.progress is not None:
                 stats.elapsed = monotonic() - started
+                if metrics is not None:
+                    refresh_gauges()
                 self.progress(stats)
             if truncated:
                 return finish(StopReason.TIME_BUDGET)

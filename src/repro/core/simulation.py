@@ -22,8 +22,9 @@ import dataclasses
 import random
 import time
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import TIME_BOUNDS
 from .engine import (
     ExplorationEngine,
     NullStateStore,
@@ -151,6 +152,7 @@ def random_walk(
     check_invariants: bool = True,
     init_states: Optional[Sequence[Rec]] = None,
     event_kinds: Optional[Dict[str, str]] = None,
+    metrics: Optional[Any] = None,
 ) -> WalkResult:
     """One random walk from a random initial state.
 
@@ -161,7 +163,9 @@ def random_walk(
     Batch callers can hoist the per-walk setup by passing ``init_states``
     (the materialized ``spec.init_states()`` list) and ``event_kinds``
     (the :func:`~repro.core.engine.action_kinds` map); both are computed
-    on the fly when omitted.
+    on the fly when omitted.  With ``metrics`` the engine's per-action
+    fire counts accumulate across walks and each walk's wall-clock time
+    lands in the ``simulate.walk_seconds`` histogram.
     """
     strategy = RandomWalkFrontier(rng, init_states=init_states, event_kinds=event_kinds)
     engine = ExplorationEngine(
@@ -171,8 +175,14 @@ def random_walk(
         checker=StepChecker(spec, check_invariants=check_invariants),
         max_depth=max_depth,
         stop_on_violation=True,
+        metrics=metrics,
     )
     result = engine.run()
+    if metrics is not None:
+        metrics.counter("simulate.walks").inc()
+        metrics.histogram("simulate.walk_seconds", TIME_BOUNDS).observe(
+            result.stats.elapsed
+        )
     violation = result.violation
     trace = violation.trace if violation is not None else strategy.trace
     return WalkResult(
@@ -194,6 +204,7 @@ def simulate(
     check_invariants: bool = True,
     time_budget: Optional[float] = None,
     stop_on_violation: bool = False,
+    metrics: Optional[Any] = None,
 ) -> SimulationResult:
     """Run a batch of random walks and aggregate their metrics."""
     rng = random.Random(seed)
@@ -212,6 +223,7 @@ def simulate(
             check_invariants=check_invariants,
             init_states=inits,
             event_kinds=kinds,
+            metrics=metrics,
         )
         walks.append(walk)
         if stop_on_violation and walk.violation is not None:

@@ -1,0 +1,121 @@
+"""End-of-run action coverage: which spec actions ever fired.
+
+Unexercised spec actions are where spec/implementation divergence hides
+(a guard that can never be true, a message that is never delivered): a
+spec whose ``SendAppendEntries`` never fires is not being checked, no
+matter how many states the run visits.  This report is the analogue of
+TLC's per-action coverage statistics: every action of the spec with its
+exact fire count — the number of enabled transitions of that action
+enumerated from expanded states — with never-fired actions flagged.
+
+Fire counts come from the ``engine.action_fires`` labeled counts, which
+every exploration layer maintains (the engines pre-seed the table with
+all spec actions at zero, so an action that never fires still appears).
+The report can be built live from a :class:`~repro.obs.metrics.MetricsRegistry`
+or after the fact from a JSONL sink file / durable run directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .metrics import ACTION_FIRES, MetricsRegistry
+from .sink import last_metrics
+
+__all__ = [
+    "ActionCoverage",
+    "coverage_from_registry",
+    "coverage_from_sink",
+    "resolve_sink_path",
+    "METRICS_FILENAME",
+]
+
+#: File name of the metrics sink inside a durable run directory.
+METRICS_FILENAME = "metrics.jsonl"
+
+
+@dataclasses.dataclass
+class ActionCoverage:
+    """Per-action fire counts for one run, never-fired actions flagged."""
+
+    #: (action name, fire count), sorted by descending count then name.
+    rows: List[Tuple[str, int]]
+
+    @property
+    def total_fires(self) -> int:
+        return sum(count for _, count in self.rows)
+
+    @property
+    def never_fired(self) -> List[str]:
+        return sorted(name for name, count in self.rows if count == 0)
+
+    @property
+    def complete(self) -> bool:
+        """True when every known action fired at least once."""
+        return not self.never_fired
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self.rows)
+
+    def render(self) -> str:
+        """The human-readable report (the ``sandtable coverage`` output)."""
+        if not self.rows:
+            return "action coverage: no actions recorded"
+        width = max(len(name) for name, _ in self.rows)
+        total = self.total_fires
+        lines = [f"action coverage ({total} fires, {len(self.rows)} actions):"]
+        for name, count in self.rows:
+            share = f"{100 * count / total:5.1f}%" if total else "     -"
+            flag = "" if count else "   NEVER FIRED"
+            lines.append(f"  {name:{width}s} {count:>12d} {share}{flag}")
+        never = self.never_fired
+        if never:
+            lines.append(
+                f"  WARNING: {len(never)} action(s) never fired:"
+                f" {', '.join(never)}"
+            )
+        return "\n".join(lines)
+
+
+def _build(fires: Dict[str, int], actions: Optional[Any] = None) -> ActionCoverage:
+    table = dict(fires)
+    if actions is not None:
+        for name in actions:
+            table.setdefault(name, 0)
+    rows = sorted(table.items(), key=lambda item: (-item[1], item[0]))
+    return ActionCoverage(rows)
+
+
+def coverage_from_registry(
+    registry: MetricsRegistry, spec: Optional[Any] = None
+) -> ActionCoverage:
+    """Coverage from a live registry; ``spec`` supplies the action list
+    (so actions the run never registered still appear as never-fired)."""
+    names = [action.name for action in spec.actions()] if spec is not None else None
+    return _build(registry.counts(ACTION_FIRES), names)
+
+
+def coverage_from_sink(path: Union[str, os.PathLike]) -> ActionCoverage:
+    """Coverage from the last snapshot of a JSONL sink file."""
+    snapshot = last_metrics(path)
+    fires = snapshot.get("counts", {}).get(ACTION_FIRES, {})
+    return _build({name: int(count) for name, count in fires.items()})
+
+
+def resolve_sink_path(path: Union[str, os.PathLike]) -> pathlib.Path:
+    """Accept either a sink file or a run directory containing one."""
+    p = pathlib.Path(path)
+    if p.is_dir():
+        candidate = p / METRICS_FILENAME
+        if not candidate.exists():
+            raise FileNotFoundError(
+                f"{p} has no {METRICS_FILENAME} — was the run started with"
+                " --stats/--stats-out (or run_check(metrics=...))?"
+            )
+        return candidate
+    if not p.exists():
+        raise FileNotFoundError(f"no metrics sink at {p}")
+    return p

@@ -1,0 +1,94 @@
+"""The live progress reporter: TLC-style periodic status lines.
+
+Every exploration mode already emits a unified ``progress(stats)``
+stream (:class:`~repro.core.engine.SearchStats` every
+``progress_interval`` new states, or per parallel round).  The reporter
+is a callable that turns that stream into human-readable lines on
+stderr, in the style of TLC's periodic progress statistics::
+
+    sandtable: 150000 states, 420000 transitions, depth 12, 51342 states/s, queue 3871
+
+plus a generic :meth:`ProgressReporter.event` for one-off labeled lines
+(the selftest sweep reports each spec through the same formatter, so
+every live line the CLI prints shares one shape and one stream).
+
+:func:`compose_progress` chains progress consumers (reporter + JSONL
+sink + a caller's own callback) into one callable for the engines.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Optional, TextIO
+
+from .metrics import MetricsRegistry
+
+__all__ = ["ProgressReporter", "compose_progress"]
+
+_PREFIX = "sandtable"
+
+
+class ProgressReporter:
+    """Renders the unified progress stream as periodic stderr lines."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        registry: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+        prefix: str = _PREFIX,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.registry = registry
+        self.enabled = enabled
+        self.prefix = prefix
+        self.lines_emitted = 0
+
+    def __call__(self, stats: Any) -> None:
+        """Consume one ``SearchStats`` progress tick."""
+        parts = [
+            f"{stats.distinct_states} states",
+            f"{stats.transitions} transitions",
+            f"depth {stats.max_depth}",
+        ]
+        if stats.elapsed > 0:
+            parts.append(f"{stats.distinct_states / stats.elapsed:.0f} states/s")
+        if getattr(stats, "walks", 0):
+            parts.append(f"{stats.walks} walks")
+        if self.registry is not None:
+            queue = self.registry.gauge("engine.queue_depth").value
+            if queue:
+                parts.append(f"queue {int(queue)}")
+        self.emit(", ".join(parts))
+
+    def event(self, label: str, **fields: Any) -> None:
+        """One labeled line, e.g. ``event("spec", seed=..., verdict="ok")``."""
+        rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+        self.emit(f"{label}: {rendered}" if rendered else label)
+
+    def emit(self, message: str) -> None:
+        if not self.enabled:
+            return
+        print(f"{self.prefix}: {message}", file=self.stream, flush=True)
+        self.lines_emitted += 1
+
+
+def compose_progress(
+    *callbacks: Optional[Callable[[Any], None]],
+) -> Optional[Callable[[Any], None]]:
+    """Chain progress consumers; ``None`` entries drop out.
+
+    Returns ``None`` when nothing is left, so engines keep their
+    fast ``progress is None`` path.
+    """
+    live = [cb for cb in callbacks if cb is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def fanout(stats: Any) -> None:
+        for cb in live:
+            cb(stats)
+
+    return fanout

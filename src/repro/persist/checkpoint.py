@@ -97,6 +97,10 @@ class ResumeState:
     stats: SearchStats
     frontier: List[Tuple[Rec, Any, int]]
     violations: List[Violation] = dataclasses.field(default_factory=list)
+    #: metrics-registry snapshot taken at the checkpoint (None when the
+    #: checkpointed run had no metrics); the engine restores it so
+    #: cumulative counters match an uninterrupted run exactly.
+    metrics: Optional[Dict[str, Any]] = None
 
 
 class CheckpointData:
@@ -337,25 +341,32 @@ class SerialCheckpointer:
         store = engine.store
         frontier = list(engine.strategy.frontier)
         violations = engine.checker.violations
+        registry = getattr(engine, "metrics", None)
         if isinstance(store, DiskStore):
             meta, obsolete = store.checkpoint()
+            # Snapshot after the store checkpoint so the spill it may
+            # have triggered is part of the restored counters.
+            extra = {"metrics": registry.snapshot()} if registry is not None else None
             write_checkpoint(
                 self.path,
                 stats=stats,
                 store_meta=meta,
                 frontier=frontier,
                 violations=violations,
+                extra=extra,
             )
             for stale in obsolete:  # safe only after the rename above
                 if stale.exists():
                     stale.unlink()
         else:
+            extra = {"metrics": registry.snapshot()} if registry is not None else None
             write_checkpoint(
                 self.path,
                 stats=stats,
                 store=store,
                 frontier=frontier,
                 violations=violations,
+                extra=extra,
             )
         self._last_states = stats.distinct_states
         self._last_time = time.monotonic()
@@ -368,6 +379,7 @@ def load_serial_resume(
     run_dir: RunDir,
     memory_budget: int = 1_000_000,
     max_segments: int = 8,
+    metrics: Optional[Any] = None,
 ) -> Tuple[StateStore, ResumeState]:
     """Load a serial checkpoint: the restored store plus the resume state."""
     path = run_dir.checkpoint_dir / SERIAL_CHECKPOINT
@@ -380,7 +392,8 @@ def load_serial_resume(
     store_meta = data.header["store"]
     if store_meta.get("kind") == "disk":
         store: StateStore = DiskStore.resume(
-            run_dir.store_dir, store_meta, memory_budget, max_segments
+            run_dir.store_dir, store_meta, memory_budget, max_segments,
+            metrics=metrics,
         )
     else:
         store = data.restore_into(CompactStore())
@@ -388,6 +401,7 @@ def load_serial_resume(
         stats=data.stats(),
         frontier=data.frontier_items(),
         violations=data.violations(),
+        metrics=data.header.get("metrics"),
     )
     return store, resume
 
@@ -435,6 +449,9 @@ class ParallelResume:
     violations: List[tuple]
     worker_files: List[pathlib.Path]
     workers: int
+    #: metrics-registry snapshot from the manifest (None when the
+    #: checkpointed run had no metrics).
+    metrics: Optional[Dict[str, Any]] = None
 
 
 class ParallelCheckpointer:
@@ -502,6 +519,7 @@ class ParallelCheckpointer:
         stats: SearchStats,
         frontier_sizes: Dict[int, int],
         violations: Sequence[tuple],
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Publish the master manifest: the fleet-wide commit point."""
         manifest = {
@@ -513,6 +531,8 @@ class ParallelCheckpointer:
             "violations": [_desc_to_json(desc) for desc in violations],
             "files": [self.worker_path(wid).name for wid in range(workers)],
         }
+        if metrics is not None:
+            manifest["metrics"] = metrics
         atomic_write_json(self.master_path, manifest)
         # Only now — after the commit point — is it safe to drop worker
         # files from superseded (or crash-orphaned) generations.
@@ -549,6 +569,7 @@ def load_parallel_resume(run_dir: RunDir) -> ParallelResume:
         violations=[_desc_from_json(raw) for raw in manifest["violations"]],
         worker_files=[run_dir.checkpoint_dir / name for name in manifest["files"]],
         workers=manifest["workers"],
+        metrics=manifest.get("metrics"),
     )
 
 

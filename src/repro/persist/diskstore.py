@@ -115,7 +115,9 @@ class DiskStore(StateStore):
         memory_budget: int = 1_000_000,
         max_segments: int = 8,
         _resume_meta: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Any] = None,
     ):
+        self.metrics = metrics
         self.path = pathlib.Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.memory_budget = max(1, int(memory_budget))
@@ -166,9 +168,10 @@ class DiskStore(StateStore):
         meta: Dict[str, Any],
         memory_budget: int = 1_000_000,
         max_segments: int = 8,
+        metrics: Optional[Any] = None,
     ) -> "DiskStore":
         """Reopen a store exactly as a committed checkpoint described it."""
-        return cls(path, memory_budget, max_segments, _resume_meta=meta)
+        return cls(path, memory_budget, max_segments, _resume_meta=meta, metrics=metrics)
 
     def _attach(self, meta: Dict[str, Any]) -> None:
         # Truncate every log to its checkpointed length: anything past it
@@ -214,9 +217,13 @@ class DiskStore(StateStore):
     def seen(self, fp: Any) -> bool:
         if fp in self._mem:
             return True
-        for segment in self._segments:
-            if segment.contains(fp):
-                return True
+        if self._segments:
+            metrics = self.metrics
+            if metrics is not None:
+                metrics.counter("diskstore.segment_probes").inc()
+            for segment in self._segments:
+                if segment.contains(fp):
+                    return True
         return False
 
     def record(self, fp: Any, parent_fp: Any, action: str) -> None:
@@ -310,11 +317,15 @@ class DiskStore(StateStore):
         segment = self._write_segment(iter(sorted(self._mem)), self._new_segment_path())
         self._segments.append(segment)
         self._mem.clear()
+        if self.metrics is not None:
+            self.metrics.counter("diskstore.spills").inc()
         if len(self._segments) > self.max_segments:
             self._compact()
 
     def _compact(self) -> None:
         """Merge every segment into one (streaming; constant memory)."""
+        if self.metrics is not None:
+            self.metrics.counter("diskstore.compactions").inc()
         merged = heapq.merge(*(segment.iter_fps() for segment in self._segments))
         segment = self._write_segment(merged, self._new_segment_path())
         for old in self._segments:

@@ -29,6 +29,9 @@ from typing import Any, Callable, Optional, Union
 from ..core.engine import SearchResult
 from ..core.explorer import BFSExplorer
 from ..core.spec import Spec
+from ..obs.report import METRICS_FILENAME
+from ..obs.reporter import compose_progress
+from ..obs.sink import MetricsSink
 from .artifacts import save_violation
 from .checkpoint import (
     ParallelCheckpointer,
@@ -72,8 +75,17 @@ def run_check(
     progress_interval: int = 50_000,
     on_checkpoint: Optional[Callable[[Any], None]] = None,
     spec_label: Optional[str] = None,
+    metrics: Optional[Any] = None,
 ) -> SearchResult:
-    """Run (or resume) one durable BFS check in ``run_dir``."""
+    """Run (or resume) one durable BFS check in ``run_dir``.
+
+    With ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) the
+    run is instrumented end to end: snapshots ride in every checkpoint
+    (so cumulative counters survive kill/resume exactly), and an
+    append-only JSONL sink is kept at ``<run dir>/metrics.jsonl`` — a
+    resumed run appends to the same file, marked by a fresh ``open``
+    line.
+    """
     if strong_fingerprints:
         raise ValueError(
             "durable runs do not support strong_fingerprints: the disk"
@@ -100,6 +112,20 @@ def run_check(
     else:
         rd = RunDir.create(run_dir, config=config)
 
+    sink: Optional[MetricsSink] = None
+    if metrics is not None:
+        sink = MetricsSink(
+            rd.path / METRICS_FILENAME,
+            metrics,
+            meta={
+                "spec": config["spec"],
+                "mode": config["mode"],
+                "workers": config["workers"],
+                "resumed": bool(resume),
+            },
+        )
+        progress = compose_progress(sink.on_progress, progress)
+
     explore = dict(
         symmetry=symmetry,
         max_states=max_states,
@@ -108,6 +134,7 @@ def run_check(
         stop_on_violation=stop_on_violation,
         progress=progress,
         progress_interval=progress_interval,
+        metrics=metrics,
     )
     store: Optional[DiskStore] = None
     try:
@@ -127,10 +154,12 @@ def run_check(
             ).run()
         else:
             if resume:
-                loaded, resume_state = load_serial_resume(rd, memory_budget)
+                loaded, resume_state = load_serial_resume(
+                    rd, memory_budget, metrics=metrics
+                )
                 store = loaded  # type: ignore[assignment]
             else:
-                store = DiskStore(rd.store_dir, memory_budget)
+                store = DiskStore(rd.store_dir, memory_budget, metrics=metrics)
                 resume_state = None
             checkpointer = SerialCheckpointer(
                 rd, checkpoint_every, checkpoint_states, on_checkpoint
@@ -141,11 +170,15 @@ def run_check(
             result = explorer.run(resume=resume_state)
     except BaseException:
         # Leave the checkpoints intact; the manifest records that this
-        # run needs --resume rather than looking merely stale.
+        # run needs --resume rather than looking merely stale.  The sink
+        # keeps its last flushed line as the record — no final snapshot,
+        # which could publish state past the last committed checkpoint.
         try:
             rd.update_manifest(status="interrupted")
         except Exception:
             pass
+        if sink is not None:
+            sink.abandon()
         raise
     finally:
         if store is not None and hasattr(store, "close"):
@@ -171,4 +204,6 @@ def run_check(
             "violation": result.violation.invariant if result.found_violation else None,
         },
     )
+    if sink is not None:
+        sink.close(stats=result.stats, status=status)
     return result

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.engine import CompactStore, SearchResult, ShardedStateStore, StopReason
 from ..core.explorer import BFSExplorer, bfs_explore
 from ..core.state import CODEC_VERSION
+from ..obs.metrics import ACTION_FIRES, MetricsRegistry
 from ..persist.diskstore import DiskStore
 from ..persist.rundir import atomic_write_json, read_json
 from ..persist.runner import run_check
@@ -212,51 +213,84 @@ def _kill_after(n: int) -> Callable[[Any], None]:
     return hook
 
 
-def _run_config(generated: GeneratedSpec, config: MatrixConfig) -> SearchResult:
-    """Execute one matrix cell and return its :class:`SearchResult`."""
+def _run_config(
+    generated: GeneratedSpec, config: MatrixConfig
+) -> Tuple[SearchResult, MetricsRegistry]:
+    """Execute one matrix cell; return its result and its metrics registry.
+
+    Every cell runs instrumented, so the per-action coverage counters
+    (``engine.action_fires``) are themselves under differential test:
+    census cells must partition the oracle's transition count by action
+    exactly, in every engine configuration.
+    """
     spec = generated.spec(invariants=config.phase == "violation")
     stop = config.phase == "violation"
+    registry = MetricsRegistry()
     if config.durable:
         with tempfile.TemporaryDirectory(prefix="sandtable-selftest-") as tmp:
             run_dir = os.path.join(tmp, "run")
             try:
-                return run_check(
+                return (
+                    run_check(
+                        spec,
+                        run_dir,
+                        symmetry=config.symmetry,
+                        stop_on_violation=stop,
+                        checkpoint_states=_CHECKPOINT_STATES,
+                        memory_budget=_MEMORY_BUDGET,
+                        on_checkpoint=_kill_after(2),
+                        metrics=registry,
+                    ),
+                    registry,
+                )
+            except _Interrupted:
+                pass
+            # The resumed session starts with an empty registry, exactly
+            # like a fresh process would; the checkpoint restore must
+            # rebuild the cumulative counters on its own.
+            resumed = MetricsRegistry()
+            return (
+                run_check(
                     spec,
                     run_dir,
+                    resume=True,
                     symmetry=config.symmetry,
                     stop_on_violation=stop,
                     checkpoint_states=_CHECKPOINT_STATES,
                     memory_budget=_MEMORY_BUDGET,
-                    on_checkpoint=_kill_after(2),
-                )
-            except _Interrupted:
-                pass
-            return run_check(
-                spec,
-                run_dir,
-                resume=True,
-                symmetry=config.symmetry,
-                stop_on_violation=stop,
-                checkpoint_states=_CHECKPOINT_STATES,
-                memory_budget=_MEMORY_BUDGET,
+                    metrics=resumed,
+                ),
+                resumed,
             )
     if config.workers > 1:
-        return bfs_explore(
-            spec,
-            workers=config.workers,
-            symmetry=config.symmetry,
-            stop_on_violation=stop,
+        return (
+            bfs_explore(
+                spec,
+                workers=config.workers,
+                symmetry=config.symmetry,
+                stop_on_violation=stop,
+                metrics=registry,
+            ),
+            registry,
         )
     if config.store == "disk":
         with tempfile.TemporaryDirectory(prefix="sandtable-selftest-") as tmp:
-            store = DiskStore(os.path.join(tmp, "store"), memory_budget=_MEMORY_BUDGET)
+            store = DiskStore(
+                os.path.join(tmp, "store"),
+                memory_budget=_MEMORY_BUDGET,
+                metrics=registry,
+            )
             try:
-                return BFSExplorer(
-                    spec,
-                    symmetry=config.symmetry,
-                    stop_on_violation=stop,
-                    store=store,
-                ).run()
+                return (
+                    BFSExplorer(
+                        spec,
+                        symmetry=config.symmetry,
+                        stop_on_violation=stop,
+                        store=store,
+                        metrics=registry,
+                    ).run(),
+                    registry,
+                )
             finally:
                 store.close()
     store = {
@@ -264,9 +298,16 @@ def _run_config(generated: GeneratedSpec, config: MatrixConfig) -> SearchResult:
         "compact": CompactStore,
         "sharded": lambda: ShardedStateStore(8),
     }[config.store]()
-    return BFSExplorer(
-        spec, symmetry=config.symmetry, stop_on_violation=stop, store=store
-    ).run()
+    return (
+        BFSExplorer(
+            spec,
+            symmetry=config.symmetry,
+            stop_on_violation=stop,
+            store=store,
+            metrics=registry,
+        ).run(),
+        registry,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -295,6 +336,7 @@ def _grade(
     config: MatrixConfig,
     oracle: OracleResult,
     result: SearchResult,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[Disagreement]:
     def mismatch(field: str, expected: Any, actual: Any) -> Disagreement:
         return Disagreement(
@@ -320,6 +362,15 @@ def _grade(
         for field, expected in _expected_census(oracle, config):
             if actuals[field] != expected:
                 found.append(mismatch(field, expected, actuals[field]))
+        if registry is not None:
+            # Coverage counters must partition the transition count by
+            # action, exactly — the same accounting as the oracle's.
+            expected_fires = (
+                oracle.orbit_action_fires if config.symmetry else oracle.action_fires
+            )
+            actual_fires = dict(registry.counts(ACTION_FIRES))
+            if actual_fires != expected_fires:
+                found.append(mismatch("action_fires", expected_fires, actual_fires))
         return found
 
     # violation phase: BFS minimality is the contract, stats are not.
@@ -358,7 +409,7 @@ def check_spec(
     disagreements: List[Disagreement] = []
     for config in configs if configs is not None else build_matrix(generated, parallel):
         try:
-            result = _run_config(generated, config)
+            result, registry = _run_config(generated, config)
         except Exception as exc:  # noqa: BLE001 — every escape is a finding
             disagreements.append(
                 Disagreement(
@@ -371,7 +422,7 @@ def check_spec(
                 )
             )
             continue
-        disagreements.extend(_grade(generated, config, oracle, result))
+        disagreements.extend(_grade(generated, config, oracle, result, registry))
     return oracle, disagreements
 
 
@@ -386,6 +437,7 @@ def run_differential(
     out_dir: Optional[os.PathLike] = None,
     parallel: bool = True,
     progress: Optional[Callable[[int, GeneratedSpec, int], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> DifferentialReport:
     """Fuzz ``n_specs`` random specs through the full matrix.
 
@@ -394,6 +446,10 @@ def run_differential(
     RNG — so any disagreement is reproducible from its artifact alone,
     and ``run_differential(n, s)`` covers a superset of the specs of
     ``run_differential(m, s)`` for ``n >= m``.
+
+    With ``metrics`` the sweep keeps running totals (``selftest.specs``,
+    ``selftest.configs``, ``selftest.disagreements``) for the CLI's
+    ``--stats-out`` sink.
     """
     report = DifferentialReport()
     params_rng = random.Random(f"params:{seed}")
@@ -404,6 +460,10 @@ def run_differential(
         oracle, disagreements = check_spec(generated, parallel, configs)
         report.specs += 1
         report.configs_run += len(configs)
+        if metrics is not None:
+            metrics.inc("selftest.specs")
+            metrics.inc("selftest.configs", len(configs))
+            metrics.inc("selftest.disagreements", len(disagreements))
         if disagreements:
             report.disagreements.extend(disagreements)
             if out_dir is not None:

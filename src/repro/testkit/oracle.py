@@ -62,6 +62,12 @@ class OracleResult:
     orbit_states: Optional[int] = None
     orbit_transitions: Optional[int] = None
     orbit_diameter: Optional[int] = None
+    #: per-action partition of ``transitions`` (every spec action appears,
+    #: never-fired actions at 0) — the ground truth the engines'
+    #: ``engine.action_fires`` coverage counters are graded against.
+    action_fires: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: per-action partition of ``orbit_transitions`` (symmetry runs).
+    orbit_action_fires: Optional[Dict[str, int]] = None
     #: state -> minimal BFS depth (the raw census; not serialized)
     depths: Dict[Rec, int] = dataclasses.field(default_factory=dict)
 
@@ -76,6 +82,12 @@ class OracleResult:
             "orbit_states": self.orbit_states,
             "orbit_transitions": self.orbit_transitions,
             "orbit_diameter": self.orbit_diameter,
+            "action_fires": dict(self.action_fires),
+            "orbit_action_fires": (
+                dict(self.orbit_action_fires)
+                if self.orbit_action_fires is not None
+                else None
+            ),
         }
 
 
@@ -109,6 +121,9 @@ def oracle_explore(spec: Spec, compute_orbits: bool = False) -> OracleResult:
     transitions = 0
     pruned = 0
     depth = 0
+    # Per-action partition of the transition count, seeded so an action
+    # that never fires still appears (at zero) in the ground truth.
+    action_fires: Dict[str, int] = {action.name: 0 for action in spec.actions()}
     while level:
         next_level: List[Rec] = []
         for state in level:
@@ -117,6 +132,9 @@ def oracle_explore(spec: Spec, compute_orbits: bool = False) -> OracleResult:
                 continue
             for transition in spec.successors(state):
                 transitions += 1
+                action_fires[transition.action] = (
+                    action_fires.get(transition.action, 0) + 1
+                )
                 for inv in transition_invariants:
                     if not inv.holds(state, transition):
                         violations.append((depth + 1, inv.name))
@@ -145,6 +163,7 @@ def oracle_explore(spec: Spec, compute_orbits: bool = False) -> OracleResult:
         pruned=pruned,
         min_violation_depth=min_violation_depth,
         violation_invariants=violated,
+        action_fires=action_fires,
         depths=depths,
     )
     if compute_orbits and spec.symmetry_sets():
@@ -171,11 +190,17 @@ def _compute_orbits(spec: Spec, result: OracleResult) -> None:
         orbit_member.setdefault(orbit, state)
 
     orbit_transitions = 0
+    orbit_action_fires: Dict[str, int] = {action.name: 0 for action in spec.actions()}
     for orbit, member in orbit_member.items():
         if not spec.state_constraint(member):
             continue
-        orbit_transitions += sum(1 for _ in spec.successors(member))
+        for transition in spec.successors(member):
+            orbit_transitions += 1
+            orbit_action_fires[transition.action] = (
+                orbit_action_fires.get(transition.action, 0) + 1
+            )
 
     result.orbit_states = len(orbit_depth)
     result.orbit_transitions = orbit_transitions
     result.orbit_diameter = max(orbit_depth.values()) if orbit_depth else 0
+    result.orbit_action_fires = orbit_action_fires

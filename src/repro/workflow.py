@@ -133,6 +133,7 @@ def run_workflow(
     seed: int = 0,
     workers: int = 1,
     run_dir: Optional[Any] = None,
+    metrics: Optional[Any] = None,
 ) -> WorkflowResult:
     """Run the Figure 1 workflow for one target system.
 
@@ -140,10 +141,17 @@ def run_workflow(
     constraint; the first constraint is used for the conformance phase.
     With ``run_dir`` the workflow is durable: the conformance report,
     every violation trace (as a replayable artifact), the confirmed-bug
-    Markdown reports, and the summary land in the run directory.
+    Markdown reports, the summary, and a metrics sink
+    (``artifacts/metrics.jsonl``) land in the run directory.  Durable
+    workflows are instrumented by default; pass ``metrics`` to supply
+    (and keep) your own :class:`~repro.obs.metrics.MetricsRegistry`.
     """
     factory = SYSTEMS[system]
     rd = None
+    if run_dir is not None and metrics is None:
+        from .obs import MetricsRegistry  # instrument durable runs by default
+
+        metrics = MetricsRegistry()
     if run_dir is not None:
         from .persist import RunDir  # local import: persist imports core
 
@@ -171,7 +179,7 @@ def run_workflow(
     )
     if not conformance.passed:
         result = WorkflowResult(system, conformance, None, [])
-        _save_workflow_artifacts(rd, result)
+        _save_workflow_artifacts(rd, result, metrics)
         return result
 
     # -- phase 2: constraint selection (Algorithm 1) ------------------------
@@ -188,25 +196,42 @@ def run_workflow(
     for score in ranked.top(top_constraints):
         spec = spec_factory(score.constraint)
         exploration = bfs_explore(
-            spec, max_states=max_states, time_budget=time_budget, workers=workers
+            spec,
+            max_states=max_states,
+            time_budget=time_budget,
+            workers=workers,
+            metrics=metrics,
         )
         confirmation = None
         if exploration.found_violation:
             bug_checker = ConformanceChecker(
                 spec, factory, mapping_for(system, spec.nodes), impl_bugs=impl_bugs
             )
-            confirmation = BugReplayer(bug_checker).confirm(exploration.violation)
+            confirmation = BugReplayer(bug_checker, metrics=metrics).confirm(
+                exploration.violation
+            )
         checks.append(CheckOutcome(score.constraint, exploration, confirmation))
     result = WorkflowResult(system, conformance, ranked, checks)
-    _save_workflow_artifacts(rd, result)
+    _save_workflow_artifacts(rd, result, metrics)
     return result
 
 
-def _save_workflow_artifacts(rd: Optional[Any], result: WorkflowResult) -> None:
+def _save_workflow_artifacts(
+    rd: Optional[Any], result: WorkflowResult, metrics: Optional[Any] = None
+) -> None:
     """Write a workflow's durable leftovers into its run directory."""
     if rd is None:
         return
     from .persist import save_violation, write_text_artifact
+
+    if metrics is not None:
+        from .obs import MetricsSink
+
+        MetricsSink(
+            rd.artifact_path("metrics.jsonl"),
+            metrics,
+            meta={"workflow": result.system},
+        ).close()
 
     write_text_artifact(rd.artifact_path("summary.md"), result.summary() + "\n")
     conformance = result.conformance

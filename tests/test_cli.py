@@ -141,8 +141,9 @@ class TestSelftestCommand:
 
     def test_progress_lines_name_each_spec(self, capsys):
         assert main(["selftest", "--specs", "2", "--seed", "cli", "--serial-only"]) == 0
-        out = capsys.readouterr().out
-        assert "spec cli:0" in out and "spec cli:1" in out
+        err = capsys.readouterr().err
+        assert "seed=cli:0" in err and "seed=cli:1" in err
+        assert "verdict=ok" in err
 
     def test_disagreement_exits_one_and_saves_artifact(
         self, tmp_path, capsys, monkeypatch
@@ -234,3 +235,105 @@ class TestDurableRuns:
         # Confirmation from the saved trace alone: no re-exploration.
         assert main(["replay", "RaftOS#1", "--trace", str(out)]) == 0
         assert "CONFIRMED" in capsys.readouterr().out
+
+
+class TestStatsAndCoverage:
+    def test_check_stats_prints_coverage_report(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--max-states",
+                "2000",
+                "--time-budget",
+                "20",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "action coverage" in out
+        assert "ElectionTimeout" in out
+
+    def test_check_stats_out_round_trips_through_coverage(self, tmp_path, capsys):
+        sink = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--max-states",
+                "1500",
+                "--time-budget",
+                "20",
+                "--stats-out",
+                str(sink),
+            ]
+        )
+        assert code == 0
+        live = capsys.readouterr().out
+        assert f"wrote metrics to {sink}" in live
+
+        from repro.obs import read_sink
+
+        events = read_sink(sink)
+        assert [e["event"] for e in events] == ["open", "final"]
+        assert events[0]["meta"]["command"] == "check"
+        assert events[1]["stats"]["distinct_states"] > 0
+
+        assert main(["coverage", str(sink)]) == 0
+        replayed = capsys.readouterr().out
+        # The offline report reproduces the live one's coverage lines.
+        live_coverage = live[live.index("action coverage") :]
+        assert replayed.strip() in live_coverage.strip()
+
+    def test_simulate_stats(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--walks",
+                "20",
+                "--depth",
+                "8",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "action coverage" in capsys.readouterr().out
+
+    def test_coverage_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["coverage", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no metrics sink" in capsys.readouterr().err
+
+    def test_selftest_stats_out(self, tmp_path, capsys):
+        sink = tmp_path / "selftest.jsonl"
+        code = main(
+            [
+                "selftest",
+                "--specs",
+                "1",
+                "--seed",
+                "cli",
+                "--serial-only",
+                "--quiet",
+                "--stats-out",
+                str(sink),
+            ]
+        )
+        assert code == 0
+
+        from repro.obs import last_metrics
+
+        counters = last_metrics(sink)["counters"]
+        assert counters["selftest.specs"] == 1
+        assert counters["selftest.configs"] > 0
+        assert counters["selftest.disagreements"] == 0

@@ -1,0 +1,147 @@
+"""Dedicated tests for :mod:`repro.core.guided` on the toy specs.
+
+The paper-scenario tests (``test_scenarios.py``) exercise the driver on
+the real Raft/ZAB specs; these pin the *semantics* of the pick language
+and the result contract on specs small enough to reason about exactly.
+"""
+
+import pytest
+
+from repro.core import StopReason
+from repro.core.guided import ScenarioError, ScenarioResult, run_scenario
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+
+class TestPickLanguage:
+    def test_string_pick_takes_the_unique_transition(self):
+        # Non-buggy ring: only the token holder may enter.
+        result = run_scenario(TokenRingSpec(3), ["PassToken", "Enter", "Leave"])
+        trace = result.trace
+        assert [s.action for s in trace.steps] == ["PassToken", "Enter", "Leave"]
+        assert trace.steps[0].args == ("n1", "n2")
+        assert result.final_state["token"] == "n2"
+        assert result.final_state["critical"] == frozenset()
+
+    def test_tuple_pick_prefix_matches_arguments(self):
+        # Buggy ring: Enter is enabled for the holder (n1) and the buggy
+        # node (n3); the argument prefix disambiguates.
+        result = run_scenario(TokenRingSpec(3, buggy=True), [("Enter", "n3")])
+        assert result.trace.steps[0].args == ("n3",)
+
+    def test_full_argument_tuple_matches_exactly(self):
+        result = run_scenario(TokenRingSpec(3), [("PassToken", "n1", "n2")])
+        assert result.trace.steps[0].args == ("n1", "n2")
+
+    def test_wrong_argument_prefix_matches_nothing(self):
+        with pytest.raises(ScenarioError, match="matches no enabled transition"):
+            run_scenario(TokenRingSpec(3), [("PassToken", "n2")])
+
+    def test_callable_pick(self):
+        result = run_scenario(
+            TokenRingSpec(3, buggy=True),
+            [lambda t: t.action == "Enter" and t.args[0] != "n1"],
+        )
+        assert result.trace.steps[0].args == ("n3",)
+
+    def test_no_match_error_lists_enabled_actions(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            run_scenario(TokenRingSpec(3), [("Leave", "n1")])
+        message = str(excinfo.value)
+        assert "pick #0" in message
+        assert "Enter" in message and "PassToken" in message
+
+    def test_ambiguous_pick_raises_by_default(self):
+        with pytest.raises(ScenarioError, match="ambiguous"):
+            run_scenario(TokenRingSpec(3, buggy=True), ["Enter"])
+
+    def test_allow_ambiguous_takes_the_first_match(self):
+        result = run_scenario(
+            TokenRingSpec(3, buggy=True), ["Enter"], allow_ambiguous=True
+        )
+        # Successors enumerate nodes in order: the holder n1 comes first.
+        assert result.trace.steps[0].args == ("n1",)
+
+    def test_error_carries_the_failing_pick_index(self):
+        picks = ["PassToken", ("Enter", "n1")]  # token moved to n2 already
+        with pytest.raises(ScenarioError, match="pick #1"):
+            run_scenario(TokenRingSpec(3), picks)
+
+
+class TestResultContract:
+    def test_prefix_exhaustion_is_complete(self):
+        picks = ["PassToken"] * 3
+        result = run_scenario(TokenRingSpec(3), picks)
+        assert isinstance(result, ScenarioResult)
+        assert result.stop_reason == StopReason.COMPLETE
+        assert not result.found_violation
+        assert result.trace.depth == len(picks)
+        # The ring closed: the token is back at n1.
+        assert result.final_state["token"] == "n1"
+
+    def test_empty_scenario_returns_the_initial_state(self):
+        result = run_scenario(TokenRingSpec(3), [])
+        assert result.trace.depth == 0
+        assert result.final_state["token"] == "n1"
+        assert result.stop_reason == StopReason.COMPLETE
+
+    def test_stats_reflect_the_driven_steps(self):
+        result = run_scenario(TokenRingSpec(3), ["PassToken", "PassToken"])
+        assert result.stats is not None
+        assert result.stats.max_depth == 2
+
+    def test_exhausted_state_space_raises_rather_than_stalls(self):
+        # CounterSpec(1, 1) deadlocks after a single increment: the
+        # second pick has no enabled transition to match.
+        with pytest.raises(ScenarioError, match=r"enabled actions: \[\]"):
+            run_scenario(CounterSpec(1, 1), ["Increment", "Increment"])
+
+    def test_state_constraint_is_not_applied(self):
+        # A scenario drives exactly the chosen interleaving, bounds or
+        # not: steps may exceed the spec's max_steps constraint.
+        picks = ["PassToken"] * 4
+        result = run_scenario(TokenRingSpec(3, max_steps=2), picks)
+        assert result.stop_reason == StopReason.COMPLETE
+        assert result.final_state["steps"] == 4
+
+
+class TestInvariantChecking:
+    def test_violation_stops_the_scenario(self):
+        # Buggy node enters without the token while the holder also
+        # enters: mutual exclusion breaks at depth 2.
+        picks = [("Enter", "n3"), ("Enter", "n1"), ("Leave", "n1")]
+        result = run_scenario(TokenRingSpec(3, buggy=True), picks)
+        assert result.found_violation
+        assert result.violation.invariant == "MutualExclusion"
+        assert result.violation.depth == 2
+        assert result.stop_reason == StopReason.VIOLATION
+        # The reported trace is the scenario up to and including the
+        # violating step, not the full pick list.
+        assert result.trace.depth == 2
+        assert result.trace == result.violation.trace
+
+    def test_stop_on_violation_false_drives_the_whole_scenario(self):
+        picks = [("Enter", "n3"), ("Enter", "n1"), ("Leave", "n1")]
+        result = run_scenario(
+            TokenRingSpec(3, buggy=True), picks, stop_on_violation=False
+        )
+        assert result.found_violation
+        assert result.violation.depth == 2
+        assert result.trace.depth == 3  # the Leave still executed
+        assert result.final_state["critical"] == frozenset({"n3"})
+
+    def test_check_invariants_false_ignores_the_violation(self):
+        picks = [("Enter", "n3"), ("Enter", "n1")]
+        result = run_scenario(
+            TokenRingSpec(3, buggy=True), picks, check_invariants=False
+        )
+        assert not result.found_violation
+        assert result.stop_reason == StopReason.COMPLETE
+        assert result.final_state["critical"] == frozenset({"n1", "n3"})
+
+    def test_transition_invariants_checked_along_the_way(self):
+        # TokenRingSpec's StepsMonotonic holds on every edge; a scenario
+        # exercising all three actions confirms the checker ran clean.
+        result = run_scenario(TokenRingSpec(3), ["Enter", "Leave", "PassToken"])
+        assert not result.found_violation
+        assert result.stop_reason == StopReason.COMPLETE

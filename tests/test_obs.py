@@ -1,0 +1,427 @@
+"""Units for the observability layer: registry, sink, reporter, coverage."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import bfs_explore, simulate
+from repro.obs import (
+    ACTION_FIRES,
+    ActionCoverage,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    ProgressReporter,
+    SIZE_BOUNDS,
+    TIME_BOUNDS,
+    compose_progress,
+    coverage_from_registry,
+    coverage_from_sink,
+    last_metrics,
+    read_sink,
+    resolve_sink_path,
+)
+from repro.obs.report import METRICS_FILENAME
+
+from toy_specs import CounterSpec, TokenRingSpec
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_holds_last_value(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        # Bounds are inclusive upper edges; above the last edge is overflow.
+        for value in (0, 1, 2, 3, 4, 100):
+            h.observe(value)
+        assert h.buckets == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.min == 0 and h.max == 100
+        assert h.mean == pytest.approx(110 / 6)
+
+    def test_histogram_serialization_round_trip(self):
+        h = Histogram("h", bounds=(1, 10))
+        h.observe(3)
+        h.observe(30)
+        clone = Histogram("h", bounds=(1, 10))
+        clone.restore(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+
+    def test_histogram_merge_sums_everything(self):
+        a = Histogram("h", bounds=(1, 10))
+        b = Histogram("h", bounds=(1, 10))
+        a.observe(0.5)
+        b.observe(5)
+        b.observe(500)
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert a.total == pytest.approx(505.5)
+        assert a.min == 0.5 and a.max == 500
+        assert a.buckets == [1, 1, 1]
+
+    def test_histogram_merge_empty_keeps_minmax(self):
+        a = Histogram("h", bounds=(1,))
+        a.observe(2)
+        a.merge(Histogram("h", bounds=(1,)).to_dict())
+        assert a.min == 2 and a.max == 2 and a.count == 1
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError, match="mismatched bounds"):
+            a.merge(Histogram("h", bounds=(1, 3)).to_dict())
+
+    def test_default_bounds_are_sorted(self):
+        assert list(SIZE_BOUNDS) == sorted(SIZE_BOUNDS)
+        assert list(TIME_BOUNDS) == sorted(TIME_BOUNDS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.counts("d") is registry.counts("d")
+
+    def test_counts_dict_mutations_reach_the_snapshot(self):
+        registry = MetricsRegistry()
+        table = registry.counts(ACTION_FIRES)
+        table["Send"] = 3
+        table["Recv"] = table.get("Recv", 0) + 1
+        assert registry.snapshot()["counts"][ACTION_FIRES] == {"Send": 3, "Recv": 1}
+
+    def test_merge_counts_adds_deltas(self):
+        registry = MetricsRegistry()
+        registry.merge_counts("f", {"a": 2})
+        registry.merge_counts("f", {"a": 1, "b": 5})
+        assert registry.counts("f") == {"a": 3, "b": 5}
+
+    def test_snapshot_restore_round_trip(self):
+        registry = MetricsRegistry()
+        registry.inc("runs", 2)
+        registry.gauge("queue").set(7)
+        registry.counts("fires")["A"] = 4
+        registry.histogram("fanout", (1, 2)).observe(2)
+        snapshot = json.loads(json.dumps(registry.snapshot()))  # JSON-safe
+
+        fresh = MetricsRegistry()
+        fresh.restore(snapshot)
+        assert fresh.snapshot() == registry.snapshot()
+
+    def test_restore_discards_uncheckpointed_increments(self):
+        # The resume path restores a checkpoint snapshot over a registry
+        # that may have counted past it; restored families are replaced.
+        registry = MetricsRegistry()
+        registry.inc("runs", 5)
+        registry.counts("fires")["A"] = 9
+        checkpoint = registry.snapshot()
+        registry.inc("runs", 3)
+        registry.counts("fires")["A"] = 12
+        registry.restore(checkpoint)
+        assert registry.counter("runs").value == 5
+        assert registry.counts("fires") == {"A": 9}
+
+    def test_restore_touches_only_present_families(self):
+        registry = MetricsRegistry()
+        registry.inc("kept")
+        registry.restore({"gauges": {"queue": 3}})
+        assert registry.counter("kept").value == 1
+        assert registry.gauge("queue").value == 3
+
+
+class TestSink:
+    def test_lifecycle_events(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry()
+        sink = MetricsSink(path, registry, meta={"spec": "toy"})
+        registry.inc("ticks")
+        sink.on_progress({"distinct_states": 10})
+        registry.inc("ticks")
+        sink.close(status="complete")
+
+        events = read_sink(path)
+        assert [e["event"] for e in events] == ["open", "progress", "final"]
+        assert events[0]["meta"] == {"spec": "toy"}
+        assert events[1]["metrics"]["counters"]["ticks"] == 1
+        assert events[1]["stats"] == {"distinct_states": 10}
+        assert events[2]["metrics"]["counters"]["ticks"] == 2
+        assert events[2]["status"] == "complete"
+        assert all("t" in e for e in events)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = MetricsSink(tmp_path / "m.jsonl", MetricsRegistry())
+        sink.close()
+        sink.close()
+        assert [e["event"] for e in read_sink(tmp_path / "m.jsonl")] == [
+            "open",
+            "final",
+        ]
+
+    def test_abandon_writes_no_final(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = MetricsSink(path, MetricsRegistry())
+        sink.write_snapshot("progress")
+        sink.abandon()
+        assert [e["event"] for e in read_sink(path)] == ["open", "progress"]
+
+    def test_context_manager_finalizes_on_success_only(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsSink(path, MetricsRegistry()):
+            pass
+        assert read_sink(path)[-1]["event"] == "final"
+
+        crashed = tmp_path / "crashed.jsonl"
+        with pytest.raises(RuntimeError):
+            with MetricsSink(crashed, MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert [e["event"] for e in read_sink(crashed)] == ["open"]
+
+    def test_reopen_appends_after_a_seam(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        MetricsSink(path, MetricsRegistry(), meta={"resumed": False}).close()
+        MetricsSink(path, MetricsRegistry(), meta={"resumed": True}).close()
+        events = read_sink(path)
+        assert [e["event"] for e in events] == ["open", "final", "open", "final"]
+        assert events[2]["meta"] == {"resumed": True}
+
+    def test_read_sink_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        registry = MetricsRegistry()
+        registry.inc("ticks")
+        MetricsSink(path, registry).close()
+        with open(path, "a") as handle:
+            handle.write('{"event": "progress", "metr')  # killed mid-write
+        events = read_sink(path)
+        assert [e["event"] for e in events] == ["open", "final"]
+        assert last_metrics(path)["counters"]["ticks"] == 1
+
+    def test_read_sink_rejects_mid_file_garbage(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('not json\n{"event": "open"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_sink(path)
+
+    def test_last_metrics_requires_a_snapshot(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"event": "open", "meta": {}}\n')
+        with pytest.raises(ValueError, match="no metrics snapshots"):
+            last_metrics(path)
+
+
+class FakeStats:
+    distinct_states = 1500
+    transitions = 4200
+    max_depth = 7
+    elapsed = 0.5
+    walks = 0
+
+
+class TestReporter:
+    def test_progress_line_shape(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        reporter(FakeStats())
+        line = stream.getvalue()
+        assert line.startswith("sandtable: ")
+        assert "1500 states" in line
+        assert "4200 transitions" in line
+        assert "depth 7" in line
+        assert "3000 states/s" in line
+        assert reporter.lines_emitted == 1
+
+    def test_queue_depth_from_registry(self):
+        stream = io.StringIO()
+        registry = MetricsRegistry()
+        registry.gauge("engine.queue_depth").set(42)
+        ProgressReporter(stream=stream, registry=registry)(FakeStats())
+        assert "queue 42" in stream.getvalue()
+
+    def test_walks_included_when_present(self):
+        stream = io.StringIO()
+        stats = FakeStats()
+        stats.walks = 30
+        ProgressReporter(stream=stream)(stats)
+        assert "30 walks" in stream.getvalue()
+
+    def test_event_line(self):
+        stream = io.StringIO()
+        ProgressReporter(stream=stream).event("spec", seed="s:0", verdict="ok")
+        assert stream.getvalue() == "sandtable: spec: seed=s:0 verdict=ok\n"
+
+    def test_disabled_reporter_stays_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, enabled=False)
+        reporter(FakeStats())
+        reporter.event("spec")
+        assert stream.getvalue() == ""
+        assert reporter.lines_emitted == 0
+
+    def test_compose_progress(self):
+        assert compose_progress() is None
+        assert compose_progress(None, None) is None
+
+        def single(stats):
+            return None
+
+        assert compose_progress(None, single) is single
+        seen = []
+        fanout = compose_progress(seen.append, lambda s: seen.append(-s))
+        fanout(3)
+        assert seen == [3, -3]
+
+
+class TestActionCoverage:
+    def test_rows_sorted_by_count_then_name(self):
+        registry = MetricsRegistry()
+        registry.counts(ACTION_FIRES).update({"B": 5, "A": 5, "C": 9, "D": 0})
+        report = coverage_from_registry(registry)
+        assert report.rows == [("C", 9), ("A", 5), ("B", 5), ("D", 0)]
+        assert report.total_fires == 19
+        assert report.never_fired == ["D"]
+        assert not report.complete
+        assert report.counts() == {"A": 5, "B": 5, "C": 9, "D": 0}
+
+    def test_spec_supplies_missing_actions(self):
+        # A registry that never ran still reports every spec action.
+        report = coverage_from_registry(MetricsRegistry(), TokenRingSpec(3))
+        assert report.counts() == {"Enter": 0, "Leave": 0, "PassToken": 0}
+        assert report.never_fired == ["Enter", "Leave", "PassToken"]
+
+    def test_render_flags_never_fired(self):
+        registry = MetricsRegistry()
+        registry.counts(ACTION_FIRES).update({"Fire": 3, "Never": 0})
+        text = coverage_from_registry(registry).render()
+        assert "action coverage (3 fires, 2 actions):" in text
+        assert "NEVER FIRED" in text
+        assert "WARNING: 1 action(s) never fired: Never" in text
+
+    def test_render_empty(self):
+        assert "no actions recorded" in ActionCoverage([]).render()
+
+    def test_complete_run_has_no_warning(self):
+        registry = MetricsRegistry()
+        registry.counts(ACTION_FIRES)["Only"] = 2
+        report = coverage_from_registry(registry)
+        assert report.complete
+        assert "WARNING" not in report.render()
+
+    def test_sink_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counts(ACTION_FIRES).update({"A": 7, "B": 0})
+        path = tmp_path / "m.jsonl"
+        MetricsSink(path, registry).close()
+        report = coverage_from_sink(path)
+        assert report.counts() == {"A": 7, "B": 0}
+        assert report.never_fired == ["B"]
+
+    def test_resolve_sink_path(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        with pytest.raises(FileNotFoundError, match=METRICS_FILENAME):
+            resolve_sink_path(run_dir)
+        sink_file = run_dir / METRICS_FILENAME
+        sink_file.write_text("")
+        assert resolve_sink_path(run_dir) == sink_file
+        assert resolve_sink_path(sink_file) == sink_file
+        with pytest.raises(FileNotFoundError):
+            resolve_sink_path(tmp_path / "nowhere.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# engine instrumentation on toy specs
+# ---------------------------------------------------------------------------
+
+
+class UnreachableActionSpec(CounterSpec):
+    """CounterSpec plus a ``Decrement`` action whose guard never holds."""
+
+    def actions(self):
+        from repro.core import Action
+
+        return super().actions() + [Action("Decrement", self._decrement)]
+
+    def _decrement(self, state):
+        counters = state["counters"]
+        for node in self.nodes:
+            if counters[node] > self.maximum:  # never true
+                yield (node,), state.set(
+                    "counters", counters.apply(node, lambda c: c - 1)
+                )
+
+
+class TestEngineInstrumentation:
+    def test_fire_counts_partition_transitions(self):
+        registry = MetricsRegistry()
+        result = bfs_explore(TokenRingSpec(3), metrics=registry)
+        fires = registry.counts(ACTION_FIRES)
+        assert set(fires) == {"PassToken", "Enter", "Leave"}
+        assert sum(fires.values()) == result.stats.transitions
+        assert all(count > 0 for count in fires.values())
+
+    def test_single_action_spec_attributes_everything(self):
+        registry = MetricsRegistry()
+        result = bfs_explore(CounterSpec(2, 3), metrics=registry)
+        assert registry.counts(ACTION_FIRES) == {
+            "Increment": result.stats.transitions
+        }
+
+    def test_never_enabled_action_reported_at_zero(self):
+        registry = MetricsRegistry()
+        bfs_explore(UnreachableActionSpec(2, 2), metrics=registry)
+        report = coverage_from_registry(registry)
+        assert report.counts()["Decrement"] == 0
+        assert report.never_fired == ["Decrement"]
+
+    def test_fanout_histogram_totals_transitions(self):
+        registry = MetricsRegistry()
+        result = bfs_explore(CounterSpec(2, 2), metrics=registry)
+        fanout = registry.histogram("engine.fanout")
+        assert fanout.total == result.stats.transitions
+        # One observation per expanded state; the all-max state has
+        # fan-out zero but is still observed.
+        assert fanout.count == result.stats.distinct_states
+
+    def test_gauges_populated_at_finish(self):
+        registry = MetricsRegistry()
+        bfs_explore(CounterSpec(2, 2), metrics=registry)
+        assert registry.gauge("engine.queue_depth").value == 0  # drained
+        assert registry.gauge("engine.states_per_sec").value >= 0
+
+    def test_uninstrumented_run_is_unchanged(self):
+        instrumented = MetricsRegistry()
+        with_metrics = bfs_explore(TokenRingSpec(3), metrics=instrumented)
+        without = bfs_explore(TokenRingSpec(3))
+        assert with_metrics.stats.distinct_states == without.stats.distinct_states
+        assert with_metrics.stats.transitions == without.stats.transitions
+
+    def test_symmetry_run_counts_quotient_fires(self):
+        full = MetricsRegistry()
+        bfs_explore(CounterSpec(2, 2), metrics=full)
+        reduced = MetricsRegistry()
+        result = bfs_explore(CounterSpec(2, 2), symmetry=True, metrics=reduced)
+        fires = reduced.counts(ACTION_FIRES)
+        assert fires["Increment"] == result.stats.transitions
+        assert fires["Increment"] < full.counts(ACTION_FIRES)["Increment"]
+
+    def test_simulation_metrics(self):
+        registry = MetricsRegistry()
+        result = simulate(
+            CounterSpec(2, 2), n_walks=10, max_depth=6, seed=1, metrics=registry
+        )
+        assert registry.counter("simulate.walks").value == result.n_walks == 10
+        walk_times = registry.histogram("simulate.walk_seconds")
+        assert walk_times.count == 10
+        assert walk_times.total >= 0

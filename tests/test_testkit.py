@@ -224,3 +224,75 @@ def test_replay_artifact_rejects_foreign_json(tmp_path):
     atomic_write_json(path, {"kind": "something-else"})
     with pytest.raises(ValueError):
         replay_artifact(path)
+
+
+# ---------------------------------------------------------------------------
+# action-fire coverage: oracle ground truth vs. engine counters
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_action_fires_partition_transitions():
+    oracle = oracle_explore(TokenRingSpec(3), compute_orbits=False)
+    assert set(oracle.action_fires) == {"PassToken", "Enter", "Leave"}
+    assert sum(oracle.action_fires.values()) == oracle.transitions
+
+
+def test_oracle_orbit_action_fires_partition_quotient():
+    oracle = oracle_explore(CounterSpec(3, 2), compute_orbits=True)
+    assert sum(oracle.action_fires.values()) == oracle.transitions
+    assert sum(oracle.orbit_action_fires.values()) == oracle.orbit_transitions
+    assert oracle.orbit_action_fires["Increment"] < oracle.action_fires["Increment"]
+
+
+def test_oracle_action_fires_serialized_in_to_dict():
+    oracle = oracle_explore(CounterSpec(2, 1), compute_orbits=True)
+    rendered = oracle.to_dict()
+    assert rendered["action_fires"] == oracle.action_fires
+    assert rendered["orbit_action_fires"] == oracle.orbit_action_fires
+
+
+def test_engine_fire_counters_match_oracle():
+    from repro.obs import ACTION_FIRES, MetricsRegistry
+
+    spec = TokenRingSpec(3)
+    oracle = oracle_explore(spec)
+    registry = MetricsRegistry()
+    bfs_explore(spec, metrics=registry)
+    assert dict(registry.counts(ACTION_FIRES)) == oracle.action_fires
+
+
+def test_engine_fire_counters_match_oracle_under_symmetry():
+    from repro.obs import ACTION_FIRES, MetricsRegistry
+
+    spec = CounterSpec(3, 2)
+    oracle = oracle_explore(spec, compute_orbits=True)
+    registry = MetricsRegistry()
+    bfs_explore(spec, symmetry=True, metrics=registry)
+    assert dict(registry.counts(ACTION_FIRES)) == oracle.orbit_action_fires
+
+
+def test_grade_flags_corrupted_fire_counters():
+    from repro.obs import ACTION_FIRES, MetricsRegistry
+    from repro.testkit.differential import _grade
+
+    generated = generate_spec("fires:0")
+    config = next(
+        c for c in build_matrix(generated, parallel=False) if c.phase == "census"
+    )
+    oracle = oracle_explore(generated.spec(), compute_orbits=config.symmetry)
+    registry = MetricsRegistry()
+    result = bfs_explore(
+        generated.spec(),
+        symmetry=config.symmetry,
+        stop_on_violation=False,  # census cells complete the space
+        metrics=registry,
+    )
+    assert _grade(generated, config, oracle, result, registry) == []
+
+    # An off-by-one in any action's counter is a graded disagreement.
+    fires = registry.counts(ACTION_FIRES)
+    victim = next(iter(fires))
+    fires[victim] += 1
+    bad = _grade(generated, config, oracle, result, registry)
+    assert [d.field for d in bad] == ["action_fires"]
+    assert bad[0].actual[victim] == bad[0].expected[victim] + 1
