@@ -1,0 +1,184 @@
+"""Compiled-pipeline speedup: interpreted vs. compiled serial BFS.
+
+Two Raft specs, each explored twice per trial with identical bounds:
+
+* **interpreted** — ``compiled=False`` and the delta codec disabled, i.e.
+  the pipeline exactly as it ran before the compiled hot path existed:
+  per-state action dispatch through ``Spec.successors``, every invariant
+  checked on every state, every fingerprint from a full canonical encode.
+* **compiled** — ``compile_spec`` closures, incremental invariant
+  skipping by read/write sets, and delta encoding + two-level
+  incremental fingerprints.
+
+The headline cell seeds PySyncObj from a fully replicated, committed
+28-entry log (leader elected, all budgets unspent): the regime the
+compiled pipeline targets, where ``LogMatching``/``CommittedLogConsistency``
+are O(node-pairs x log length) per state and most transitions never touch
+the variables those invariants read.  The second cell runs WRaft from its
+real initial states as an unseeded control.
+
+Each mode is timed best-of-``TRIALS`` (single-core CI boxes are noisy;
+the minimum is the least-interference estimate of the true cost), and
+both modes must produce the exact same census before any timing is
+reported.  Results go to ``BENCH_compile.json`` at the repo root.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.explorer import bfs_explore
+from repro.core.state import Rec, set_delta_codec
+from repro.specs.raft import PySyncObjSpec, RaftConfig, WRaftSpec
+from repro.specs.raft import messages as msg
+from repro.specs.raft.base import LEADER
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_compile.json"
+
+#: CI can shrink the run with these knobs; defaults match the acceptance
+#: measurement (>= 3x on the seeded PySyncObj cell).
+MAX_STATES = int(os.environ.get("SANDTABLE_BENCH_STATES", "10000"))
+TRIALS = int(os.environ.get("SANDTABLE_BENCH_TRIALS", "3"))
+LOG_LEN = int(os.environ.get("SANDTABLE_BENCH_LOG_LEN", "28"))
+
+
+def rich_seed(spec, log_len):
+    """A consistent deep-log state: ``log_len`` entries replicated and
+    committed on every node, ``nodes[0]`` leading at term 2, all event
+    budgets unspent.  Every invariant holds, and BFS from here fans out
+    exactly like the initial state — but each state carries the full log,
+    so the interpreted pipeline pays O(pairs x log) invariants and
+    kilobyte encodes per state."""
+    (init,) = list(spec.init_states())
+    nodes = spec.nodes
+    values = spec.config.values
+    terms = tuple(1 if i < log_len // 2 else 2 for i in range(log_len))
+    log = tuple(msg.entry(t, values[i % len(values)]) for i, t in enumerate(terms))
+    leader = nodes[0]
+    return init.update(
+        role=init["role"].set(leader, LEADER),
+        currentTerm=Rec({n: 2 for n in nodes}),
+        votedFor=Rec({n: leader for n in nodes}),
+        log=Rec({n: log for n in nodes}),
+        commitIndex=Rec({n: log_len for n in nodes}),
+        nextIndex=init["nextIndex"].set(
+            leader, Rec({p: log_len + 1 for p in nodes if p != leader})
+        ),
+        matchIndex=init["matchIndex"].set(
+            leader, Rec({p: log_len for p in nodes if p != leader})
+        ),
+        votesGranted=init["votesGranted"].set(leader, frozenset(nodes)),
+    )
+
+
+def seeded(spec_cls, config, seed):
+    class SeededSpec(spec_cls):
+        def init_states(self):
+            return [seed]
+
+    SeededSpec.__name__ = f"Seeded{spec_cls.__name__}"
+    return SeededSpec(config)
+
+
+def _quiet_config(nodes, values, **overrides):
+    base = dict(
+        max_timeouts=2,
+        max_requests=2,
+        max_crashes=0,
+        max_restarts=0,
+        max_partitions=0,
+        max_drops=0,
+        max_dups=0,
+        max_buffer=4,
+        max_term=3,
+    )
+    base.update(overrides)
+    return RaftConfig(nodes=nodes, values=values, **base)
+
+
+def _explore(make_spec, compiled, delta):
+    spec = make_spec()
+    prev = set_delta_codec(delta)
+    try:
+        start = time.perf_counter()
+        result = bfs_explore(spec, compiled=compiled, max_states=MAX_STATES)
+        elapsed = time.perf_counter() - start
+    finally:
+        set_delta_codec(prev)
+    return result, elapsed
+
+
+def bench_cell(name, make_spec):
+    interp_times, compiled_times = [], []
+    census = None
+    for _ in range(TRIALS):
+        ri, ti = _explore(make_spec, compiled=False, delta=False)
+        rc, tc = _explore(make_spec, compiled=True, delta=True)
+        key = (ri.stats.distinct_states, ri.stats.transitions)
+        assert key == (rc.stats.distinct_states, rc.stats.transitions), (
+            f"{name}: compiled census diverged: interpreted={key} "
+            f"compiled={(rc.stats.distinct_states, rc.stats.transitions)}"
+        )
+        assert census is None or census == key, f"{name}: census unstable across trials"
+        census = key
+        interp_times.append(ti)
+        compiled_times.append(tc)
+    states = census[0]
+    ti, tc = min(interp_times), min(compiled_times)
+    return {
+        "spec": name,
+        "distinct_states": states,
+        "transitions": census[1],
+        "trials": TRIALS,
+        "interpreted_sec": round(ti, 4),
+        "compiled_sec": round(tc, 4),
+        "interpreted_states_per_sec": round(states / ti, 1),
+        "compiled_states_per_sec": round(states / tc, 1),
+        "speedup": round(ti / tc, 3),
+    }
+
+
+def test_compile_speedup(emit):
+    pysyncobj_config = _quiet_config(
+        nodes=("n1", "n2", "n3", "n4", "n5"), values=("v1", "v2")
+    )
+    seed = rich_seed(PySyncObjSpec(pysyncobj_config), LOG_LEN)
+    cells = [
+        bench_cell(
+            "pysyncobj-deep-log",
+            lambda: seeded(PySyncObjSpec, pysyncobj_config, seed),
+        ),
+        bench_cell(
+            "wraft-initial",
+            lambda: WRaftSpec(
+                _quiet_config(nodes=("n1", "n2", "n3"), values=("v1", "v2"))
+            ),
+        ),
+    ]
+    report = {
+        "benchmark": "compile_speedup",
+        "max_states": MAX_STATES,
+        "trials": TRIALS,
+        "seed_log_len": LOG_LEN,
+        "timing": "best-of-trials per mode",
+        "cells": cells,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    emit(
+        "compile_speedup",
+        [
+            f"{c['spec']}: {c['interpreted_states_per_sec']:.0f} -> "
+            f"{c['compiled_states_per_sec']:.0f} states/sec "
+            f"({c['speedup']:.2f}x, {c['distinct_states']} states)"
+            for c in cells
+        ]
+        + [f"written: {BENCH_PATH}"],
+    )
+    # The compiled pipeline must never be a slowdown, and the deep-log
+    # cell is the acceptance measurement: >= 3x on a full-size run.
+    for cell in cells:
+        assert cell["speedup"] > 1.0, cell
+    if MAX_STATES >= 10000:
+        assert cells[0]["speedup"] >= 3.0, cells[0]

@@ -73,6 +73,7 @@ def detect(
     seed: int = 0,
     metrics: Optional[Any] = None,
     progress: Optional[Any] = None,
+    compiled: bool = True,
 ) -> DetectionResult:
     """Run the registry-recorded detection for one verification bug."""
     if bug.stage != "verification":
@@ -86,6 +87,7 @@ def detect(
             time_budget=time_budget,
             metrics=metrics,
             progress=progress,
+            compiled=compiled,
         )
         return DetectionResult(
             bug=bug,
@@ -105,6 +107,7 @@ def detect(
         stop_on_violation=True,
         time_budget=time_budget,
         metrics=metrics,
+        compiled=compiled,
     )
     violation = sim.first_violation
     return DetectionResult(

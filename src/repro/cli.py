@@ -28,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from .bugs import BUGS, detect
+from .core.state import set_delta_codec
 from .conformance import BugReplayer, ConformanceChecker, mapping_for
 from .core import bfs_explore, simulate
 from .obs import (
@@ -102,6 +103,15 @@ def cmd_bugs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compiled(args: argparse.Namespace) -> bool:
+    """Resolve ``--no-compile``: also turns off the delta codec, so the
+    escape hatch restores the interpreted pipeline end to end."""
+    if getattr(args, "no_compile", False):
+        set_delta_codec(False)
+        return False
+    return True
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
     durable = {}
@@ -125,6 +135,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             workers=args.workers,
             metrics=registry,
             progress=reporter,
+            compiled=_compiled(args),
             **durable,
         )
     except RunDirError as exc:
@@ -153,6 +164,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         stop_on_violation=True,
         time_budget=args.time_budget,
         metrics=registry,
+        compiled=_compiled(args),
     )
     print(
         f"{result.n_walks} walks, mean depth {result.mean_depth:.1f},"
@@ -208,6 +220,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         seed=args.seed,
         metrics=registry,
         progress=reporter,
+        compiled=_compiled(args),
     )
     row = result.as_row()
     print(
@@ -307,7 +320,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
         print("replay needs a bug_id (or --trace FILE)", file=sys.stderr)
         return 2
     bug = BUGS[args.bug_id]
-    result = detect(bug, time_budget=args.time_budget, seed=args.seed)
+    result = detect(
+        bug, time_budget=args.time_budget, seed=args.seed, compiled=_compiled(args)
+    )
     if not result.found:
         print(f"{bug.bug_id}: not found at the specification level")
         return 1
@@ -341,6 +356,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--invariant", help="check only this invariant")
         p.add_argument("--time-budget", type=float, default=60.0)
         p.add_argument("--seed", type=int, default=0)
+        no_compile(p)
+
+    def no_compile(p):
+        p.add_argument(
+            "--no-compile",
+            action="store_true",
+            help="run the interpreted pipeline (no compiled spec closures, "
+            "no delta codec); same as SANDTABLE_NO_COMPILE=1",
+        )
 
     def stats_args(p):
         p.add_argument(
@@ -413,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     conf.set_defaults(fn=cmd_conformance)
 
     det = sub.add_parser("detect", help="run one registry bug detection")
+    no_compile(det)
     det.add_argument("bug_id", choices=sorted(BUGS))
     det.add_argument("--time-budget", type=float, default=120.0)
     det.add_argument("--seed", type=int, default=0)
@@ -438,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     cov.set_defaults(fn=cmd_coverage)
 
     rep = sub.add_parser("replay", help="detect and confirm at the impl level")
+    no_compile(rep)
     rep.add_argument("bug_id", nargs="?", choices=sorted(BUGS))
     rep.add_argument(
         "--trace",

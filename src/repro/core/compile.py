@@ -1,0 +1,284 @@
+"""Compiled specifications: the spec->successor->fingerprint hot path.
+
+Interpreted exploration pays generic-Python prices on every transition:
+``Spec.successors`` walks the action list through per-action generator
+wrappers, every invariant runs on every state/edge, and every successor
+is re-encoded from scratch for fingerprinting.  :func:`compile_spec`
+builds a :class:`CompiledSpec` once per run that removes those costs
+without changing a single observable result:
+
+* **action snapshot** — the action list is materialized once, with
+  per-action metadata (name, kind, declared-or-inferred top-level
+  read/write sets) exposed as :attr:`CompiledSpec.action_meta`; this is
+  the metadata a partial-order-reduction pass needs;
+* **specialized successor loop** — one flat closure over pre-bound
+  ``(name, fn, guard)`` entries replaces the per-action
+  ``Action.transitions`` wrappers; declared guards short-circuit
+  disabled actions before their generator is even entered;
+* **incremental invariant checking** — invariants that declare their
+  ``reads`` are skipped on successors whose touched-key set (recorded
+  by ``Rec.set``/``Rec.update``, see
+  :func:`repro.core.state.changed_keys`) is disjoint from the declared
+  reads.  For state invariants this is sound by induction whenever the
+  parent state was itself checked (the engine only passes ``changed``
+  in configurations where that holds); for transition invariants the
+  declaration carries the stutter-safety contract documented on
+  :class:`repro.core.spec.TransitionInvariant`;
+* **delta fingerprinting** — compiled runs lean on the codec's spliced
+  encoding (:mod:`repro.core.state`), which assembles a successor's
+  canonical bytes from the parent's cached bytes plus the re-encoded
+  touched fields.  The bytes are bit-identical to a from-scratch
+  encode, so fingerprints, stores, checkpoints, and ``fp % N`` shard
+  routing are all unaffected.
+
+A :class:`CompiledSpec` exposes the same ``successors`` /
+``state_constraint`` / ``invariants`` surface as the spec it wraps (and
+delegates unknown attributes to it), so every consumer is a one-line
+change.  The ``SANDTABLE_NO_COMPILE`` environment variable (or the
+``--no-compile`` CLI flag) disables compilation everywhere, restoring
+the interpreted pipeline byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInvariant
+from .state import Rec
+from .state import changed_keys as rec_changed_keys
+
+__all__ = ["ActionMeta", "CompiledSpec", "compile_spec", "maybe_compile", "compile_disabled"]
+
+
+def compile_disabled() -> bool:
+    """True when the ``SANDTABLE_NO_COMPILE`` escape hatch is set."""
+    return bool(os.environ.get("SANDTABLE_NO_COMPILE"))
+
+
+@dataclasses.dataclass(frozen=True)
+class ActionMeta:
+    """Per-action metadata snapshotted by :func:`compile_spec`.
+
+    ``writes`` is the action's declared write set, or — when the spec
+    declares none — a set inferred by sampling the action's successors
+    on an initial state (``writes_inferred=True``).  Inferred sets are
+    a *sample*, not a guarantee: they inform reporting and future
+    reduction passes, and are never used for invariant skipping (which
+    relies only on per-transition exact touched keys).
+    """
+
+    name: str
+    kind: str
+    reads: Optional[FrozenSet[Any]]
+    writes: Optional[FrozenSet[Any]]
+    writes_inferred: bool = False
+
+
+def _infer_writes(spec: Spec, actions: Sequence[Action]) -> dict:
+    """Sample each undeclared action's write set on one initial state."""
+    try:
+        init = next(iter(spec.init_states()))
+    except Exception:
+        return {}
+    inferred: dict = {}
+    for action in actions:
+        if action.writes is not None:
+            continue
+        seen: set = set()
+        complete = True
+        try:
+            for item in action.fn(init):
+                target = item[1]
+                delta = rec_changed_keys(target, init)
+                if delta is None:
+                    complete = False
+                    break
+                seen |= delta
+        except Exception:
+            complete = False
+        if complete:
+            inferred[action.name] = frozenset(seen)
+    return inferred
+
+
+class CompiledSpec(Spec):
+    """A spec with a compiled successor loop and incremental checking.
+
+    Built by :func:`compile_spec`; behaviourally identical to the
+    wrapped spec — same transitions in the same order, same invariant
+    verdicts, same fingerprints — only faster.
+    """
+
+    def __init__(self, spec: Spec, infer_writes: bool = True):
+        self._source = spec
+        self.name = spec.name
+        actions = tuple(spec.cached_actions())
+        self._action_cache = actions
+
+        inferred = _infer_writes(spec, actions) if infer_writes else {}
+        self.action_meta: Tuple[ActionMeta, ...] = tuple(
+            ActionMeta(
+                name=a.name,
+                kind=a.kind,
+                reads=a.reads,
+                writes=a.writes if a.writes is not None else inferred.get(a.name),
+                writes_inferred=a.writes is None and a.name in inferred,
+            )
+            for a in actions
+        )
+
+        # Pre-bound successor entries: the flat loop in successors()
+        # reads these tuples instead of going through Action.transitions.
+        self._entries = tuple((a.name, a.fn, a.guard) for a in actions)
+
+        self._invariants = tuple(spec.invariants())
+        self._tinvariants = tuple(spec.transition_invariants())
+        self._inv_entries = tuple(
+            (inv.name, inv.fn, inv.reads) for inv in self._invariants
+        )
+        self._tinv_entries = tuple(
+            (inv.name, inv.fn, inv.reads) for inv in self._tinvariants
+        )
+        #: True when at least one invariant declares a read set — the
+        #: engine only bothers computing per-transition changed keys
+        #: when there is something to skip.
+        self.incremental = any(
+            reads is not None for _, _, reads in self._inv_entries
+        ) or any(reads is not None for _, _, reads in self._tinv_entries)
+
+        # Pre-bound delegates, so hot callers pay no extra indirection.
+        self.init_states = spec.init_states
+        self.state_constraint = spec.state_constraint
+        self.symmetry_sets = spec.symmetry_sets
+
+    # -- the compiled surface -------------------------------------------------
+
+    def actions(self) -> Sequence[Action]:
+        return self._action_cache
+
+    def refresh_actions(self) -> None:
+        raise SpecError(
+            "a CompiledSpec snapshots its action list at compile time;"
+            " refresh the source spec and re-run compile_spec() instead"
+        )
+
+    def invariants(self) -> Sequence[Invariant]:
+        return self._invariants
+
+    def transition_invariants(self) -> Sequence[TransitionInvariant]:
+        return self._tinvariants
+
+    def successors(self, state: Rec) -> Iterator[Transition]:
+        """All enabled transitions, via the flat pre-bound action table.
+
+        Yields exactly what the interpreted ``Spec.successors`` yields,
+        in the same order, with the same malformed-yield diagnostics.
+        """
+        make = Transition
+        for name, fn, guard in self._entries:
+            if guard is not None and not guard(state):
+                continue
+            for item in fn(state):
+                n = len(item)
+                if n == 3:
+                    args, target, branch = item
+                elif n == 2:
+                    args, target = item
+                    branch = ""
+                else:
+                    raise SpecError(
+                        f"action {name} yielded a {n}-tuple;"
+                        " expected (args, state) or (args, state, branch)"
+                    )
+                if target.__class__ is not Rec and not isinstance(target, Rec):
+                    raise SpecError(
+                        f"action {name}{args} produced a non-Rec state:"
+                        f" {type(target).__name__}"
+                    )
+                yield make(
+                    name,
+                    args if args.__class__ is tuple else tuple(args),
+                    target,
+                    branch,
+                )
+
+    def check_state(self, state: Rec, changed: Optional[frozenset] = None) -> Optional[str]:
+        """First violated state invariant, skipping provably-unaffected ones.
+
+        ``changed`` is the exact touched-key superset of ``state``
+        relative to an already-checked parent (``None`` = check
+        everything).  An invariant with declared ``reads`` disjoint from
+        ``changed`` saw the same values on the parent, where it held.
+        """
+        if changed is None:
+            for name, fn, _ in self._inv_entries:
+                if not fn(state):
+                    return name
+            return None
+        for name, fn, reads in self._inv_entries:
+            if reads is not None and reads.isdisjoint(changed):
+                continue
+            if not fn(state):
+                return name
+        return None
+
+    def check_transition(
+        self,
+        pre: Rec,
+        transition: Transition,
+        changed: Optional[frozenset] = None,
+    ) -> Optional[str]:
+        """First violated transition invariant, honoring stutter-safety.
+
+        An edge invariant with declared ``reads`` disjoint from
+        ``changed`` holds trivially: the target agrees with ``pre`` on
+        every variable the invariant may depend on.
+        """
+        if changed is None:
+            for name, fn, _ in self._tinv_entries:
+                if not fn(pre, transition):
+                    return name
+            return None
+        for name, fn, reads in self._tinv_entries:
+            if reads is not None and reads.isdisjoint(changed):
+                continue
+            if not fn(pre, transition):
+                return name
+        return None
+
+    @staticmethod
+    def changed_keys(child: Rec, parent: Rec) -> Optional[frozenset]:
+        """Touched top-level keys of ``child`` relative to ``parent``.
+
+        Must be called before the child is encoded/fingerprinted — see
+        :func:`repro.core.state.changed_keys`.
+        """
+        return rec_changed_keys(child, parent)
+
+    # -- delegation -----------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Unknown public attributes (spec constants like ``config`` or
+        # ``nodes``) resolve against the wrapped spec.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.__dict__["_source"], name)
+
+    def __repr__(self) -> str:
+        return f"CompiledSpec({self._source!r})"
+
+
+def compile_spec(spec: Spec, infer_writes: bool = True) -> CompiledSpec:
+    """Compile ``spec`` into its hot-path form (idempotent)."""
+    if isinstance(spec, CompiledSpec):
+        return spec
+    return CompiledSpec(spec, infer_writes=infer_writes)
+
+
+def maybe_compile(spec: Spec, compiled: bool = True) -> Spec:
+    """Compile ``spec`` unless disabled by flag or environment."""
+    if not compiled or compile_disabled() or isinstance(spec, CompiledSpec):
+        return spec
+    return CompiledSpec(spec)

@@ -46,9 +46,9 @@ from typing import (
     Tuple,
 )
 
-from ..obs.metrics import ACTION_FIRES, SIZE_BOUNDS
+from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS
 from .spec import Spec, Transition
-from .state import Rec, fingerprint
+from .state import Rec, changed_keys, codec_stats, detach, fingerprint
 from .trace import Trace, TraceStep
 from .violation import Violation
 
@@ -477,12 +477,21 @@ class StepChecker:
         return self.violations[0] if self.violations else None
 
     def check_state(
-        self, state: Rec, pre_fp: Any, transition: Optional[Transition]
+        self,
+        state: Rec,
+        pre_fp: Any,
+        transition: Optional[Transition],
+        changed: Optional[frozenset] = None,
     ) -> Optional[Violation]:
-        """Check state invariants on ``state``, reached via ``transition``."""
+        """Check state invariants on ``state``, reached via ``transition``.
+
+        ``changed`` — the touched top-level keys relative to an
+        already-checked parent — lets a compiled spec skip invariants
+        that provably still hold; the interpreted path ignores it.
+        """
         if not self.check_invariants:
             return None
-        bad = self.spec.check_state(state)
+        bad = self.spec.check_state(state, changed)
         if bad is None:
             return None
         step = _step_of(transition) if transition is not None else None
@@ -491,12 +500,16 @@ class StepChecker:
         return violation
 
     def check_edge(
-        self, pre: Rec, pre_fp: Any, transition: Transition
+        self,
+        pre: Rec,
+        pre_fp: Any,
+        transition: Transition,
+        changed: Optional[frozenset] = None,
     ) -> Optional[Violation]:
         """Check transition invariants on the edge ``pre -> transition``."""
         if not self.check_invariants:
             return None
-        bad = self.spec.check_transition(pre, transition)
+        bad = self.spec.check_transition(pre, transition, changed)
         if bad is None:
             return None
         violation = Violation(
@@ -945,6 +958,19 @@ class ExplorationEngine:
         check_state = checker.check_state
         frontier = strategy.frontier
         push = frontier.append
+        # Incremental invariant checking (compiled specs only): compute
+        # each successor's touched-key set from its functional-update
+        # chain, before fingerprinting consumes the chain.  Skipping
+        # state invariants additionally requires every recorded parent
+        # to have been clean, which holds exactly when the run stops at
+        # the first violation.
+        incremental = (
+            checker.check_invariants
+            and getattr(spec, "incremental", False)
+            and callable(getattr(spec, "changed_keys", None))
+        )
+        changed_of = changed_keys if incremental else None
+        skip_state_invs = incremental and stop_on_violation
 
         # Observability hooks: all None when metrics are disabled, so the
         # hot loop pays a single pointer comparison per transition.
@@ -962,6 +988,7 @@ class ExplorationEngine:
             fanout_observe = metrics.histogram("engine.fanout", SIZE_BOUNDS).observe
             queue_gauge = metrics.gauge("engine.queue_depth")
             rate_gauge = metrics.gauge("engine.states_per_sec")
+            codec_base = codec_stats()
         else:
             fires = None
             fanout_observe = None
@@ -980,6 +1007,11 @@ class ExplorationEngine:
             stats.elapsed = monotonic() - started
             if metrics is not None:
                 refresh_gauges()
+                chunk_counts = metrics.counts(CODEC_CHUNKS)
+                for key, count in codec_stats().items():
+                    delta = count - codec_base[key]
+                    if delta:
+                        chunk_counts[key] = chunk_counts.get(key, 0) + delta
             if violation is None:
                 violation = checker.first_violation
             return SearchResult(stats, violation, exhausted, reason)
@@ -1033,10 +1065,15 @@ class ExplorationEngine:
                     fires[name] = fires.get(name, 0) + 1
                 if tracks:
                     strategy.on_transition(transition)
-                violation = check_edge(state, fp, transition)
+                target = transition.target
+                # Touched keys must be read off the functional-update
+                # chain before fingerprinting consumes it.
+                changed = (
+                    changed_of(target, state) if changed_of is not None else None
+                )
+                violation = check_edge(state, fp, transition, changed)
                 if violation is not None and stop_on_violation:
                     return finish(StopReason.VIOLATION, violation)
-                target = transition.target
                 if dedupe:
                     child = canon_fn(target) if canon_fn is not None else target
                     child_fp = fp_fn(child)
@@ -1049,10 +1086,12 @@ class ExplorationEngine:
                         continue
                     store_record(child_fp, fp, transition.action)
                 else:
-                    child = target
+                    child = detach(target)
                     child_fp = None
                 stats.distinct_states += 1
-                violation = check_state(child, fp, transition)
+                violation = check_state(
+                    child, fp, transition, changed if skip_state_invs else None
+                )
                 if violation is not None and stop_on_violation:
                     return finish(StopReason.VIOLATION, violation)
                 if tracks:

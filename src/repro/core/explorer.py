@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
+from .compile import maybe_compile
 from .engine import (
     ExplorationEngine,
     FIFOFrontier,
@@ -62,7 +63,12 @@ class BFSExplorer:
         store: Optional[StateStore] = None,
         checkpointer: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        compiled: bool = True,
     ):
+        # The compiled spec is behaviourally identical (same transitions,
+        # same invariant verdicts, same fingerprints) — ``compiled=False``
+        # or SANDTABLE_NO_COMPILE falls back to the interpreted pipeline.
+        spec = maybe_compile(spec, compiled)
         self.spec = spec
         self.max_states = max_states
         self.max_depth = max_depth

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Optional, Sequence, Tuple, Union
 
+from .compile import maybe_compile
 from .engine import (
     ExplorationEngine,
     NullStateStore,
@@ -67,6 +68,7 @@ def run_scenario(
     check_invariants: bool = True,
     allow_ambiguous: bool = False,
     stop_on_violation: bool = True,
+    compiled: bool = True,
 ) -> ScenarioResult:
     """Drive ``spec`` through ``picks``, one transition per pick.
 
@@ -74,6 +76,7 @@ def run_scenario(
     more than one transition while ``allow_ambiguous`` is false (in which
     case the first match would be taken).
     """
+    spec = maybe_compile(spec, compiled)
     strategy = ScenarioFrontier(picks, allow_ambiguous=allow_ambiguous)
     engine = ExplorationEngine(
         spec,

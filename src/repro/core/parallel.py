@@ -49,7 +49,8 @@ import traceback
 from collections import defaultdict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..obs.metrics import ACTION_FIRES, SIZE_BOUNDS, Histogram
+from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS, Histogram
+from .compile import maybe_compile
 from .engine import (
     CompactStore,
     SearchResult,
@@ -58,7 +59,7 @@ from .engine import (
     reconstruct_trace,
 )
 from .spec import Spec
-from .state import decode, encode, fingerprint
+from .state import changed_keys, codec_stats, decode, encode, fingerprint
 from .symmetry import SymmetryReducer
 from .trace import TraceStep
 from .violation import Violation
@@ -86,11 +87,16 @@ def _worker_main(
     symmetry: bool,
     stop_on_violation: bool,
     metrics_on: bool,
+    compiled: bool,
     in_q: Any,
     out_q: Any,
 ) -> None:
     """One shard worker: owns fingerprints with ``fp % n_workers == wid``."""
     try:
+        # Workers are forked with the *source* spec and compile locally:
+        # compilation is cheap, per-process, and this keeps the fork
+        # payload identical whether or not the run is compiled.
+        spec = maybe_compile(spec, compiled)
         reducer = _make_reducer(spec, symmetry)
         canon = reducer.canonical if reducer is not None else None
         store = CompactStore()
@@ -100,6 +106,13 @@ def _worker_main(
         check_state = spec.check_state
         check_transition = spec.check_transition
         monotonic = time.monotonic
+        # Incremental invariant checking, mirroring the serial engine:
+        # touched keys are read off the functional-update chain before
+        # fingerprinting consumes it; state-invariant skipping requires
+        # clean parents, which stop_on_violation guarantees.
+        incremental = getattr(spec, "incremental", False)
+        changed_of = changed_keys if incremental else None
+        skip_state_invs = incremental and stop_on_violation
 
         while True:
             msg = in_q.get()
@@ -141,6 +154,7 @@ def _worker_main(
                 fanout = (
                     Histogram("engine.fanout", SIZE_BOUNDS) if metrics_on else None
                 )
+                codec_base = codec_stats() if metrics_on else None
                 while current and not stopping:
                     state, fp, depth = current.popleft()
                     if deadline is not None and monotonic() > deadline:
@@ -155,7 +169,12 @@ def _worker_main(
                         if fires is not None:
                             name = transition.action
                             fires[name] = fires.get(name, 0) + 1
-                        bad = check_transition(state, transition)
+                        changed = (
+                            changed_of(transition.target, state)
+                            if changed_of is not None
+                            else None
+                        )
+                        bad = check_transition(state, transition, changed)
                         if bad is not None:
                             violations.append(
                                 (
@@ -180,7 +199,9 @@ def _worker_main(
                                 continue
                             store.record(child_fp, fp, transition.action)
                             added += 1
-                            bad = check_state(child)
+                            bad = check_state(
+                                child, changed if skip_state_invs else None
+                            )
                             if bad is not None:
                                 violations.append(
                                     (
@@ -210,6 +231,16 @@ def _worker_main(
                             )
                     if fanout is not None:
                         fanout.observe(transitions - fanout_base)
+                if metrics_on:
+                    codec_now = codec_stats()
+                    codec_delta = {
+                        key: codec_now[key] - codec_base[key]
+                        for key in codec_now
+                        if codec_now[key] != codec_base[key]
+                    }
+                    obs = (fires, fanout.to_dict(), codec_delta)
+                else:
+                    obs = None
                 out_q.put(
                     (
                         "expanded",
@@ -221,7 +252,7 @@ def _worker_main(
                         violations,
                         len(frontier),
                         truncated,
-                        (fires, fanout.to_dict()) if metrics_on else None,
+                        obs,
                     )
                 )
 
@@ -279,8 +310,10 @@ class ParallelBFS:
         checkpointer: Optional[Any] = None,
         resume: Optional[Any] = None,
         metrics: Optional[Any] = None,
+        compiled: bool = True,
     ):
         self.spec = spec
+        self.compiled = compiled
         self.workers = max(1, int(workers))
         self.symmetry = symmetry
         self.max_states = max_states
@@ -310,6 +343,7 @@ class ParallelBFS:
                     self.symmetry,
                     self.stop_on_violation,
                     self.metrics is not None,
+                    self.compiled,
                     in_qs[wid],
                     out_q,
                 ),
@@ -370,6 +404,7 @@ class ParallelBFS:
             batch_hist = metrics.histogram("parallel.batch_sizes", SIZE_BOUNDS)
             rounds_counter = metrics.counter("parallel.rounds")
             shard_states = metrics.counts("parallel.shard_states")
+            chunk_counts = metrics.counts(CODEC_CHUNKS)
             queue_gauge = metrics.gauge("engine.queue_depth")
             rate_gauge = metrics.gauge("engine.states_per_sec")
 
@@ -496,10 +531,12 @@ class ParallelBFS:
                 for owner, items in batches.items():
                     round_batches[owner].extend(items)
                 if metrics is not None and obs is not None:
-                    round_fires, fanout_state = obs
+                    round_fires, fanout_state, codec_delta = obs
                     for name, count in round_fires.items():
                         fires_table[name] = fires_table.get(name, 0) + count
                     fanout_hist.merge(fanout_state)
+                    for key, count in codec_delta.items():
+                        chunk_counts[key] = chunk_counts.get(key, 0) + count
                     if added:
                         key = str(wid)
                         shard_states[key] = shard_states.get(key, 0) + added

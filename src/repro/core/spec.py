@@ -66,13 +66,16 @@ class Action:
     (Algorithm 1).
     """
 
-    __slots__ = ("name", "fn", "kind")
+    __slots__ = ("name", "fn", "kind", "reads", "writes", "guard")
 
     def __init__(
         self,
         name: str,
         fn: Callable[[Rec], Iterable[tuple]],
         kind: str = "internal",
+        reads: Optional[Iterable[Any]] = None,
+        writes: Optional[Iterable[Any]] = None,
+        guard: Optional[Callable[[Rec], bool]] = None,
     ):
         self.name = name
         self.fn = fn
@@ -80,6 +83,18 @@ class Action:
         # metrics and trace conversion: one of "message", "timeout",
         # "client", "failure", "internal".
         self.kind = kind
+        # Optional top-level read/write sets over state variables:
+        # ``reads`` — variables the body inspects; ``writes`` — variables
+        # any yielded successor may rebind.  Declared sets feed the
+        # compiled pipeline's metadata (and, later, partial-order
+        # reduction); when absent, ``compile_spec`` infers writes by
+        # observing successor deltas.
+        self.reads = frozenset(reads) if reads is not None else None
+        self.writes = frozenset(writes) if writes is not None else None
+        # Optional cheap enabling predicate: when ``guard(state)`` is
+        # False the body provably yields nothing, so the compiled
+        # successor loop skips the generator entirely.
+        self.guard = guard
 
     def transitions(self, state: Rec) -> Iterator[Transition]:
         for item in self.fn(state):
@@ -105,13 +120,26 @@ class Action:
 
 
 class Invariant:
-    """A state invariant: ``fn(state) -> bool`` must hold on every state."""
+    """A state invariant: ``fn(state) -> bool`` must hold on every state.
 
-    __slots__ = ("name", "fn")
+    ``reads`` optionally declares the top-level state variables the
+    predicate depends on.  Declaring it asserts that ``fn(state)`` is a
+    pure function of exactly those variables; the compiled checker then
+    skips the invariant on successors that provably left every declared
+    variable untouched (see :mod:`repro.core.compile`).
+    """
 
-    def __init__(self, name: str, fn: Callable[[Rec], bool]):
+    __slots__ = ("name", "fn", "reads")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Rec], bool],
+        reads: Optional[Iterable[Any]] = None,
+    ):
         self.name = name
         self.fn = fn
+        self.reads = frozenset(reads) if reads is not None else None
 
     def holds(self, state: Rec) -> bool:
         return bool(self.fn(state))
@@ -126,13 +154,27 @@ class TransitionInvariant:
     Used for properties over state *changes* — e.g. "commit index is
     monotonic" — which TLA+ specs express with history variables.  Checking
     them on edges keeps the reachable state space smaller.
+
+    ``reads`` optionally declares top-level state variables with a
+    *stutter-safety* contract: whenever the transition's target agrees
+    with the pre-state on every declared variable, the invariant must
+    hold trivially.  Monotonicity properties satisfy this by
+    construction (an unchanged variable cannot decrease); declaring
+    ``reads`` lets the compiled checker skip the edge check for
+    transitions that touch none of the declared variables.
     """
 
-    __slots__ = ("name", "fn")
+    __slots__ = ("name", "fn", "reads")
 
-    def __init__(self, name: str, fn: Callable[[Rec, Transition], bool]):
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Rec, Transition], bool],
+        reads: Optional[Iterable[Any]] = None,
+    ):
         self.name = name
         self.fn = fn
+        self.reads = frozenset(reads) if reads is not None else None
 
     def holds(self, pre: Rec, transition: Transition) -> bool:
         return bool(self.fn(pre, transition))
@@ -150,6 +192,12 @@ class Spec:
     """
 
     name: str = "spec"
+
+    #: Lazily-built tuple of this spec's actions; ``successors`` and
+    #: ``action_by_name`` read it instead of calling :meth:`actions` per
+    #: state / per lookup.  Class-level ``None`` doubles as the unset
+    #: marker so subclasses need no cooperation from their ``__init__``.
+    _action_cache: Optional[Tuple[Action, ...]] = None
 
     # -- the state machine ---------------------------------------------------
 
@@ -180,26 +228,60 @@ class Spec:
 
     # -- conveniences ---------------------------------------------------------
 
+    def cached_actions(self) -> Tuple[Action, ...]:
+        """This spec's actions, materialized once and reused.
+
+        Specs whose action list genuinely changes (none in-tree do) must
+        call :meth:`refresh_actions` after mutating it.
+        """
+        actions = self._action_cache
+        if actions is None:
+            actions = self._action_cache = tuple(self.actions())
+        return actions
+
+    def refresh_actions(self) -> None:
+        """Invalidate the cached action list (for dynamic specs)."""
+        self._action_cache = None
+
     def successors(self, state: Rec) -> Iterator[Transition]:
         """All transitions enabled in ``state``, across all actions."""
-        for action in self.actions():
+        for action in self.cached_actions():
             yield from action.transitions(state)
 
     def action_by_name(self, name: str) -> Action:
-        for action in self.actions():
+        for action in self.cached_actions():
             if action.name == name:
                 return action
-        raise KeyError(name)
+        available = ", ".join(sorted(a.name for a in self.cached_actions()))
+        raise SpecError(
+            f"spec {self.name!r} has no action named {name!r};"
+            f" available actions: {available or '(none)'}"
+        )
 
-    def check_state(self, state: Rec) -> Optional[str]:
-        """Return the name of the first violated state invariant, if any."""
+    def check_state(self, state: Rec, changed: Optional[frozenset] = None) -> Optional[str]:
+        """Return the name of the first violated state invariant, if any.
+
+        ``changed`` (the touched top-level keys relative to an
+        already-checked parent) is accepted for interface compatibility
+        with the compiled pipeline; the interpreted path ignores it and
+        always checks every invariant.
+        """
         for inv in self.invariants():
             if not inv.holds(state):
                 return inv.name
         return None
 
-    def check_transition(self, pre: Rec, transition: Transition) -> Optional[str]:
-        """Return the first violated transition invariant, if any."""
+    def check_transition(
+        self,
+        pre: Rec,
+        transition: Transition,
+        changed: Optional[frozenset] = None,
+    ) -> Optional[str]:
+        """Return the first violated transition invariant, if any.
+
+        ``changed`` is accepted for interface compatibility with the
+        compiled pipeline and ignored here — see :meth:`check_state`.
+        """
         for inv in self.transition_invariants():
             if not inv.holds(pre, transition):
                 return inv.name

@@ -26,10 +26,11 @@ from cache.
 
 from __future__ import annotations
 
+import os
 import struct
 from collections.abc import Mapping
 from hashlib import blake2b
-from typing import Any, Callable, Iterator, List, Tuple
+from typing import Any, Callable, FrozenSet, Iterator, List, Optional, Tuple
 
 __all__ = [
     "CODEC_VERSION",
@@ -41,6 +42,12 @@ __all__ = [
     "fingerprint",
     "strong_fingerprint",
     "substitute",
+    "changed_keys",
+    "detach",
+    "codec_stats",
+    "reset_codec_stats",
+    "set_delta_codec",
+    "delta_codec_enabled",
 ]
 
 #: Version of the canonical codec *and* the fingerprint construction.
@@ -51,7 +58,13 @@ __all__ = [
 #: refuse to load data written under a different version, because
 #: fingerprints and stored codec bytes from one version are
 #: meaningless under another.
-CODEC_VERSION = 1
+#:
+#: Version history: 1 — flat ``blake2b(encode(state))`` fingerprints;
+#: 2 — two-level fingerprints (a digest of per-pair digests, enabling
+#: incremental fingerprinting of successors).  Encodings are unchanged
+#: between 1 and 2; fingerprints are not, so durable artifacts from
+#: version 1 cannot be resumed.
+CODEC_VERSION = 2
 
 _FROZEN_SCALARS = (int, float, str, bytes, bool, type(None))
 
@@ -64,7 +77,16 @@ class Rec(Mapping):
     order.
     """
 
-    __slots__ = ("_dict", "_hash", "_enc", "_fp")
+    __slots__ = (
+        "_dict",
+        "_hash",
+        "_enc",
+        "_fp",
+        "_base",
+        "_touched",
+        "_offsets",
+        "_pairfps",
+    )
 
     def __init__(self, mapping: Any = (), **kwargs: Any):
         if isinstance(mapping, Rec):
@@ -78,6 +100,10 @@ class Rec(Mapping):
         self._hash = None
         self._enc = None
         self._fp = None
+        self._base = None
+        self._touched = None
+        self._offsets = None
+        self._pairfps = None
 
     # -- Mapping interface -------------------------------------------------
 
@@ -130,23 +156,63 @@ class Rec(Mapping):
         rec._hash = None
         rec._enc = None
         rec._fp = None
+        rec._base = None
+        rec._touched = None
+        rec._offsets = None
+        rec._pairfps = None
         return rec
 
     def set(self, key: Any, value: Any) -> "Rec":
-        """Return a new record with ``key`` bound to ``value``."""
+        """Return a new record with ``key`` bound to ``value``.
+
+        When ``key`` was already present the new record remembers its
+        parent and the touched key, so the codec can later assemble the
+        child's canonical encoding by splicing the parent's — see
+        ``changed_keys`` and the delta path in ``_encode_rec``.
+
+        Rebinding a key to the identical object is a no-op and returns
+        ``self`` — records are immutable, so the "copy" would be
+        indistinguishable, and returning ``self`` keeps ``changed_keys``
+        precise (a heartbeat that rewrites an unchanged log does not mark
+        ``log`` as touched).
+        """
+        src = self._dict
+        if src.get(key, _MISSING) is value:
+            return self
         _check_frozen(value, key)
-        new = dict(self._dict)
+        new = dict(src)
         new[key] = value
-        return Rec._make(new)
+        rec = Rec._make(new)
+        if len(new) == len(src):
+            rec._base = self
+            rec._touched = (key,)
+        return rec
 
     def update(self, mapping: Any = (), **kwargs: Any) -> "Rec":
-        """Return a new record with several keys rebound."""
-        new = dict(self._dict)
+        """Return a new record with several keys rebound.
+
+        Like :meth:`set`, records the parent and the touched keys when
+        the key set is unchanged, enabling delta encoding.  Keys rebound
+        to the identical object are not counted as touched, and an update
+        that changes nothing returns ``self``.
+        """
+        src = self._dict
+        new = dict(src)
+        touched = []
         for source in (dict(mapping), kwargs):
             for key, value in source.items():
+                if src.get(key, _MISSING) is value:
+                    continue
                 _check_frozen(value, key)
                 new[key] = value
-        return Rec._make(new)
+                touched.append(key)
+        if not touched and len(new) == len(src):
+            return self
+        rec = Rec._make(new)
+        if len(new) == len(src):
+            rec._base = self
+            rec._touched = tuple(touched)
+        return rec
 
     def apply(self, key: Any, fn: Callable[[Any], Any]) -> "Rec":
         """Return a new record with ``key`` rebound to ``fn(old_value)``.
@@ -162,8 +228,19 @@ class Rec(Mapping):
         return Rec._make(new)
 
     def items_sorted(self) -> Tuple[Tuple[Any, Any], ...]:
-        """Items in a canonical (type-name, repr) key order."""
-        return tuple(sorted(self._dict.items(), key=_key_sort))
+        """Items in a canonical (type-name, repr) key order.
+
+        The key order is interned per key set (like the codec layout):
+        record shapes recur across millions of states, so the sort —
+        and the ``repr`` calls it is keyed on — runs once per shape.
+        """
+        contents = self._dict
+        keys = tuple(contents)
+        order = _SORTED_KEYS.get(keys)
+        if order is None:
+            order = tuple(sorted(keys, key=_key_order))
+            _SORTED_KEYS[keys] = order
+        return tuple((key, contents[key]) for key in order)
 
 
 def _rec_from_dict(contents: dict) -> Rec:
@@ -173,6 +250,19 @@ def _rec_from_dict(contents: dict) -> Rec:
 def _key_sort(item: Tuple[Any, Any]) -> Tuple[str, str]:
     key = item[0]
     return (type(key).__name__, repr(key))
+
+
+def _key_order(key: Any) -> Tuple[str, str]:
+    return (type(key).__name__, repr(key))
+
+
+#: Interned canonical key orders for :meth:`Rec.items_sorted`, keyed by
+#: the keys in dict insertion order (same scheme as ``_LAYOUT``).
+_SORTED_KEYS: dict = {}
+
+#: Sentinel distinguishing "key absent" from "key bound to None" in the
+#: identity short-circuit of :meth:`Rec.set`.
+_MISSING = object()
 
 
 def _check_frozen(value: Any, key: Any) -> None:
@@ -359,12 +449,62 @@ def _encode_key(key: Any) -> bytes:
     return bytes(out)
 
 
-def _layout_for(keys: Tuple[Any, ...]) -> List[Tuple[bytes, Any]]:
+def _layout_for(keys: Tuple[Any, ...]) -> Tuple[Tuple[Tuple[bytes, Any], ...], dict]:
     # Keys are unique and the code is prefix-free, so sorting by the key
-    # encoding alone fixes a canonical pair order.
-    layout = sorted((_encode_key(key), key) for key in keys)
+    # encoding alone fixes a canonical pair order.  The layout is the
+    # sorted pair list plus a key -> pair-position map (the delta encoder
+    # iterates touched keys only, so it needs random access by key).
+    pairs = tuple(sorted((_encode_key(key), key) for key in keys))
+    layout = (pairs, {key: i for i, (_, key) in enumerate(pairs)})
     _LAYOUT[keys] = layout
     return layout
+
+
+# -- codec chunk-cache counters ---------------------------------------------
+#
+# [0] delta_hits    — encodings assembled by splicing a parent's bytes
+# [1] delta_misses  — delta attempted but chain broken / fully touched
+# [2] full_encodes  — records encoded from scratch (includes nested recs)
+# [3] fp_delta_hits — fingerprints assembled by patching a parent's
+#                     per-pair digest table
+# [4] fp_full       — fingerprints computed from a full encoding
+_CODEC_COUNTS = [0, 0, 0, 0, 0]
+
+#: Delta (spliced) encoding on/off.  Off reproduces the pre-compile
+#: behaviour: every record encodes from scratch.  The output bytes are
+#: identical either way — this is a performance switch, not a format
+#: switch, so ``CODEC_VERSION`` is unaffected.
+_DELTA_ENABLED = not os.environ.get("SANDTABLE_NO_COMPILE")
+
+
+def set_delta_codec(enabled: bool) -> bool:
+    """Enable/disable delta encoding; returns the previous setting."""
+    global _DELTA_ENABLED
+    previous = _DELTA_ENABLED
+    _DELTA_ENABLED = bool(enabled)
+    return previous
+
+
+def delta_codec_enabled() -> bool:
+    return _DELTA_ENABLED
+
+
+def codec_stats() -> dict:
+    """Cumulative codec chunk-cache counters for this process."""
+    return {
+        "delta_hits": _CODEC_COUNTS[0],
+        "delta_misses": _CODEC_COUNTS[1],
+        "full_encodes": _CODEC_COUNTS[2],
+        "fp_delta_hits": _CODEC_COUNTS[3],
+        "fp_full": _CODEC_COUNTS[4],
+    }
+
+
+def reset_codec_stats() -> dict:
+    """Zero the codec counters; returns the counts they had."""
+    stats = codec_stats()
+    _CODEC_COUNTS[:] = [0] * len(_CODEC_COUNTS)
+    return stats
 
 
 def _encode_rec(rec: Rec) -> bytes:
@@ -373,10 +513,20 @@ def _encode_rec(rec: Rec) -> bytes:
     layout = _LAYOUT.get(keys)
     if layout is None:
         layout = _layout_for(keys)
+    base = rec._base
+    if base is not None:
+        if _DELTA_ENABLED:
+            enc = _encode_rec_delta(rec, contents, layout, base)
+            if enc is not None:
+                return enc
+        else:
+            rec._base = None
+            rec._touched = None
     out = bytearray()
     out.append(_T_REC)
     _write_uvarint(out, len(contents))
-    for key_enc, key in layout:
+    offsets = [len(out)]
+    for key_enc, key in layout[0]:
         out += key_enc
         value = contents[key]
         if value.__class__ is Rec:  # inlined hot path: cached nested Rec
@@ -384,9 +534,153 @@ def _encode_rec(rec: Rec) -> bytes:
             out += enc if enc is not None else _encode_rec(value)
         else:
             _encode_into(out, value)
+        offsets.append(len(out))
     enc = bytes(out)
     rec._enc = enc
+    rec._offsets = tuple(offsets)
+    _CODEC_COUNTS[2] += 1
     return enc
+
+
+def _encode_rec_delta(rec: Rec, contents: dict, layout, cursor: Rec) -> Optional[bytes]:
+    """Assemble ``rec``'s encoding by splicing an encoded ancestor's.
+
+    Walks the parent chain accumulating touched keys until it reaches a
+    record with a cached encoding, then copies the untouched pair byte
+    ranges verbatim and re-encodes only the touched pairs.  The result
+    is bit-identical to a from-scratch encode (untouched pairs reuse the
+    exact canonical bytes; touched pairs go through the same
+    ``_encode_into``).  Returns ``None`` — falling back to the full
+    path — when the chain is broken or every key was touched.
+    """
+    n = len(contents)
+    touched = set(rec._touched)
+    while cursor._enc is None:
+        nxt = cursor._base
+        if nxt is None or len(touched) >= n:
+            rec._base = None
+            rec._touched = None
+            _CODEC_COUNTS[1] += 1
+            return None
+        touched.update(cursor._touched)
+        cursor = nxt
+    if len(touched) >= n:
+        rec._base = None
+        rec._touched = None
+        _CODEC_COUNTS[1] += 1
+        return None
+    base_enc = cursor._enc
+    offsets = cursor._offsets
+    if offsets is None:
+        offsets = _scan_offsets(base_enc, n)
+        cursor._offsets = offsets
+    # Splice: iterate *touched* pairs only (via the layout's key -> index
+    # map), copying the untouched byte ranges between them in single
+    # slices.  ``offsets[i]`` is the start of pair ``i``; ``offsets[i+1]``
+    # its end.  ``shifts`` records the cumulative byte drift after each
+    # touched pair so the new offsets table can be patched afterwards —
+    # when every re-encoded pair keeps its length (the common case:
+    # a counter bump with the same varint width) the base's offsets
+    # tuple is reused as-is.
+    pairs, key_index = layout
+    out = bytearray()
+    if len(touched) == 1:
+        # Single-touch fast path: one re-encoded pair between two
+        # verbatim slices; the base offsets are reused when the new
+        # pair keeps its length (a counter bump with the same varint
+        # width — the common case).
+        (key,) = touched
+        i = key_index[key]
+        start = offsets[i]
+        end = offsets[i + 1]
+        out += base_enc[:start]
+        out += pairs[i][0]
+        _encode_into(out, contents[key])
+        shift = len(out) - end
+        out += base_enc[end:]
+        if shift == 0:
+            new_offsets = offsets
+        else:
+            new_offsets = offsets[: i + 1] + tuple(
+                x + shift for x in offsets[i + 1 :]
+            )
+    else:
+        run_from = 0
+        shifts = []
+        for i in sorted(key_index[key] for key in touched):
+            start = offsets[i]
+            if run_from < start:
+                out += base_enc[run_from:start]
+            key_enc, key = pairs[i]
+            out += key_enc
+            _encode_into(out, contents[key])
+            end = offsets[i + 1]
+            run_from = end
+            shifts.append((i, len(out) - end))
+        if run_from < len(base_enc):
+            out += base_enc[run_from:]
+        if shifts[-1][1] == 0 and all(s == 0 for _, s in shifts):
+            new_offsets = offsets
+        else:
+            patched = list(offsets)
+            for k, (i, s) in enumerate(shifts):
+                if s:
+                    upto = shifts[k + 1][0] if k + 1 < len(shifts) else n
+                    for j in range(i + 1, upto + 1):
+                        patched[j] = offsets[j] + s
+            new_offsets = tuple(patched)
+    enc = bytes(out)
+    rec._enc = enc
+    rec._offsets = new_offsets
+    rec._base = None
+    rec._touched = None
+    _CODEC_COUNTS[0] += 1
+    return enc
+
+
+def _skip_at(data: bytes, i: int) -> int:
+    """Advance past the value starting at offset ``i`` (codec skip)."""
+    tag = data[i]
+    i += 1
+    if tag == _T_STR or tag == _T_BYTES:
+        length, i = _read_uvarint(data, i)
+        return i + length
+    if tag == _T_INT:
+        while data[i] & 0x80:
+            i += 1
+        return i + 1
+    if tag == _T_TUPLE or tag == _T_SET:
+        count, i = _read_uvarint(data, i)
+        for _ in range(count):
+            i = _skip_at(data, i)
+        return i
+    if tag == _T_REC:
+        count, i = _read_uvarint(data, i)
+        for _ in range(2 * count):
+            i = _skip_at(data, i)
+        return i
+    if tag == _T_NONE or tag == _T_TRUE or tag == _T_FALSE:
+        return i
+    if tag == _T_FLOAT:
+        return i + 8
+    raise ValueError(f"invalid codec tag {tag:#x} at offset {i - 1}")
+
+
+def _scan_offsets(data: bytes, count: int) -> Tuple[int, ...]:
+    """Pair boundaries of an encoded record: ``[pairs_start, end_0, ...]``.
+
+    Used when a record that only has bytes (e.g. decoded from a store or
+    checkpoint) becomes the base of a delta encode.
+    """
+    n, i = _read_uvarint(data, 1)
+    if n != count:
+        raise ValueError(f"encoded record has {n} pairs, expected {count}")
+    offsets = [i]
+    for _ in range(count):
+        i = _skip_at(data, i)  # key
+        i = _skip_at(data, i)  # value
+        offsets.append(i)
+    return tuple(offsets)
 
 
 def encode(value: Any) -> bytes:
@@ -482,19 +776,105 @@ def decode(data: bytes) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def _pair_digests(rec: Rec) -> bytes:
+    """The per-pair digest table of a record: ``8 * len(rec)`` bytes.
+
+    Entry ``i`` is the 8-byte blake2b digest of pair ``i``'s canonical
+    bytes (key encoding + value encoding, in layout order).  The table
+    is what :func:`fingerprint` hashes, and it is what makes
+    fingerprinting incremental: a successor copies its parent's table
+    and re-digests only the touched pairs, never assembling (or
+    hashing) the full state encoding.
+
+    The table is identical whichever way it is produced — patched from
+    a parent, sliced out of a cached encoding via the pair offsets, or
+    computed from a from-scratch encode — because the underlying pair
+    bytes are identical (the delta codec's bit-identical guarantee).
+    """
+    pf = rec._pairfps
+    if pf is not None:
+        return pf
+    contents = rec._dict
+    n = len(contents)
+    keys = tuple(contents)
+    layout = _LAYOUT.get(keys)
+    if layout is None:
+        layout = _layout_for(keys)
+    base = rec._base
+    if base is not None and _DELTA_ENABLED and rec._enc is None:
+        # Walk the functional-update chain to the nearest ancestor with
+        # a digest table, accumulating touched keys along the way.
+        touched = set(rec._touched)
+        cursor = base
+        while cursor._pairfps is None:
+            nxt = cursor._base
+            if nxt is None or len(touched) >= n:
+                cursor = None
+                break
+            touched.update(cursor._touched)
+            cursor = nxt
+        if cursor is not None and len(touched) < n:
+            pairs, key_index = layout
+            table = bytearray(cursor._pairfps)
+            buf = bytearray()
+            for key in touched:
+                i = key_index[key]
+                del buf[:]
+                buf += pairs[i][0]
+                _encode_into(buf, contents[key])
+                j = i * 8
+                table[j : j + 8] = blake2b(bytes(buf), digest_size=8).digest()
+            pf = bytes(table)
+            rec._pairfps = pf
+            # Collapse the chain to one hop so a later delta *encode*
+            # can still splice (the ancestor has the bytes), without
+            # retaining the whole ancestry.
+            if cursor._enc is not None:
+                rec._base = cursor
+                rec._touched = tuple(touched)
+            else:
+                rec._base = None
+                rec._touched = None
+            _CODEC_COUNTS[3] += 1
+            return pf
+    # Full path: digest the pair byte ranges of the canonical encoding.
+    enc = rec._enc
+    if enc is None:
+        enc = _encode_rec(rec)
+    offsets = rec._offsets
+    if offsets is None:
+        offsets = _scan_offsets(enc, n)
+        rec._offsets = offsets
+    pf = b"".join(
+        blake2b(enc[offsets[i] : offsets[i + 1]], digest_size=8).digest()
+        for i in range(n)
+    )
+    rec._pairfps = pf
+    _CODEC_COUNTS[4] += 1
+    return pf
+
+
 def fingerprint(state: Any) -> int:
     """Canonical 64-bit fingerprint of a frozen state.
 
-    A blake2b digest of the canonical encoding, so — unlike ``hash`` —
-    it is identical across processes, runs, and ``PYTHONHASHSEED``
-    values, which is what lets parallel workers and cross-run state
-    stores agree on state identity.  Cached on :class:`Rec`.
+    A blake2b digest, so — unlike ``hash`` — it is identical across
+    processes, runs, and ``PYTHONHASHSEED`` values, which is what lets
+    parallel workers and cross-run state stores agree on state
+    identity.  Cached on :class:`Rec`.
+
+    For records the digest is two-level: blake2b over the per-pair
+    digest table (:func:`_pair_digests`) rather than over the flat
+    encoding.  Equal records produce equal tables (the table derives
+    from the canonical encoding) and hence equal fingerprints, however
+    the record was built; a successor that touched ``k`` of ``n``
+    fields fingerprints in ``O(k)`` instead of ``O(n)``.  Non-record
+    values hash their canonical encoding directly.
     """
     if isinstance(state, Rec):
         fp = state._fp
         if fp is None:
             fp = int.from_bytes(
-                blake2b(encode(state), digest_size=8).digest(), "big"
+                blake2b(_pair_digests(state), digest_size=8).digest(), "big"
             )
             state._fp = fp
         return fp
@@ -510,6 +890,56 @@ def strong_fingerprint(state: Any) -> bytes:
     of machine ints.
     """
     return blake2b(encode(state), digest_size=16).digest()
+
+
+_EMPTY_KEYSET: FrozenSet[Any] = frozenset()
+
+
+def changed_keys(child: Any, parent: Any, _limit: int = 1024) -> Optional[FrozenSet[Any]]:
+    """Top-level keys on which ``child`` may differ from ``parent``.
+
+    Derived from the functional-update chain recorded by ``Rec.set`` /
+    ``Rec.update``: the result is a superset of the keys whose values
+    actually differ (a key rebound to an equal value is still reported),
+    and every key *not* in the result is guaranteed unchanged.  Returns
+    ``None`` when the chain does not connect ``child`` to ``parent`` —
+    the chain is consumed by encoding, so call this *before*
+    ``fingerprint``/``encode`` on the child.
+    """
+    if child is parent:
+        return _EMPTY_KEYSET
+    if child.__class__ is not Rec or parent.__class__ is not Rec:
+        return None
+    touched = child._touched
+    if touched is None:
+        return None
+    base = child._base
+    if base is parent:
+        return frozenset(touched)
+    acc = set(touched)
+    for _ in range(_limit):
+        touched = base._touched
+        if touched is None:
+            return None
+        acc.update(touched)
+        base = base._base
+        if base is parent:
+            return frozenset(acc)
+    return None
+
+
+def detach(rec: Any) -> Any:
+    """Drop a record's delta-tracking link to its parent.
+
+    Long random walks keep only the latest state alive; without this the
+    parent chain recorded for delta encoding would retain every state on
+    the walk.  Encoding a record detaches it automatically — this is for
+    states that are kept without being encoded.
+    """
+    if isinstance(rec, Rec):
+        rec._base = None
+        rec._touched = None
+    return rec
 
 
 def substitute(value: Any, mapping: Mapping) -> Any:

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "ACTION_FIRES",
+    "CODEC_CHUNKS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +48,14 @@ __all__ = [
 #: metric name shared between the engine, the parallel master, the
 #: testkit oracle cross-check, and the coverage report.
 ACTION_FIRES = "engine.action_fires"
+
+#: The labeled-count family for the incremental codec's chunk cache:
+#: ``delta_hits`` (successor encodings assembled by splicing the parent's
+#: bytes), ``delta_misses`` (delta attempted but the chain was unusable),
+#: ``full_encodes`` (from-scratch canonical encodings), ``fp_delta_hits``
+#: (fingerprints patched from a parent's pair-digest table), and
+#: ``fp_full`` (fingerprints computed from a full encoding).
+CODEC_CHUNKS = "codec.chunk_cache"
 
 #: Geometric buckets for size-like observations (fan-out, batch sizes).
 SIZE_BOUNDS: Tuple[float, ...] = tuple(2**i for i in range(17))  # 1 .. 65536

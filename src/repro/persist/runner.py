@@ -76,6 +76,7 @@ def run_check(
     on_checkpoint: Optional[Callable[[Any], None]] = None,
     spec_label: Optional[str] = None,
     metrics: Optional[Any] = None,
+    compiled: bool = True,
 ) -> SearchResult:
     """Run (or resume) one durable BFS check in ``run_dir``.
 
@@ -126,6 +127,9 @@ def run_check(
         )
         progress = compose_progress(sink.on_progress, progress)
 
+    # ``compiled`` is deliberately not part of the recorded config: a
+    # compiled run is bit-identical to an interpreted one (same
+    # fingerprints, same checkpoints), so a resume may freely flip it.
     explore = dict(
         symmetry=symmetry,
         max_states=max_states,
@@ -135,6 +139,7 @@ def run_check(
         progress=progress,
         progress_interval=progress_interval,
         metrics=metrics,
+        compiled=compiled,
     )
     store: Optional[DiskStore] = None
     try:

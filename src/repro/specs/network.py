@@ -98,9 +98,15 @@ class TcpModel:
 
     def deliverable(self, state: Rec) -> Iterator[Tuple[str, str, Rec]]:
         """Head-of-queue messages on unblocked channels."""
-        for (src, dst), queue in state[self.MSGS].items_sorted():
-            if queue and not self.blocked(state, src, dst):
-                yield src, dst, queue[0]
+        disc = state[self.DISC]
+        if disc:
+            for (src, dst), queue in state[self.MSGS].items_sorted():
+                if queue and frozenset((src, dst)) not in disc:
+                    yield src, dst, queue[0]
+        else:
+            for key, queue in state[self.MSGS].items_sorted():
+                if queue:
+                    yield key[0], key[1], queue[0]
 
     def consume(self, state: Rec, src: str, dst: str) -> Tuple[Rec, Rec]:
         """Pop the head of the (src, dst) channel; returns (msg, state')."""

@@ -898,11 +898,33 @@ class RaftSpec(Spec):
     # ------------------------------------------------------------------
 
     def _build_invariants(self) -> List[Invariant]:
+        # ``reads`` declares exactly the top-level variables each predicate
+        # inspects (snapshot fields are read through _snap_index/_snap_term
+        # when compaction is on; declaring them unconditionally is harmless
+        # for variants without those keys).  The compiled checker uses the
+        # declarations to skip invariants on successors that provably left
+        # every declared variable untouched.
         return [
-            Invariant("ElectionSafety", self._inv_election_safety),
-            Invariant("LogMatching", self._inv_log_matching),
-            Invariant("CommittedLogConsistency", self._inv_committed_consistency),
-            Invariant("NextIndexAboveMatchIndex", self._inv_next_above_match),
+            Invariant(
+                "ElectionSafety",
+                self._inv_election_safety,
+                reads=("currentTerm", "alive", "role"),
+            ),
+            Invariant(
+                "LogMatching",
+                self._inv_log_matching,
+                reads=("log", "snapshotIndex", "snapshotTerm"),
+            ),
+            Invariant(
+                "CommittedLogConsistency",
+                self._inv_committed_consistency,
+                reads=("commitIndex", "log", "snapshotIndex", "snapshotTerm"),
+            ),
+            Invariant(
+                "NextIndexAboveMatchIndex",
+                self._inv_next_above_match,
+                reads=("role", "nextIndex", "matchIndex"),
+            ),
         ]
 
     def _inv_election_safety(self, state: Rec) -> bool:
@@ -977,12 +999,39 @@ class RaftSpec(Spec):
     # -- transition invariants -------------------------------------------------------
 
     def _build_transition_invariants(self) -> List[TransitionInvariant]:
+        # Each ``reads`` declaration satisfies the stutter-safety contract:
+        # a transition leaving every declared variable unchanged trivially
+        # satisfies the invariant (an unchanged variable cannot decrease /
+        # an unchanged entry cannot differ from itself).
+        # CommitAdvanceComplete is deliberately undeclared: an aer-success
+        # edge can grow matchIndex without moving commitIndex, so agreement
+        # on commitIndex alone does not make it hold trivially.
         return [
-            TransitionInvariant("CurrentTermMonotonic", self._tinv_term_monotonic),
-            TransitionInvariant("CommitIndexMonotonic", self._tinv_commit_monotonic),
-            TransitionInvariant("MatchIndexMonotonic", self._tinv_match_monotonic),
-            TransitionInvariant("CommittedEntriesStable", self._tinv_committed_stable),
-            TransitionInvariant("LeaderCommitsCurrentTerm", self._tinv_commit_current_term),
+            TransitionInvariant(
+                "CurrentTermMonotonic",
+                self._tinv_term_monotonic,
+                reads=("currentTerm",),
+            ),
+            TransitionInvariant(
+                "CommitIndexMonotonic",
+                self._tinv_commit_monotonic,
+                reads=("commitIndex",),
+            ),
+            TransitionInvariant(
+                "MatchIndexMonotonic",
+                self._tinv_match_monotonic,
+                reads=("role", "currentTerm", "matchIndex"),
+            ),
+            TransitionInvariant(
+                "CommittedEntriesStable",
+                self._tinv_committed_stable,
+                reads=("commitIndex", "log", "snapshotIndex"),
+            ),
+            TransitionInvariant(
+                "LeaderCommitsCurrentTerm",
+                self._tinv_commit_current_term,
+                reads=("commitIndex",),
+            ),
             TransitionInvariant("CommitAdvanceComplete", self._tinv_commit_complete),
         ]
 

@@ -6,8 +6,12 @@ For each generated spec the harness runs two phases:
   exhaustively by every configuration in the matrix: serial BFS over
   each state store (in-memory, compact, sharded, disk), symmetry
   reduction on, sharded parallel BFS with 2 and 3 workers (with and
-  without symmetry), and a durable run that is killed at a checkpoint
-  and resumed.  Every configuration must agree with the oracle on the
+  without symmetry), a durable run that is killed at a checkpoint
+  and resumed, and *interpreted* counterparts of the serial, symmetry,
+  worker, and kill-and-resume cells (``compiled=False``, i.e. the
+  uncompiled ``Spec.successors`` pipeline — so the compiled hot path is
+  differentially graded against the interpreted one on every sweep).
+  Every configuration must agree with the oracle on the
   distinct-state count, the enumerated-transition count, the diameter,
   and the ``exhausted`` stop reason (symmetry-reduced runs are graded
   against the oracle's quotient counts).
@@ -80,6 +84,7 @@ class MatrixConfig:
     store: str = "memory"  # "memory" | "compact" | "sharded" | "disk"
     symmetry: bool = False
     durable: bool = False  # kill at a checkpoint, then resume
+    compiled: bool = True  # False = interpreted Spec.successors pipeline
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -100,16 +105,34 @@ def build_matrix(
     """
     census: List[MatrixConfig] = [
         MatrixConfig("census/serial-memory", "census"),
+        MatrixConfig("census/serial-interpreted", "census", compiled=False),
         MatrixConfig("census/serial-compact", "census", store="compact"),
         MatrixConfig("census/serial-sharded", "census", store="sharded"),
         MatrixConfig("census/serial-disk", "census", store="disk"),
         MatrixConfig("census/durable-resume", "census", store="disk", durable=True),
+        MatrixConfig(
+            "census/interpreted-resume",
+            "census",
+            store="disk",
+            durable=True,
+            compiled=False,
+        ),
     ]
     if generated.symmetric:
         census.append(MatrixConfig("census/serial-symmetry", "census", symmetry=True))
+        census.append(
+            MatrixConfig(
+                "census/interpreted-symmetry", "census", symmetry=True, compiled=False
+            )
+        )
     if parallel and _fork_available():
         census.append(MatrixConfig("census/workers-2", "census", workers=2))
         census.append(MatrixConfig("census/workers-3", "census", workers=3))
+        census.append(
+            MatrixConfig(
+                "census/interpreted-workers-2", "census", workers=2, compiled=False
+            )
+        )
         if generated.symmetric:
             census.append(
                 MatrixConfig("census/workers-2-symmetry", "census", workers=2, symmetry=True)
@@ -119,6 +142,7 @@ def build_matrix(
     if generated.planted is not None:
         matrix = matrix + [
             MatrixConfig("violation/serial-memory", "violation"),
+            MatrixConfig("violation/serial-interpreted", "violation", compiled=False),
             MatrixConfig("violation/serial-disk", "violation", store="disk"),
             MatrixConfig(
                 "violation/durable-resume", "violation", store="disk", durable=True
@@ -236,6 +260,7 @@ def _run_config(
                         run_dir,
                         symmetry=config.symmetry,
                         stop_on_violation=stop,
+                        compiled=config.compiled,
                         checkpoint_states=_CHECKPOINT_STATES,
                         memory_budget=_MEMORY_BUDGET,
                         on_checkpoint=_kill_after(2),
@@ -256,6 +281,7 @@ def _run_config(
                     resume=True,
                     symmetry=config.symmetry,
                     stop_on_violation=stop,
+                    compiled=config.compiled,
                     checkpoint_states=_CHECKPOINT_STATES,
                     memory_budget=_MEMORY_BUDGET,
                     metrics=resumed,
@@ -270,6 +296,7 @@ def _run_config(
                 symmetry=config.symmetry,
                 stop_on_violation=stop,
                 metrics=registry,
+                compiled=config.compiled,
             ),
             registry,
         )
@@ -288,6 +315,7 @@ def _run_config(
                         stop_on_violation=stop,
                         store=store,
                         metrics=registry,
+                        compiled=config.compiled,
                     ).run(),
                     registry,
                 )
@@ -305,6 +333,7 @@ def _run_config(
             stop_on_violation=stop,
             store=store,
             metrics=registry,
+            compiled=config.compiled,
         ).run(),
         registry,
     )

@@ -7,13 +7,27 @@ fingerprints for equal states.
 """
 
 import os
+import random
 import subprocess
 import sys
+from collections import deque
+from hashlib import blake2b
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.state import Rec, decode, encode, fingerprint, strong_fingerprint, thaw
+from repro.core.state import (
+    Rec,
+    changed_keys,
+    codec_stats,
+    decode,
+    encode,
+    fingerprint,
+    reset_codec_stats,
+    set_delta_codec,
+    strong_fingerprint,
+    thaw,
+)
 
 SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
@@ -153,6 +167,185 @@ class TestFingerprintStability:
         )
         assert int(out[0]) == fingerprint(state)
         assert out[1] == strong_fingerprint(state).hex()
+
+
+def _sweep_states(n_specs=20, max_states=250):
+    """BFS every generated testkit spec; yield each (spec index, state).
+
+    The delta codec is on, so successor records carry parent/touched
+    chains and their encodings and fingerprints go through the
+    incremental paths under test.
+    """
+    from repro.testkit.genspec import generate_spec, sample_params
+
+    rng = random.Random("codec-sweep-params")
+    for index in range(n_specs):
+        params = sample_params(rng)
+        generated = generate_spec(f"codec-sweep:{index}", params)
+        spec = generated.spec(invariants=False)
+        seen = set()
+        queue = deque()
+        for state in spec.init_states():
+            fp = fingerprint(state)
+            if fp not in seen:
+                seen.add(fp)
+                queue.append(state)
+                yield index, state
+        while queue and len(seen) < max_states:
+            state = queue.popleft()
+            if not spec.state_constraint(state):
+                continue
+            for transition in spec.successors(state):
+                fp = fingerprint(transition.target)
+                if fp not in seen:
+                    seen.add(fp)
+                    queue.append(transition.target)
+                    yield index, transition.target
+
+
+_SWEEP_PROGRAM = """
+import random
+from collections import deque
+from hashlib import blake2b
+from repro.core.state import fingerprint, set_delta_codec
+from repro.testkit.genspec import generate_spec, sample_params
+
+set_delta_codec(True)
+rng = random.Random("codec-sweep-params")
+digest = blake2b(digest_size=16)
+for index in range(20):
+    params = sample_params(rng)
+    generated = generate_spec(f"codec-sweep:{index}", params)
+    spec = generated.spec(invariants=False)
+    seen = set()
+    queue = deque()
+    for state in spec.init_states():
+        fp = fingerprint(state)
+        if fp not in seen:
+            seen.add(fp)
+            queue.append(state)
+    while queue and len(seen) < 250:
+        state = queue.popleft()
+        if not spec.state_constraint(state):
+            continue
+        for transition in spec.successors(state):
+            fp = fingerprint(transition.target)
+            if fp not in seen:
+                seen.add(fp)
+                queue.append(transition.target)
+    for fp in sorted(seen):
+        digest.update(fp.to_bytes(8, "big"))
+print(digest.hexdigest())
+"""
+
+
+class TestDeltaCodecProperty:
+    """The delta paths must be invisible: byte-identical encodings,
+    identical fingerprints, in every process."""
+
+    def test_delta_encodings_byte_identical_across_testkit_specs(self):
+        previous = set_delta_codec(True)
+        reset_codec_stats()
+        try:
+            states = 0
+            for _, state in _sweep_states():
+                states += 1
+                delta_bytes = encode(state)
+                fresh = decode(delta_bytes)
+                # From-scratch canonical encode of a cache-free rebuild
+                # must reproduce the delta-assembled bytes exactly.
+                assert encode(fresh) == delta_bytes
+                assert fingerprint(fresh) == fingerprint(state)
+            stats = codec_stats()
+        finally:
+            set_delta_codec(previous)
+        assert states > 300  # the sweep actually explored
+        # ... and the incremental paths actually ran (the point of the test).
+        assert stats["delta_hits"] > 0
+        assert stats["fp_delta_hits"] > 0
+
+    @pytest.mark.parametrize("hashseed", ["0", "7", "31337"])
+    def test_sweep_fingerprints_stable_across_hash_seeds(self, hashseed):
+        """Every fingerprint of every state of the 20-spec sweep must be
+        identical under a different PYTHONHASHSEED (the sharded stores
+        and parallel BFS partition on these)."""
+        env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=SRC)
+        out = subprocess.run(
+            [sys.executable, "-c", _SWEEP_PROGRAM],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        if not hasattr(TestDeltaCodecProperty, "_local_digest"):
+            previous = set_delta_codec(True)
+            try:
+                digest = blake2b(digest_size=16)
+                fps = {}
+                for index, state in _sweep_states():
+                    fps.setdefault(index, set()).add(fingerprint(state))
+                for index in sorted(fps):
+                    for fp in sorted(fps[index]):
+                        digest.update(fp.to_bytes(8, "big"))
+            finally:
+                set_delta_codec(previous)
+            TestDeltaCodecProperty._local_digest = digest.hexdigest()
+        assert out == TestDeltaCodecProperty._local_digest
+
+
+class TestChangedKeysAndStats:
+    def test_set_records_touched_key(self):
+        base = Rec(a=1, b=2)
+        child = base.set("a", 3)
+        assert changed_keys(child, base) == frozenset({"a"})
+
+    def test_identity_set_is_noop(self):
+        base = Rec(a=(1, 2), b="x")
+        assert base.set("a", base["a"]) is base
+        assert base.update(b="x") is base
+
+    def test_update_skips_identity_rebinds(self):
+        base = Rec(a=1, b=2, c=3)
+        child = base.update(a=base["a"], b=9)
+        assert changed_keys(child, base) == frozenset({"b"})
+
+    def test_counter_names(self):
+        reset_codec_stats()
+        stats = codec_stats()
+        assert set(stats) == {
+            "delta_hits",
+            "delta_misses",
+            "full_encodes",
+            "fp_delta_hits",
+            "fp_full",
+        }
+        assert all(n == 0 for n in stats.values())
+
+    def test_fp_counters_move(self):
+        previous = set_delta_codec(True)
+        try:
+            reset_codec_stats()
+            base = Rec(a=(1, 2, 3), b="x", c=frozenset({1}))
+            fingerprint(base)
+            child = base.set("b", "y")
+            fingerprint(child)
+            stats = codec_stats()
+        finally:
+            set_delta_codec(previous)
+        assert stats["fp_full"] == 1  # the root had no parent
+        assert stats["fp_delta_hits"] == 1  # the child patched one pair
+
+    def test_delta_fp_equals_full_fp(self):
+        previous = set_delta_codec(True)
+        try:
+            base = Rec(a=(1, 2, 3), b="x", c=frozenset({1, 2}))
+            fingerprint(base)  # builds the parent's pair-digest table
+            child = base.update(b="yy", c=frozenset({7}))
+            incremental = fingerprint(child)
+            fresh = decode(encode(child))
+        finally:
+            set_delta_codec(previous)
+        assert fingerprint(fresh) == incremental
 
 
 class TestThawKeys:

@@ -81,8 +81,11 @@ class TestSpecHelpers:
     def test_action_by_name(self):
         spec = TickSpec()
         assert spec.action_by_name("Tick").name == "Tick"
-        with pytest.raises(KeyError):
+        with pytest.raises(SpecError) as exc:
             spec.action_by_name("Tock")
+        # The error names the missing action and lists what is available.
+        assert "Tock" in str(exc.value)
+        assert "Tick" in str(exc.value)
 
     def test_check_state_names_first_violated(self):
         spec = TickSpec(limit=1)

@@ -56,7 +56,7 @@ def test_suppressed_state_invariants_are_flagged(monkeypatch):
     # on the planted counterexample.
     monkeypatch.setattr(
         "repro.core.engine.StepChecker.check_state",
-        lambda self, state, pre_fp, transition: None,
+        lambda self, state, pre_fp, transition, changed=None: None,
     )
     report = run_differential(1, seed=MUTATION_SEED, parallel=False)
     assert not report.ok
