@@ -26,6 +26,7 @@ reported.  Results go to ``BENCH_compile.json`` at the repo root.
 import json
 import os
 import pathlib
+import resource
 import time
 
 from repro.core.explorer import bfs_explore
@@ -98,6 +99,10 @@ def _quiet_config(nodes, values, **overrides):
     return RaftConfig(nodes=nodes, values=values, **base)
 
 
+def peak_rss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
 def _explore(make_spec, compiled, delta):
     spec = make_spec()
     prev = set_delta_codec(delta)
@@ -137,6 +142,7 @@ def bench_cell(name, make_spec):
         "interpreted_states_per_sec": round(states / ti, 1),
         "compiled_states_per_sec": round(states / tc, 1),
         "speedup": round(ti / tc, 3),
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -164,6 +170,7 @@ def test_compile_speedup(emit):
         "seed_log_len": LOG_LEN,
         "timing": "best-of-trials per mode",
         "cells": cells,
+        "peak_rss_kb": peak_rss_kb(),
     }
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
     emit(

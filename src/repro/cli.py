@@ -28,6 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from .bugs import BUGS, detect
+from .core.compile import compile_disabled
 from .core.state import set_delta_codec
 from .conformance import BugReplayer, ConformanceChecker, mapping_for
 from .core import bfs_explore, simulate
@@ -112,7 +113,32 @@ def _compiled(args: argparse.Namespace) -> bool:
     return True
 
 
+def _validate_reducers(args: argparse.Namespace) -> Optional[str]:
+    """Reject flag combinations fast/POR cannot honor, before any work."""
+    if getattr(args, "fast", False) and getattr(args, "out", None):
+        return (
+            "--fast is traceless (8-byte fingerprints, no parent edges):"
+            " a violation's minimal counterexample is reconstructed by an"
+            " automatic bounded re-search and printed, but --out artifacts"
+            " require a full-store run — drop --out (and replay from the"
+            " printed trace) or drop --fast"
+        )
+    if getattr(args, "por", False) and (
+        getattr(args, "no_compile", False) or compile_disabled()
+    ):
+        return (
+            "--por needs the compiled pipeline's ActionMeta read/write sets"
+            " to prove actions independent; drop --no-compile and unset"
+            " SANDTABLE_NO_COMPILE"
+        )
+    return None
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    error = _validate_reducers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
     durable = {}
     if args.run_dir:
@@ -136,6 +162,8 @@ def cmd_check(args: argparse.Namespace) -> int:
             metrics=registry,
             progress=reporter,
             compiled=_compiled(args),
+            fast=args.fast,
+            por=args.por,
             **durable,
         )
     except RunDirError as exc:
@@ -240,6 +268,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_selftest(args: argparse.Namespace) -> int:
     from .testkit import replay_artifact, run_differential
 
+    if args.por and compile_disabled():
+        print(
+            "--por needs the compiled pipeline's ActionMeta read/write sets;"
+            " unset SANDTABLE_NO_COMPILE",
+            file=sys.stderr,
+        )
+        return 2
     if args.replay:
         original, fresh = replay_artifact(args.replay)
         print(f"replaying artifact: {original.describe()}")
@@ -268,6 +303,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         parallel=not args.serial_only,
         progress=progress,
         metrics=registry,
+        fast=args.fast,
+        por=args.por,
     )
     print(report.describe())
     if registry is not None:
@@ -383,6 +420,19 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--max-states", type=int, default=1_000_000)
     check.add_argument("--symmetry", action="store_true")
     check.add_argument(
+        "--fast",
+        action="store_true",
+        help="traceless fingerprint-only store (~16 bytes/state); a violation's"
+        " counterexample is reconstructed by an automatic bounded re-search",
+    )
+    check.add_argument(
+        "--por",
+        action="store_true",
+        help="partial-order reduction: statically prune actions proven"
+        " independent by their declared read/write sets (needs the compiled"
+        " pipeline)",
+    )
+    check.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -496,6 +546,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest.add_argument(
         "--replay", metavar="ARTIFACT", help="re-run one saved disagreement artifact"
+    )
+    selftest.add_argument(
+        "--fast",
+        action="store_true",
+        help="force the traceless fast store onto every compatible matrix cell",
+    )
+    selftest.add_argument(
+        "--por",
+        action="store_true",
+        help="force partial-order reduction onto every compiled matrix cell",
     )
     selftest.add_argument("--quiet", action="store_true", help="summary line only")
     selftest.add_argument(

@@ -19,11 +19,13 @@ Public surface:
   :class:`~repro.core.violation.Violation` — counterexamples.
 """
 
+from .compile import por_prune_set
 from .engine import (
     CompactStore,
     DictStore,
     ExplorationEngine,
     FIFOFrontier,
+    FingerprintOnlyStore,
     FrontierStrategy,
     InMemoryStateStore,
     NullStateStore,
@@ -35,9 +37,10 @@ from .engine import (
     StateStore,
     StepChecker,
     StopReason,
+    TracelessStoreError,
     action_kinds,
 )
-from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore
+from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore, research_violation
 from .guided import ScenarioError, ScenarioResult, run_scenario
 from .linearizability import LinearizabilityResult, Operation, check_linearizable
 from .liveness import LivenessProperty, LivenessStats, compare_progress, measure_progress
@@ -47,7 +50,7 @@ from .simulation import SimulationResult, WalkResult, random_walk, simulate
 from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInvariant
 from .state import Rec, decode, encode, fingerprint, freeze, strong_fingerprint, thaw
 from .symmetry import SymmetryReducer, canonicalize
-from .trace import Trace, TraceStep
+from .trace import PendingTrace, Trace, TraceStep
 from .violation import Violation
 
 __all__ = [
@@ -56,6 +59,7 @@ __all__ = [
     "DictStore",
     "ExplorationEngine",
     "FIFOFrontier",
+    "FingerprintOnlyStore",
     "FrontierStrategy",
     "InMemoryStateStore",
     "NullStateStore",
@@ -67,6 +71,7 @@ __all__ = [
     "StateStore",
     "StepChecker",
     "StopReason",
+    "TracelessStoreError",
     "action_kinds",
     "LinearizabilityResult",
     "LivenessProperty",
@@ -84,6 +89,7 @@ __all__ = [
     "ConstraintScore",
     "Invariant",
     "ParallelBFS",
+    "PendingTrace",
     "RankedConstraints",
     "Rec",
     "SimulationResult",
@@ -103,8 +109,10 @@ __all__ = [
     "fingerprint",
     "freeze",
     "parallel_bfs",
+    "por_prune_set",
     "random_walk",
     "rank_constraints",
+    "research_violation",
     "simulate",
     "strong_fingerprint",
     "thaw",

@@ -49,7 +49,14 @@ from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInva
 from .state import Rec
 from .state import changed_keys as rec_changed_keys
 
-__all__ = ["ActionMeta", "CompiledSpec", "compile_spec", "maybe_compile", "compile_disabled"]
+__all__ = [
+    "ActionMeta",
+    "CompiledSpec",
+    "compile_spec",
+    "maybe_compile",
+    "compile_disabled",
+    "por_prune_set",
+]
 
 
 def compile_disabled() -> bool:
@@ -111,7 +118,7 @@ class CompiledSpec(Spec):
     verdicts, same fingerprints — only faster.
     """
 
-    def __init__(self, spec: Spec, infer_writes: bool = True):
+    def __init__(self, spec: Spec, infer_writes: bool = True, por: bool = False):
         self._source = spec
         self.name = spec.name
         actions = tuple(spec.cached_actions())
@@ -152,6 +159,82 @@ class CompiledSpec(Spec):
         self.init_states = spec.init_states
         self.state_constraint = spec.state_constraint
         self.symmetry_sets = spec.symmetry_sets
+
+        #: Partial-order reduction: when enabled, the statically-safe
+        #: prune set is removed from the successor table.  ``actions()``
+        #: (and therefore per-action fire counts and coverage) still
+        #: reports the full action list — pruned actions show zero fires.
+        self.por = bool(por)
+        self.por_pruned: FrozenSet[str] = frozenset()
+        if por:
+            self.por_pruned = self._compute_prune_set()
+            if self.por_pruned:
+                pruned = self.por_pruned
+                self._entries = tuple(
+                    entry for entry in self._entries if entry[0] not in pruned
+                )
+
+    def _compute_prune_set(self) -> FrozenSet[str]:
+        """The greatest set of actions whose removal preserves checking.
+
+        An action ``B`` may be pruned when every occurrence of ``B`` on
+        any path can be *stripped*, leaving a shorter valid path whose
+        end state agrees with the original outside ``writes(B)``.  That
+        holds when (a) ``B``'s write set is declared (inferred sets are
+        a sample, never trusted for pruning), (b) ``writes(B)`` is
+        disjoint from the read set of every surviving action — an
+        undeclared read set counts as reading everything — (c) disjoint
+        from the declared reads of every state and transition invariant
+        (one opaque invariant blocks all pruning), and (d) disjoint from
+        the state constraint's reads (the constraint must be
+        unoverridden, or covered by a declared ``constraint_reads``).
+
+        Consequences: a minimal violating path contains no pruned
+        actions, so violation reachability *and* exact minimal depth are
+        preserved, and the reduced run's census equals the census of the
+        spec with those actions removed — which is how the testkit
+        oracle grades it.  Rule (b) is a greatest fixpoint: removing an
+        action from the candidate set makes it a survivor other
+        candidates must be disjoint from, so candidates are re-checked
+        until stable.
+        """
+        # Nothing to preserve means nothing to gain: an invariant-free
+        # spec is a census run, and pruning would change the census for
+        # no checking benefit.
+        if not self._inv_entries and not self._tinv_entries:
+            return frozenset()
+        checked_reads: set = set()
+        for _, _, reads in self._inv_entries + self._tinv_entries:
+            if reads is None:
+                return frozenset()
+            checked_reads |= reads
+        source = self._source
+        if type(source).state_constraint is not Spec.state_constraint:
+            declared = getattr(source, "constraint_reads", None)
+            if declared is None:
+                return frozenset()
+            checked_reads |= set(declared)
+        metas = self.action_meta
+        pruned = {
+            meta.name
+            for meta in metas
+            if meta.writes is not None
+            and not meta.writes_inferred
+            and meta.writes.isdisjoint(checked_reads)
+        }
+        changed = True
+        while changed and pruned:
+            changed = False
+            survivors = [meta for meta in metas if meta.name not in pruned]
+            for meta in metas:
+                if meta.name not in pruned:
+                    continue
+                for other in survivors:
+                    if other.reads is None or not meta.writes.isdisjoint(other.reads):
+                        pruned.discard(meta.name)
+                        changed = True
+                        break
+        return frozenset(pruned)
 
     # -- the compiled surface -------------------------------------------------
 
@@ -270,15 +353,38 @@ class CompiledSpec(Spec):
         return f"CompiledSpec({self._source!r})"
 
 
-def compile_spec(spec: Spec, infer_writes: bool = True) -> CompiledSpec:
-    """Compile ``spec`` into its hot-path form (idempotent)."""
+def compile_spec(
+    spec: Spec, infer_writes: bool = True, por: bool = False
+) -> CompiledSpec:
+    """Compile ``spec`` into its hot-path form (idempotent per ``por``)."""
     if isinstance(spec, CompiledSpec):
-        return spec
-    return CompiledSpec(spec, infer_writes=infer_writes)
+        if spec.por == bool(por):
+            return spec
+        spec = spec._source
+    return CompiledSpec(spec, infer_writes=infer_writes, por=por)
 
 
-def maybe_compile(spec: Spec, compiled: bool = True) -> Spec:
-    """Compile ``spec`` unless disabled by flag or environment."""
-    if not compiled or compile_disabled() or isinstance(spec, CompiledSpec):
+def por_prune_set(spec: Spec) -> FrozenSet[Any]:
+    """The action names a POR compile of ``spec`` prunes (may be empty)."""
+    return compile_spec(spec, por=True).por_pruned
+
+
+def maybe_compile(spec: Spec, compiled: bool = True, por: bool = False) -> Spec:
+    """Compile ``spec`` unless disabled by flag or environment.
+
+    Partial-order reduction exists only in the compiled pipeline — its
+    independence oracle is the compiled ``ActionMeta`` read/write sets —
+    so requesting ``por`` while compilation is disabled is an error, not
+    a silent fallback.
+    """
+    if por and (not compiled or compile_disabled()):
+        raise SpecError(
+            "partial-order reduction needs the compiled pipeline (the"
+            " ActionMeta read/write sets are its independence oracle);"
+            " drop --no-compile / unset SANDTABLE_NO_COMPILE to use --por"
+        )
+    if not compiled or compile_disabled():
         return spec
-    return CompiledSpec(spec)
+    if isinstance(spec, CompiledSpec) and spec.por == bool(por):
+        return spec
+    return compile_spec(spec, por=por)

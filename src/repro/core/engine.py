@@ -31,9 +31,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import sys
 import threading
 import time
+from array import array
+from bisect import bisect_left
 from collections import deque
+from heapq import merge as _heap_merge
 from typing import (
     Any,
     Callable,
@@ -46,10 +50,10 @@ from typing import (
     Tuple,
 )
 
-from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS
+from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS, STORE_BYTES
 from .spec import Spec, Transition
 from .state import Rec, changed_keys, codec_stats, detach, fingerprint
-from .trace import Trace, TraceStep
+from .trace import PendingTrace, Trace, TraceStep
 from .violation import Violation
 
 __all__ = [
@@ -61,6 +65,8 @@ __all__ = [
     "DictStore",
     "CompactStore",
     "ShardedStateStore",
+    "FingerprintOnlyStore",
+    "TracelessStoreError",
     "NullStateStore",
     "StepChecker",
     "FrontierStrategy",
@@ -165,6 +171,23 @@ class SearchResult:
 # state stores
 # ---------------------------------------------------------------------------
 
+# Coarse per-object heap costs (64-bit CPython) behind the
+# ``store.bytes_per_state`` gauge: a 64-bit int object and a
+# ``(parent, action)`` 2-tuple.  Container hash tables are measured with
+# ``sys.getsizeof``; only the per-entry payloads are estimated.
+_INT_BYTES = 32
+_TUPLE2_BYTES = 72
+
+
+class TracelessStoreError(RuntimeError):
+    """Trace reconstruction was asked of a store that keeps no parent edges.
+
+    Fingerprint-only (``--fast``) stores answer membership queries but
+    cannot walk a parent chain; counterexamples come from bounded
+    re-search (a full-store re-exploration capped at the violation
+    depth) instead.
+    """
+
 
 class StateStore:
     """Visited-fingerprint set plus parent map.
@@ -175,10 +198,26 @@ class StateStore:
     (``chain``/``init_state``).  Implementations may shard, spill to
     disk, or answer ``seen`` probabilistically (at the cost of losing
     counterexamples) — the engine only ever goes through this interface.
+
+    ``traceless`` stores keep no parent edges at all: ``chain`` /
+    ``init_state`` raise :class:`TracelessStoreError` and violation
+    traces are deferred to bounded re-search.
     """
+
+    #: True for stores that keep no parent edges (fingerprint-only mode)
+    traceless = False
 
     def seen(self, fp: Any) -> bool:
         raise NotImplementedError
+
+    def estimated_bytes(self) -> Optional[int]:
+        """Estimated resident bytes of the store, or ``None`` if unknown.
+
+        Drives the ``store.bytes_per_state`` gauge; estimates are coarse
+        (container tables measured, per-entry payloads modeled) but
+        monotone with real usage.
+        """
+        return None
 
     def record(self, fp: Any, parent_fp: Any, action: str) -> None:
         """Record ``fp`` as newly visited via ``action`` from ``parent_fp``."""
@@ -256,6 +295,13 @@ class InMemoryStateStore(StateStore):
     def roots(self) -> Iterator[Tuple[Any, Rec]]:
         yield from self._inits.items()
 
+    def estimated_bytes(self) -> Optional[int]:
+        return (
+            sys.getsizeof(self._parents)
+            + sys.getsizeof(self._inits)
+            + len(self._parents) * (_INT_BYTES + _TUPLE2_BYTES)
+        )
+
     def __len__(self) -> int:
         return len(self._parents)
 
@@ -325,6 +371,15 @@ class CompactStore(StateStore):
 
     def roots(self) -> Iterator[Tuple[Any, Rec]]:
         yield from self._inits.items()
+
+    def estimated_bytes(self) -> Optional[int]:
+        # Fingerprint keys are shared between the two dicts and parent
+        # values alias keys; action ids are interned small ints.
+        return (
+            sys.getsizeof(self._parents)
+            + sys.getsizeof(self._action_of)
+            + len(self._parents) * _INT_BYTES
+        )
 
     def __len__(self) -> int:
         return len(self._parents)
@@ -408,8 +463,133 @@ class ShardedStateStore(StateStore):
                 snapshot = list(shard.roots())
             yield from snapshot
 
+    def estimated_bytes(self) -> Optional[int]:
+        total = 0
+        for index, shard in enumerate(self._shards):
+            with self._locks[index]:
+                total += shard.estimated_bytes()
+        return total
+
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
+
+
+class FingerprintOnlyStore(StateStore):
+    """A flat 64-bit fingerprint set: membership only, no parent edges.
+
+    The ``--fast`` store, after TLC's fingerprint set and Specl's
+    ``--fast`` mode: each distinct state costs 8 bytes of payload plus
+    amortized set overhead (measured ~10-12 bytes/state at 10⁶ states),
+    against ~100+ for edge-keeping stores.  Recent fingerprints live in
+    a bounded Python set; every ``spill_threshold`` insertions the set
+    is sorted into an ``array('Q')`` segment, and adjacent segments are
+    merged geometrically so membership stays a set probe plus binary
+    searches over O(log n) sorted arrays.
+
+    Tradeoffs, by design:
+
+    * ``chain``/``init_state`` raise :class:`TracelessStoreError` —
+      counterexample traces come from bounded re-search instead;
+    * fingerprints must be 64-bit non-negative ints (the canonical
+      :func:`repro.core.state.fingerprint`); 128-bit strong
+      fingerprints are rejected;
+    * callers must not re-record a fingerprint that is already ``seen``
+      (the engine and checkpoint restore both honor this), so ``len``
+      is exact without a second membership pass.
+
+    ``edges()`` yields pseudo-edges ``(fp, None, "<fp>")`` purely as the
+    checkpoint dump/restore seam; ``roots()`` is empty.
+    """
+
+    __slots__ = ("_recent", "_segments", "spill_threshold")
+
+    traceless = True
+
+    #: pseudo-action carried by checkpoint dump edges
+    _FP_ACTION = "<fp>"
+
+    DEFAULT_SPILL = 1 << 15
+
+    def __init__(self, spill_threshold: int = DEFAULT_SPILL) -> None:
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be positive")
+        self.spill_threshold = spill_threshold
+        self._recent: set = set()
+        # sorted 'Q' arrays, oldest (largest) first, sizes ~doubling
+        self._segments: List[array] = []
+
+    def seen(self, fp: Any) -> bool:
+        if fp in self._recent:
+            return True
+        for seg in self._segments:
+            index = bisect_left(seg, fp)
+            if index < len(seg) and seg[index] == fp:
+                return True
+        return False
+
+    def _add(self, fp: Any) -> None:
+        if not isinstance(fp, int) or fp < 0 or fp >> 64:
+            raise TypeError(
+                "FingerprintOnlyStore needs canonical 64-bit int fingerprints,"
+                f" got {fp!r}; strong (128-bit) fingerprints keep their bytes"
+                " form and are not supported in fast mode"
+            )
+        recent = self._recent
+        recent.add(fp)
+        if len(recent) >= self.spill_threshold:
+            self._spill()
+
+    def _spill(self) -> None:
+        if not self._recent:
+            return
+        segments = self._segments
+        segments.append(array("Q", sorted(self._recent)))
+        self._recent.clear()
+        # Geometric merge: fold the new segment into its predecessor
+        # while the predecessor is no more than twice its size, keeping
+        # segment count logarithmic in the total state count.
+        while len(segments) >= 2 and len(segments[-2]) <= 2 * len(segments[-1]):
+            newer = segments.pop()
+            older = segments.pop()
+            segments.append(array("Q", _heap_merge(older, newer)))
+
+    def record(self, fp: Any, parent_fp: Any, action: str) -> None:
+        self._add(fp)
+
+    def record_init(self, fp: Any, state: Rec) -> None:
+        self._add(fp)
+
+    def init_state(self, fp: Any) -> Rec:
+        raise TracelessStoreError(
+            "fingerprint-only store keeps no initial states; use bounded"
+            " re-search to reconstruct counterexamples"
+        )
+
+    def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        raise TracelessStoreError(
+            "fingerprint-only store keeps no parent edges; use bounded"
+            " re-search to reconstruct counterexamples"
+        )
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        action = self._FP_ACTION
+        for fp in self._recent:
+            yield fp, None, action
+        for seg in self._segments:
+            for fp in seg:
+                yield fp, None, action
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        return iter(())
+
+    def estimated_bytes(self) -> Optional[int]:
+        total = sys.getsizeof(self._recent) + _INT_BYTES * len(self._recent)
+        for seg in self._segments:
+            total += sys.getsizeof(seg)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._recent) + sum(len(seg) for seg in self._segments)
 
 
 class NullStateStore(StateStore):
@@ -437,6 +617,9 @@ class NullStateStore(StateStore):
 
     def roots(self) -> Iterator[Tuple[Any, Rec]]:
         return iter(())
+
+    def estimated_bytes(self) -> Optional[int]:
+        return 0
 
     def __len__(self) -> int:
         return 0
@@ -672,11 +855,31 @@ class FrontierStrategy:
         return StopReason.EXHAUSTED
 
 
+class _DepthTrackingDeque(deque):
+    """A deque that remembers the depth of the last node it popped.
+
+    Traceless runs cannot reconstruct a violation's event sequence, but
+    the violation *depth* is known exactly at discovery time: it is the
+    depth of the node under expansion (plus one for a step).  Tracking
+    it here keeps the engine's hot loop untouched.
+    """
+
+    last_depth = 0
+
+    def popleft(self) -> tuple:
+        node = deque.popleft(self)
+        self.last_depth = node[2]
+        return node
+
+
 class FIFOFrontier(FrontierStrategy):
     """Breadth-first: expand every successor, dedupe through the store.
 
     Because the search is breadth-first, the first counterexample found
-    for any invariant has minimal depth (§5.1.1).
+    for any invariant has minimal depth (§5.1.1).  Over a traceless
+    store the strategy returns :class:`~repro.core.trace.PendingTrace`
+    placeholders (exact depth, no steps) for bounded re-search to
+    resolve.
     """
 
     name = "bfs"
@@ -684,6 +887,7 @@ class FIFOFrontier(FrontierStrategy):
 
     def __init__(self) -> None:
         self.frontier: deque = deque()
+        self._traceless = False
 
     def bind(self, engine: "ExplorationEngine") -> None:
         super().bind(engine)
@@ -692,8 +896,14 @@ class FIFOFrontier(FrontierStrategy):
         reducer = engine.reducer
         self._canonical = reducer.canonical if reducer is not None else None
         self._fp = engine.fingerprint
+        self._traceless = bool(getattr(engine.store, "traceless", False))
+        if self._traceless and not isinstance(self.frontier, _DepthTrackingDeque):
+            self.frontier = _DepthTrackingDeque(self.frontier)
 
     def trace_to(self, fp: Any, step: Optional[TraceStep] = None) -> Trace:
+        if self._traceless:
+            depth = self.frontier.last_depth + (1 if step is not None else 0)
+            return PendingTrace(depth)
         trace = reconstruct_trace(
             self._spec, self._store, fp, self._canonical, self._fp
         )
@@ -988,6 +1198,7 @@ class ExplorationEngine:
             fanout_observe = metrics.histogram("engine.fanout", SIZE_BOUNDS).observe
             queue_gauge = metrics.gauge("engine.queue_depth")
             rate_gauge = metrics.gauge("engine.states_per_sec")
+            bytes_gauge = metrics.gauge(STORE_BYTES)
             codec_base = codec_stats()
         else:
             fires = None
@@ -998,6 +1209,11 @@ class ExplorationEngine:
             rate_gauge.set(
                 stats.distinct_states / stats.elapsed if stats.elapsed > 0 else 0.0
             )
+            known = len(store)
+            if known:
+                estimate = store.estimated_bytes()
+                if estimate is not None:
+                    bytes_gauge.set(estimate / known)
 
         def finish(
             reason: StopReason,

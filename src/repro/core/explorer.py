@@ -24,6 +24,7 @@ from .compile import maybe_compile
 from .engine import (
     ExplorationEngine,
     FIFOFrontier,
+    FingerprintOnlyStore,
     InMemoryStateStore,
     SearchResult,
     SearchStats,
@@ -38,7 +39,13 @@ from .symmetry import SymmetryReducer
 from .trace import Trace, TraceStep
 from .violation import Violation
 
-__all__ = ["BFSStats", "BFSResult", "BFSExplorer", "bfs_explore"]
+__all__ = [
+    "BFSStats",
+    "BFSResult",
+    "BFSExplorer",
+    "bfs_explore",
+    "research_violation",
+]
 
 #: BFS stats/results are the engine's unified types (kept under their
 #: historical names for source compatibility).
@@ -47,7 +54,24 @@ BFSResult = SearchResult
 
 
 class BFSExplorer:
-    """Breadth-first stateful exploration of a spec's state space."""
+    """Breadth-first stateful exploration of a spec's state space.
+
+    ``fast=True`` switches to the traceless
+    :class:`~repro.core.engine.FingerprintOnlyStore` (8 bytes/state
+    payload, no parent edges).  A violation found by a fast run carries
+    a :class:`~repro.core.trace.PendingTrace`; with ``research=True``
+    (the default) the explorer immediately runs a *bounded re-search* —
+    a full-store serial BFS capped at the violation depth — which
+    reproduces the byte-identical minimal counterexample an ordinary
+    full-store run would have produced (the violation fires while the
+    last pre-violation level is still being expanded, so the depth cap
+    never alters pre-violation behavior).
+
+    ``por=True`` compiles the spec with partial-order reduction
+    (:func:`repro.core.compile.compile_spec` with ``por=True``):
+    statically-safe actions are pruned from the successor table while
+    preserving violation reachability and exact minimal depth.
+    """
 
     def __init__(
         self,
@@ -64,11 +88,16 @@ class BFSExplorer:
         checkpointer: Optional[Any] = None,
         metrics: Optional[Any] = None,
         compiled: bool = True,
+        fast: bool = False,
+        por: bool = False,
+        research: bool = True,
     ):
         # The compiled spec is behaviourally identical (same transitions,
         # same invariant verdicts, same fingerprints) — ``compiled=False``
         # or SANDTABLE_NO_COMPILE falls back to the interpreted pipeline.
-        spec = maybe_compile(spec, compiled)
+        # With ``por`` the compile additionally prunes statically-safe
+        # actions (and raises if compilation is disabled).
+        spec = maybe_compile(spec, compiled, por=por)
         self.spec = spec
         self.max_states = max_states
         self.max_depth = max_depth
@@ -76,11 +105,26 @@ class BFSExplorer:
         self.stop_on_violation = stop_on_violation
         self.progress = progress
         self.progress_interval = progress_interval
+        self.fast = fast
+        self.research = research
+        self._symmetry = symmetry
+        if fast and strong_fingerprints:
+            raise ValueError(
+                "fast mode stores fingerprints as flat 64-bit ints;"
+                " strong (128-bit) fingerprints are not supported with --fast"
+            )
+        if fast and store is not None and not getattr(store, "traceless", False):
+            raise ValueError(
+                "fast mode needs a traceless store (FingerprintOnlyStore or a"
+                f" traceless DiskStore), got {type(store).__name__}"
+            )
         self._fp = strong_fingerprint if strong_fingerprints else fingerprint
         self.reducer = (
             SymmetryReducer(spec.symmetry_sets(), key=self._fp) if symmetry else None
         )
-        self.store = store if store is not None else InMemoryStateStore()
+        if store is None:
+            store = FingerprintOnlyStore() if fast else InMemoryStateStore()
+        self.store = store
         self.checker = StepChecker(spec)
         self.strategy = FIFOFrontier()
         self.engine = ExplorationEngine(
@@ -108,7 +152,17 @@ class BFSExplorer:
     # -- the search ----------------------------------------------------------
 
     def run(self, resume: Optional[Any] = None) -> BFSResult:
-        return self.engine.run(resume=resume)
+        result = self.engine.run(resume=resume)
+        violation = result.violation
+        if (
+            self.research
+            and violation is not None
+            and getattr(violation.trace, "pending", False)
+        ):
+            result.violation = research_violation(
+                self.spec, violation, symmetry=self._symmetry
+            )
+        return result
 
     # -- helpers ---------------------------------------------------------------
 
@@ -129,6 +183,60 @@ class BFSExplorer:
         return find_matching_step(
             self.spec, state, target_fp, action_name, canonical, self._fp
         )
+
+
+def research_violation(
+    spec: Spec,
+    violation: Violation,
+    symmetry: bool = False,
+    compiled: bool = True,
+) -> Violation:
+    """Bounded re-search: resolve a traceless violation into a real trace.
+
+    Re-explores ``spec`` with a full (edge-keeping) store, serially,
+    capped at the violation's known minimal depth, and returns the
+    violation of that run.  Correctness: in breadth-first order the
+    violation fires during expansion of a pre-violation level, before
+    any state at the cap depth is popped, so the depth cap cannot alter
+    any step preceding the violation — the re-search replays the exact
+    step sequence of an uninterrupted full-store run and produces the
+    byte-identical minimal counterexample.  Memory is bounded by the
+    full-store cost of the state space up to the violation depth
+    (TLC's classic traceless tradeoff).
+
+    ``spec`` must be the same (possibly POR-compiled) spec the fast run
+    explored, and ``symmetry`` must match, or the re-search may not
+    reach the violation; a fingerprint collision in the fast run can
+    also leave the violation unreachable, and both cases raise
+    ``RuntimeError`` rather than returning a wrong trace.
+    """
+    trace = violation.trace
+    if not getattr(trace, "pending", False):
+        return violation
+    explorer = BFSExplorer(
+        spec,
+        symmetry=symmetry,
+        max_depth=trace.depth,
+        stop_on_violation=True,
+        compiled=compiled,
+        research=False,
+    )
+    result = explorer.run()
+    found = result.violation
+    if found is None:
+        raise RuntimeError(
+            f"bounded re-search found no violation within depth {trace.depth};"
+            f" the fast run reported {violation.invariant} ({violation.kind})"
+            " there — most likely a 64-bit fingerprint collision, or a"
+            " spec/symmetry mismatch between the fast run and the re-search"
+        )
+    if found.depth != trace.depth:
+        raise RuntimeError(
+            f"bounded re-search found {found.invariant} at depth {found.depth},"
+            f" but the fast run reported depth {trace.depth}; spec or symmetry"
+            " mismatch between the runs"
+        )
+    return found
 
 
 def bfs_explore(

@@ -38,6 +38,17 @@ Workers are forked, so specs need not be picklable; all cross-process
 state travels as canonical codec bytes.  On platforms without ``fork``
 (or with ``workers <= 1``) :func:`parallel_bfs` transparently falls back
 to the serial :class:`~repro.core.explorer.BFSExplorer`.
+
+``fast=True`` switches every worker to the traceless
+:class:`~repro.core.engine.FingerprintOnlyStore` and drops the parent
+fingerprint and action name from routed batches — foreign children
+travel as ``(codec bytes, fingerprint, depth)`` triples, since no owner
+keeps edges.  A violation is then reported with a
+:class:`~repro.core.trace.PendingTrace` and (with ``research=True``)
+immediately resolved by a serial bounded re-search
+(:func:`repro.core.explorer.research_violation`).  ``por=True`` makes
+every worker compile its spec with partial-order reduction; pruning is
+deterministic, so all workers agree on the reduced successor relation.
 """
 
 from __future__ import annotations
@@ -50,9 +61,10 @@ from collections import defaultdict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS, Histogram
-from .compile import maybe_compile
+from .compile import compile_disabled, maybe_compile
 from .engine import (
     CompactStore,
+    FingerprintOnlyStore,
     SearchResult,
     SearchStats,
     StopReason,
@@ -61,7 +73,7 @@ from .engine import (
 from .spec import Spec
 from .state import changed_keys, codec_stats, decode, encode, fingerprint
 from .symmetry import SymmetryReducer
-from .trace import TraceStep
+from .trace import PendingTrace, TraceStep
 from .violation import Violation
 
 __all__ = ["parallel_bfs", "ParallelBFS"]
@@ -88,6 +100,8 @@ def _worker_main(
     stop_on_violation: bool,
     metrics_on: bool,
     compiled: bool,
+    fast: bool,
+    por: bool,
     in_q: Any,
     out_q: Any,
 ) -> None:
@@ -95,11 +109,13 @@ def _worker_main(
     try:
         # Workers are forked with the *source* spec and compile locally:
         # compilation is cheap, per-process, and this keeps the fork
-        # payload identical whether or not the run is compiled.
-        spec = maybe_compile(spec, compiled)
+        # payload identical whether or not the run is compiled.  POR
+        # pruning is a pure function of the spec's ActionMeta, so every
+        # worker derives the same reduced successor relation.
+        spec = maybe_compile(spec, compiled, por=por)
         reducer = _make_reducer(spec, symmetry)
         canon = reducer.canonical if reducer is not None else None
-        store = CompactStore()
+        store = FingerprintOnlyStore() if fast else CompactStore()
         frontier: deque = deque()
         constraint = spec.state_constraint
         successors = spec.successors
@@ -124,21 +140,37 @@ def _worker_main(
             if op == "absorb":
                 added = 0
                 violations: List[_ViolationDesc] = []
-                for enc, fp, parent_fp, action, depth in msg[1]:
-                    if store.seen(fp):
-                        continue
-                    state = decode(enc)
-                    if parent_fp is None:
-                        store.record_init(fp, state)
-                    else:
-                        store.record(fp, parent_fp, action)
-                    added += 1
-                    bad = check_state(state)
-                    if bad is not None:
-                        violations.append(
-                            ("state", bad, depth, fp, action, (), "", None)
-                        )
-                    frontier.append((state, fp, depth))
+                if fast:
+                    # Traceless batches carry no parent edge or action —
+                    # just (codec bytes, fingerprint, depth).
+                    for enc, fp, depth in msg[1]:
+                        if store.seen(fp):
+                            continue
+                        state = decode(enc)
+                        store.record(fp, None, "")
+                        added += 1
+                        bad = check_state(state)
+                        if bad is not None:
+                            violations.append(
+                                ("state", bad, depth, fp, "", (), "", None)
+                            )
+                        frontier.append((state, fp, depth))
+                else:
+                    for enc, fp, parent_fp, action, depth in msg[1]:
+                        if store.seen(fp):
+                            continue
+                        state = decode(enc)
+                        if parent_fp is None:
+                            store.record_init(fp, state)
+                        else:
+                            store.record(fp, parent_fp, action)
+                        added += 1
+                        bad = check_state(state)
+                        if bad is not None:
+                            violations.append(
+                                ("state", bad, depth, fp, action, (), "", None)
+                            )
+                        frontier.append((state, fp, depth))
                 out_q.put(("absorbed", wid, added, violations, len(frontier)))
 
             elif op == "expand":
@@ -219,6 +251,10 @@ def _worker_main(
                                     stopping = True
                                     break
                             frontier.append((child, child_fp, depth + 1))
+                        elif fast:
+                            batches[child_fp % n_workers].append(
+                                (encode(child), child_fp, depth + 1)
+                            )
                         else:
                             batches[child_fp % n_workers].append(
                                 (
@@ -311,7 +347,14 @@ class ParallelBFS:
         resume: Optional[Any] = None,
         metrics: Optional[Any] = None,
         compiled: bool = True,
+        fast: bool = False,
+        por: bool = False,
+        research: bool = True,
     ):
+        if por and (not compiled or compile_disabled()):
+            # Fail in the master, before forking: maybe_compile raises
+            # the canonical SpecError for this misconfiguration.
+            maybe_compile(spec, compiled, por=True)
         self.spec = spec
         self.compiled = compiled
         self.workers = max(1, int(workers))
@@ -324,6 +367,9 @@ class ParallelBFS:
         self.checkpointer = checkpointer
         self.resume = resume
         self.metrics = metrics
+        self.fast = bool(fast)
+        self.por = bool(por)
+        self.research = bool(research)
         self.stats = SearchStats()
 
     # -- the search ----------------------------------------------------------
@@ -344,6 +390,8 @@ class ParallelBFS:
                     self.stop_on_violation,
                     self.metrics is not None,
                     self.compiled,
+                    self.fast,
+                    self.por,
                     in_qs[wid],
                     out_q,
                 ),
@@ -435,9 +483,12 @@ class ParallelBFS:
                 if fp in seeded:
                     continue
                 seeded.add(fp)
-                seed_batches[fp % n].append(
-                    (encode(canon), fp, None, _ROOT_ACTION, 0)
-                )
+                if self.fast:
+                    seed_batches[fp % n].append((encode(canon), fp, 0))
+                else:
+                    seed_batches[fp % n].append(
+                        (encode(canon), fp, None, _ROOT_ACTION, 0)
+                    )
             targets = sorted(seed_batches)
             for wid in targets:
                 in_qs[wid].put(("absorb", seed_batches[wid]))
@@ -605,9 +656,24 @@ class ParallelBFS:
         # Level synchrony guarantees all candidates from the stopping round
         # share the minimal depth; the rest of the key makes the pick
         # deterministic across runs.
-        kind, invariant, _, fp, action, args, branch, target_enc = min(
+        kind, invariant, depth, fp, action, args, branch, target_enc = min(
             violations, key=lambda v: (v[2], v[1], v[0], v[3])
         )
+        if self.fast:
+            # Traceless workers kept no edges to merge: report the
+            # violation with a depth-only pending trace, then (unless the
+            # caller opted out) resolve it by serial bounded re-search.
+            violation = Violation(invariant, PendingTrace(depth), kind=kind)
+            if not self.research:
+                return violation
+            from .explorer import research_violation  # local: explorer imports us
+
+            return research_violation(
+                maybe_compile(self.spec, self.compiled, por=self.por),
+                violation,
+                symmetry=self.symmetry,
+                compiled=self.compiled,
+            )
         merged = CompactStore()
         for in_q in in_qs:
             in_q.put(("edges",))

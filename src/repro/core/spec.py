@@ -193,6 +193,14 @@ class Spec:
 
     name: str = "spec"
 
+    #: Optional declaration of the top-level state variables an
+    #: overridden :meth:`state_constraint` reads.  ``None`` means
+    #: undeclared — a spec that overrides the constraint without
+    #: declaring its reads is treated as reading everything, which
+    #: blocks partial-order reduction (see
+    #: :meth:`repro.core.compile.CompiledSpec._compute_prune_set`).
+    constraint_reads: Optional[Sequence[Any]] = None
+
     #: Lazily-built tuple of this spec's actions; ``successors`` and
     #: ``action_by_name`` read it instead of calling :meth:`actions` per
     #: state / per lookup.  Class-level ``None`` doubles as the unset

@@ -15,7 +15,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from .state import Rec, decode, encode, freeze, thaw
 
-__all__ = ["TraceStep", "Trace", "to_jsonable", "from_jsonable"]
+__all__ = ["TraceStep", "Trace", "PendingTrace", "to_jsonable", "from_jsonable"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,6 +35,9 @@ class TraceStep:
 
 class Trace:
     """An initial state followed by zero or more steps."""
+
+    #: real traces are never pending; see :class:`PendingTrace`
+    pending = False
 
     def __init__(self, initial: Rec, steps: Sequence[TraceStep] = ()):
         self.initial = initial
@@ -153,6 +156,47 @@ class Trace:
 
     def __repr__(self) -> str:
         return f"Trace(depth={self.depth})"
+
+
+class PendingTrace(Trace):
+    """A trace known only by depth, from a traceless (fingerprint-only) run.
+
+    Fingerprint-only stores keep no parent edges, so when a violation
+    fingerprint is hit the engine knows the minimal depth but not the
+    event sequence.  A :class:`PendingTrace` carries that depth until
+    bounded re-search (a full-store re-exploration capped at this depth)
+    replaces it with the exact counterexample.  ``pending`` marks it so
+    downstream code never mistakes it for an empty real trace, and
+    serialization is refused outright.
+    """
+
+    pending = True
+
+    def __init__(self, depth: int):
+        super().__init__(Rec())
+        self._depth = int(depth)
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def extend(self, step: TraceStep) -> "Trace":
+        raise RuntimeError("pending trace from a traceless run cannot be extended")
+
+    def to_dict(self) -> dict:
+        raise RuntimeError(
+            "pending trace from a traceless (--fast) run cannot be serialized;"
+            " run bounded re-search to reconstruct the counterexample first"
+        )
+
+    def summary(self) -> str:
+        return (
+            f"trace of depth {self._depth} (pending: fingerprint-only run,"
+            " steps not reconstructed)"
+        )
+
+    def __repr__(self) -> str:
+        return f"PendingTrace(depth={self._depth})"
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SIZE_BOUNDS",
+    "STORE_BYTES",
     "TIME_BOUNDS",
 ]
 
@@ -56,6 +57,12 @@ ACTION_FIRES = "engine.action_fires"
 #: (fingerprints patched from a parent's pair-digest table), and
 #: ``fp_full`` (fingerprints computed from a full encoding).
 CODEC_CHUNKS = "codec.chunk_cache"
+
+#: Gauge: estimated resident store bytes divided by states known — the
+#: continuously-measured form of the fast mode ≤16 bytes/state claim.
+#: Refreshed by the engine at progress ticks and end of run, and
+#: rendered in progress lines and ``metrics.jsonl``.
+STORE_BYTES = "store.bytes_per_state"
 
 #: Geometric buckets for size-like observations (fan-out, batch sizes).
 SIZE_BOUNDS: Tuple[float, ...] = tuple(2**i for i in range(17))  # 1 .. 65536

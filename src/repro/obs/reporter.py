@@ -21,7 +21,7 @@ from __future__ import annotations
 import sys
 from typing import Any, Callable, Optional, TextIO
 
-from .metrics import MetricsRegistry
+from .metrics import STORE_BYTES, MetricsRegistry
 
 __all__ = ["ProgressReporter", "compose_progress"]
 
@@ -59,6 +59,9 @@ class ProgressReporter:
             queue = self.registry.gauge("engine.queue_depth").value
             if queue:
                 parts.append(f"queue {int(queue)}")
+            bytes_per_state = self.registry.gauge(STORE_BYTES).value
+            if bytes_per_state:
+                parts.append(f"{bytes_per_state:.1f} B/state")
         self.emit(", ".join(parts))
 
     def event(self, label: str, **fields: Any) -> None:

@@ -48,9 +48,14 @@ import struct
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.engine import CompactStore, SearchStats, StateStore
+from ..core.engine import (
+    CompactStore,
+    FingerprintOnlyStore,
+    SearchStats,
+    StateStore,
+)
 from ..core.state import CODEC_VERSION, Rec, decode, encode
-from ..core.trace import Trace, from_jsonable, to_jsonable
+from ..core.trace import PendingTrace, Trace, from_jsonable, to_jsonable
 from ..core.violation import Violation
 from .diskstore import DiskStore
 from .rundir import RunDir, RunDirError, atomic_write_json, read_json
@@ -142,18 +147,29 @@ class CheckpointData:
 
 
 def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
+    trace = violation.trace
     return {
         "invariant": violation.invariant,
         "kind": violation.kind,
         "detail": violation.detail,
-        "trace": violation.trace.to_dict(),
+        # A traceless (fast-mode) run only knows the violation depth;
+        # the pending marker survives checkpoint/resume so bounded
+        # re-search can still resolve it after a restart.
+        "trace": (
+            {"pending_depth": trace.depth} if trace.pending else trace.to_dict()
+        ),
     }
 
 
 def _violation_from_dict(raw: Dict[str, Any]) -> Violation:
+    raw_trace = raw["trace"]
+    if "pending_depth" in raw_trace:
+        trace: Trace = PendingTrace(raw_trace["pending_depth"])
+    else:
+        trace = Trace.from_dict(raw_trace)
     return Violation(
         raw["invariant"],
-        Trace.from_dict(raw["trace"]),
+        trace,
         kind=raw.get("kind", "state"),
         detail=raw.get("detail", ""),
     )
@@ -202,10 +218,17 @@ def write_checkpoint(
         frontier_records += _FRONTIER.pack(fp, depth, len(enc)) + enc
         n_frontier += 1
 
+    if store_meta is None:
+        # Traceless stores dump pseudo-edges (fingerprints only); tag the
+        # header so resume rebuilds a FingerprintOnlyStore, not a full one.
+        if store is not None and getattr(store, "traceless", False):
+            store_meta = {"kind": "fponly"}
+        else:
+            store_meta = {"kind": "inline"}
     header = {
         "codec_version": CODEC_VERSION,
         "stats": dataclasses.asdict(stats) if stats is not None else {},
-        "store": store_meta if store_meta is not None else {"kind": "inline"},
+        "store": store_meta,
         "violations": [_violation_to_dict(v) for v in violations],
         "counts": {
             "actions": len(actions),
@@ -395,6 +418,8 @@ def load_serial_resume(
             run_dir.store_dir, store_meta, memory_budget, max_segments,
             metrics=metrics,
         )
+    elif store_meta.get("kind") == "fponly":
+        store = data.restore_into(FingerprintOnlyStore())
     else:
         store = data.restore_into(CompactStore())
     resume = ResumeState(

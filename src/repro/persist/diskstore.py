@@ -47,9 +47,10 @@ import mmap
 import os
 import pathlib
 import struct
+import sys
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from ..core.engine import StateStore
+from ..core.engine import _INT_BYTES, StateStore, TracelessStoreError
 from ..core.state import Rec, decode, encode
 
 __all__ = ["DiskStore"]
@@ -114,9 +115,14 @@ class DiskStore(StateStore):
         path: Union[str, os.PathLike],
         memory_budget: int = 1_000_000,
         max_segments: int = 8,
+        traceless: bool = False,
         _resume_meta: Optional[Dict[str, Any]] = None,
         metrics: Optional[Any] = None,
     ):
+        # Traceless (fast-mode) stores keep only the spilled fingerprint
+        # set: record() skips the edge log entirely, so no trace can be
+        # reconstructed — violations resolve via bounded re-search.
+        self.traceless = bool(traceless)
         self.metrics = metrics
         self.path = pathlib.Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
@@ -171,7 +177,14 @@ class DiskStore(StateStore):
         metrics: Optional[Any] = None,
     ) -> "DiskStore":
         """Reopen a store exactly as a committed checkpoint described it."""
-        return cls(path, memory_budget, max_segments, _resume_meta=meta, metrics=metrics)
+        return cls(
+            path,
+            memory_budget,
+            max_segments,
+            traceless=bool(meta.get("traceless", False)),
+            _resume_meta=meta,
+            metrics=metrics,
+        )
 
     def _attach(self, meta: Dict[str, Any]) -> None:
         # Truncate every log to its checkpointed length: anything past it
@@ -232,6 +245,9 @@ class DiskStore(StateStore):
                 f"DiskStore requires int fingerprints, got {type(fp).__name__}"
                 " (strong/bytes fingerprints are not supported on disk)"
             )
+        if self.traceless:
+            self._add(fp)
+            return
         aid = self._action_ids.get(action)
         if aid is None:
             aid = self._intern(action)
@@ -241,6 +257,9 @@ class DiskStore(StateStore):
         self._add(fp)
 
     def record_init(self, fp: Any, state: Rec) -> None:
+        if self.traceless:
+            self._add(fp)
+            return
         enc = encode(state)
         self._roots_f.write(_ROOT.pack(fp, len(enc)) + enc)
         self._inits[fp] = state
@@ -248,9 +267,19 @@ class DiskStore(StateStore):
         self._add(fp)
 
     def init_state(self, fp: Any) -> Rec:
+        if self.traceless:
+            raise TracelessStoreError(
+                "a traceless DiskStore keeps no root states;"
+                " use bounded re-search to reconstruct traces"
+            )
         return self._inits[fp]
 
     def chain(self, fp: Any) -> List[Tuple[Any, str]]:
+        if self.traceless:
+            raise TracelessStoreError(
+                "a traceless DiskStore keeps no parent edges, so no trace"
+                " can be reconstructed; use bounded re-search"
+            )
         index = self._ensure_edge_index()
         chain: List[Tuple[Any, str]] = []
         cursor: Optional[int] = fp
@@ -278,6 +307,15 @@ class DiskStore(StateStore):
 
     def __len__(self) -> int:
         return self._count
+
+    def estimated_bytes(self) -> Optional[int]:
+        # Only the resident part counts: the memory index plus the root
+        # states; spilled segments are mmapped files, paged by the OS.
+        return (
+            sys.getsizeof(self._mem)
+            + len(self._mem) * _INT_BYTES
+            + sys.getsizeof(self._inits)
+        )
 
     # -- spill, compaction, durability ---------------------------------------
 
@@ -352,6 +390,7 @@ class DiskStore(StateStore):
             os.fsync(handle.fileno())
         meta = {
             "kind": "disk",
+            "traceless": self.traceless,
             "edges_len": self._edges_f.tell(),
             "roots_len": self._roots_f.tell(),
             "actions_len": self._actions_f.tell(),

@@ -77,6 +77,9 @@ def run_check(
     spec_label: Optional[str] = None,
     metrics: Optional[Any] = None,
     compiled: bool = True,
+    fast: bool = False,
+    por: bool = False,
+    research: bool = True,
 ) -> SearchResult:
     """Run (or resume) one durable BFS check in ``run_dir``.
 
@@ -105,6 +108,11 @@ def run_check(
         "max_states": max_states,
         "max_depth": max_depth,
         "time_budget": time_budget,
+        # Recorded so a resume cannot silently flip them: a traceless
+        # store cannot continue a full run (or vice versa), and POR
+        # changes the explored state space.
+        "fast": bool(fast),
+        "por": bool(por),
     }
     if resume:
         rd = RunDir.open(run_dir)
@@ -140,6 +148,9 @@ def run_check(
         progress_interval=progress_interval,
         metrics=metrics,
         compiled=compiled,
+        fast=fast,
+        por=por,
+        research=research,
     )
     store: Optional[DiskStore] = None
     try:
@@ -164,7 +175,9 @@ def run_check(
                 )
                 store = loaded  # type: ignore[assignment]
             else:
-                store = DiskStore(rd.store_dir, memory_budget, metrics=metrics)
+                store = DiskStore(
+                    rd.store_dir, memory_budget, traceless=fast, metrics=metrics
+                )
                 resume_state = None
             checkpointer = SerialCheckpointer(
                 rd, checkpoint_every, checkpoint_states, on_checkpoint

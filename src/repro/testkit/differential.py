@@ -23,6 +23,18 @@ For each generated spec the harness runs two phases:
   counterexample depth, which must equal the planted minimal depth
   exactly.
 
+Both phases also carry **fast** (traceless fingerprint-only store, with
+bounded re-search of any violation), **POR** (partial-order-reduced
+compile) and combined cells.  A fast cell's re-searched counterexample
+must be *byte-identical* (as sorted JSON) to the trace of a plain
+serial full-store run of the same spec under the same symmetry/POR
+settings.  POR census cells must still match the oracle exactly — an
+invariant-free spec has an empty prune set by construction — while
+**exhaustive** cells re-run the violation-phase spec with
+``stop_on_violation=False`` and grade the full census of the (possibly
+POR-reduced) space against the oracle with the statically pruned
+actions excluded, plus the minimal violation depth.
+
 Any mismatch — including an exception escaping a configuration — is a
 :class:`Disagreement` carrying the spec seed, generator params, and
 config: everything needed to regenerate the identical spec and re-run
@@ -35,12 +47,14 @@ back into a live re-run.
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing
 import os
 import random
 import tempfile
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.compile import por_prune_set
 from ..core.engine import CompactStore, SearchResult, ShardedStateStore, StopReason
 from ..core.explorer import BFSExplorer, bfs_explore
 from ..core.state import CODEC_VERSION
@@ -85,6 +99,9 @@ class MatrixConfig:
     symmetry: bool = False
     durable: bool = False  # kill at a checkpoint, then resume
     compiled: bool = True  # False = interpreted Spec.successors pipeline
+    fast: bool = False  # traceless store + bounded re-search
+    por: bool = False  # partial-order-reduced compile
+    exhaustive: bool = False  # violation-phase spec, stop_on_violation=False
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -95,13 +112,21 @@ class MatrixConfig:
 
 
 def build_matrix(
-    generated: GeneratedSpec, parallel: bool = True
+    generated: GeneratedSpec,
+    parallel: bool = True,
+    fast: bool = False,
+    por: bool = False,
 ) -> List[MatrixConfig]:
     """The configuration matrix for one generated spec.
 
     Symmetry cells appear only for symmetric specs, worker cells only
     when ``parallel`` is requested and the platform can fork, and
     violation cells only when a violation was actually planted.
+
+    ``fast``/``por`` *force* the corresponding reducer onto every cell
+    (dropping cells whose store or pipeline is incompatible: fast mode
+    needs a traceless-capable store, POR needs the compiled pipeline) —
+    the hammer behind ``sandtable selftest --fast/--por``.
     """
     census: List[MatrixConfig] = [
         MatrixConfig("census/serial-memory", "census"),
@@ -117,6 +142,13 @@ def build_matrix(
             durable=True,
             compiled=False,
         ),
+        MatrixConfig("census/fast-serial", "census", fast=True),
+        MatrixConfig("census/fast-disk", "census", store="disk", fast=True),
+        MatrixConfig(
+            "census/fast-resume", "census", store="disk", durable=True, fast=True
+        ),
+        MatrixConfig("census/por-serial", "census", por=True),
+        MatrixConfig("census/fast-por-serial", "census", fast=True, por=True),
     ]
     if generated.symmetric:
         census.append(MatrixConfig("census/serial-symmetry", "census", symmetry=True))
@@ -125,6 +157,9 @@ def build_matrix(
                 "census/interpreted-symmetry", "census", symmetry=True, compiled=False
             )
         )
+        census.append(
+            MatrixConfig("census/fast-symmetry", "census", symmetry=True, fast=True)
+        )
     if parallel and _fork_available():
         census.append(MatrixConfig("census/workers-2", "census", workers=2))
         census.append(MatrixConfig("census/workers-3", "census", workers=3))
@@ -132,6 +167,9 @@ def build_matrix(
             MatrixConfig(
                 "census/interpreted-workers-2", "census", workers=2, compiled=False
             )
+        )
+        census.append(
+            MatrixConfig("census/fast-workers-2", "census", workers=2, fast=True)
         )
         if generated.symmetric:
             census.append(
@@ -147,13 +185,78 @@ def build_matrix(
             MatrixConfig(
                 "violation/durable-resume", "violation", store="disk", durable=True
             ),
+            MatrixConfig("violation/fast-serial", "violation", fast=True),
+            MatrixConfig("violation/fast-disk", "violation", store="disk", fast=True),
+            MatrixConfig(
+                "violation/fast-resume",
+                "violation",
+                store="disk",
+                durable=True,
+                fast=True,
+            ),
+            MatrixConfig("violation/por-serial", "violation", por=True),
+            MatrixConfig(
+                "violation/por-resume",
+                "violation",
+                store="disk",
+                durable=True,
+                por=True,
+            ),
+            MatrixConfig("violation/fast-por-serial", "violation", fast=True, por=True),
+            MatrixConfig("violation/exhaustive-serial", "violation", exhaustive=True),
+            MatrixConfig(
+                "violation/fast-exhaustive", "violation", fast=True, exhaustive=True
+            ),
+            MatrixConfig(
+                "violation/por-exhaustive", "violation", por=True, exhaustive=True
+            ),
+            MatrixConfig(
+                "violation/fast-exhaustive-resume",
+                "violation",
+                store="disk",
+                durable=True,
+                fast=True,
+                exhaustive=True,
+            ),
         ]
         if generated.symmetric:
             matrix.append(
                 MatrixConfig("violation/serial-symmetry", "violation", symmetry=True)
             )
+            matrix.append(
+                MatrixConfig(
+                    "violation/fast-symmetry", "violation", symmetry=True, fast=True
+                )
+            )
         if parallel and _fork_available():
             matrix.append(MatrixConfig("violation/workers-2", "violation", workers=2))
+            matrix.append(
+                MatrixConfig(
+                    "violation/fast-workers-2", "violation", workers=2, fast=True
+                )
+            )
+            matrix.append(
+                MatrixConfig(
+                    "violation/por-workers-2", "violation", workers=2, por=True
+                )
+            )
+    if fast or por:
+        forced: List[MatrixConfig] = []
+        seen = set()
+        for cfg in matrix:
+            if fast and cfg.store in ("compact", "sharded"):
+                continue  # no traceless variant of these stores
+            if por and not cfg.compiled:
+                continue  # POR needs the compiled pipeline
+            cfg = dataclasses.replace(cfg, fast=cfg.fast or fast, por=cfg.por or por)
+            # Forcing collapses cells (serial-memory forced fast ==
+            # fast-serial); keep one per distinct configuration.
+            key = dataclasses.replace(cfg, name="")
+            if key in seen:
+                continue
+            seen.add(key)
+            forced.append(cfg)
+        matrix = forced
     return matrix
 
 
@@ -248,7 +351,7 @@ def _run_config(
     exactly, in every engine configuration.
     """
     spec = generated.spec(invariants=config.phase == "violation")
-    stop = config.phase == "violation"
+    stop = config.phase == "violation" and not config.exhaustive
     registry = MetricsRegistry()
     if config.durable:
         with tempfile.TemporaryDirectory(prefix="sandtable-selftest-") as tmp:
@@ -261,6 +364,8 @@ def _run_config(
                         symmetry=config.symmetry,
                         stop_on_violation=stop,
                         compiled=config.compiled,
+                        fast=config.fast,
+                        por=config.por,
                         checkpoint_states=_CHECKPOINT_STATES,
                         memory_budget=_MEMORY_BUDGET,
                         on_checkpoint=_kill_after(2),
@@ -282,6 +387,8 @@ def _run_config(
                     symmetry=config.symmetry,
                     stop_on_violation=stop,
                     compiled=config.compiled,
+                    fast=config.fast,
+                    por=config.por,
                     checkpoint_states=_CHECKPOINT_STATES,
                     memory_budget=_MEMORY_BUDGET,
                     metrics=resumed,
@@ -297,6 +404,8 @@ def _run_config(
                 stop_on_violation=stop,
                 metrics=registry,
                 compiled=config.compiled,
+                fast=config.fast,
+                por=config.por,
             ),
             registry,
         )
@@ -305,6 +414,7 @@ def _run_config(
             store = DiskStore(
                 os.path.join(tmp, "store"),
                 memory_budget=_MEMORY_BUDGET,
+                traceless=config.fast,
                 metrics=registry,
             )
             try:
@@ -316,6 +426,8 @@ def _run_config(
                         store=store,
                         metrics=registry,
                         compiled=config.compiled,
+                        fast=config.fast,
+                        por=config.por,
                     ).run(),
                     registry,
                 )
@@ -334,6 +446,8 @@ def _run_config(
             store=store,
             metrics=registry,
             compiled=config.compiled,
+            fast=config.fast,
+            por=config.por,
         ).run(),
         registry,
     )
@@ -360,12 +474,54 @@ def _expected_census(
     ]
 
 
+def _por_oracle(generated: GeneratedSpec, cache: Dict[Any, Any]) -> OracleResult:
+    """Ground truth for a POR-reduced exhaustive run, computed lazily.
+
+    The POR census must equal the census of the spec with the
+    statically pruned actions removed — the oracle with those actions
+    excluded, computed on the *invariant-carrying* spec (the prune set
+    depends on the invariants' declared reads).
+    """
+    if "por-oracle" not in cache:
+        spec = generated.spec(invariants=True)
+        cache["por-oracle"] = oracle_explore(
+            spec, exclude_actions=por_prune_set(spec)
+        )
+    return cache["por-oracle"]
+
+
+def _reference_trace(
+    generated: GeneratedSpec, config: MatrixConfig, cache: Dict[Any, Any]
+) -> str:
+    """Sorted-JSON counterexample of a plain serial full-store run.
+
+    One reference per (symmetry, por) combination: the fast cells'
+    bounded re-search must reproduce this trace byte-for-byte.
+    """
+    key = ("reference-trace", config.symmetry, config.por)
+    if key not in cache:
+        reference = BFSExplorer(
+            generated.spec(invariants=True),
+            symmetry=config.symmetry,
+            por=config.por,
+            stop_on_violation=True,
+        ).run()
+        if reference.violation is None:
+            cache[key] = "<reference full-store run found no violation>"
+        else:
+            cache[key] = json.dumps(
+                reference.violation.trace.to_dict(), sort_keys=True
+            )
+    return cache[key]
+
+
 def _grade(
     generated: GeneratedSpec,
     config: MatrixConfig,
     oracle: OracleResult,
     result: SearchResult,
     registry: Optional[MetricsRegistry] = None,
+    cache: Optional[Dict[Any, Any]] = None,
 ) -> List[Disagreement]:
     def mismatch(field: str, expected: Any, actual: Any) -> Disagreement:
         return Disagreement(
@@ -377,8 +533,40 @@ def _grade(
             actual=actual,
         )
 
+    def grade_violation() -> None:
+        # BFS minimality is the contract: the violated invariant's name
+        # and the exact planted minimal depth, in every configuration.
+        planted = generated.planted
+        assert planted is not None
+        violation = result.violation
+        if violation is None:
+            found.append(mismatch("violation", planted.invariant, None))
+            return
+        if violation.invariant != planted.invariant:
+            found.append(mismatch("invariant", planted.invariant, violation.invariant))
+        if violation.depth != planted.depth:
+            found.append(mismatch("violation_depth", planted.depth, violation.depth))
+        if config.fast:
+            # Fast cells must have *resolved* their traceless violation
+            # through bounded re-search into the byte-identical trace a
+            # plain serial full-store run produces.
+            if getattr(violation.trace, "pending", False):
+                found.append(mismatch("trace", "researched Trace", "PendingTrace"))
+            elif cache is not None:
+                expected = _reference_trace(generated, config, cache)
+                actual = json.dumps(violation.trace.to_dict(), sort_keys=True)
+                if actual != expected:
+                    found.append(mismatch("trace_bytes", expected, actual))
+
     found: List[Disagreement] = []
-    if config.phase == "census":
+    if config.phase == "census" or config.exhaustive:
+        # Census contract (also for exhaustive violation-phase cells,
+        # which sweep the full space despite the planted invariant).
+        # POR prunes nothing from an invariant-free census spec, so only
+        # exhaustive POR cells grade against the excluded-action oracle.
+        expected_oracle = oracle
+        if config.exhaustive and config.por and cache is not None:
+            expected_oracle = _por_oracle(generated, cache)
         if result.stop_reason != StopReason.EXHAUSTED:
             found.append(
                 mismatch("stop_reason", str(StopReason.EXHAUSTED), str(result.stop_reason))
@@ -388,36 +576,32 @@ def _grade(
             "transitions": result.stats.transitions,
             "max_depth": result.stats.max_depth,
         }
-        for field, expected in _expected_census(oracle, config):
+        for field, expected in _expected_census(expected_oracle, config):
             if actuals[field] != expected:
                 found.append(mismatch(field, expected, actuals[field]))
         if registry is not None:
             # Coverage counters must partition the transition count by
-            # action, exactly — the same accounting as the oracle's.
+            # action, exactly — the same accounting as the oracle's
+            # (statically pruned actions appear at zero on both sides).
             expected_fires = (
-                oracle.orbit_action_fires if config.symmetry else oracle.action_fires
+                expected_oracle.orbit_action_fires
+                if config.symmetry
+                else expected_oracle.action_fires
             )
             actual_fires = dict(registry.counts(ACTION_FIRES))
             if actual_fires != expected_fires:
                 found.append(mismatch("action_fires", expected_fires, actual_fires))
+        if config.exhaustive:
+            grade_violation()
         return found
 
-    # violation phase: BFS minimality is the contract, stats are not.
-    planted = generated.planted
-    assert planted is not None
+    # violation phase, stop_on_violation=True: stats are not graded.
     if result.stop_reason != StopReason.VIOLATION or result.violation is None:
         found.append(
             mismatch("stop_reason", str(StopReason.VIOLATION), str(result.stop_reason))
         )
         return found
-    if result.violation.invariant != planted.invariant:
-        found.append(
-            mismatch("invariant", planted.invariant, result.violation.invariant)
-        )
-    if result.violation.depth != planted.depth:
-        found.append(
-            mismatch("violation_depth", planted.depth, result.violation.depth)
-        )
+    grade_violation()
     return found
 
 
@@ -425,18 +609,27 @@ def check_spec(
     generated: GeneratedSpec,
     parallel: bool = True,
     configs: Optional[List[MatrixConfig]] = None,
+    fast: bool = False,
+    por: bool = False,
 ) -> Tuple[OracleResult, List[Disagreement]]:
     """Run one generated spec through the matrix; return oracle + mismatches.
 
     A configuration that raises is reported as a ``field="error"``
     disagreement rather than aborting the sweep — a crash in one store
     is exactly the kind of bug the harness exists to surface.
+    ``fast``/``por`` force the reducers across the matrix (see
+    :func:`build_matrix`).
     """
     oracle = oracle_explore(
         generated.spec(invariants=False), compute_orbits=generated.symmetric
     )
+    # Lazily computed shared ground truth: the POR-excluded oracle and
+    # the per-(symmetry, por) reference counterexample traces.
+    cache: Dict[Any, Any] = {}
     disagreements: List[Disagreement] = []
-    for config in configs if configs is not None else build_matrix(generated, parallel):
+    if configs is None:
+        configs = build_matrix(generated, parallel, fast=fast, por=por)
+    for config in configs:
         try:
             result, registry = _run_config(generated, config)
         except Exception as exc:  # noqa: BLE001 — every escape is a finding
@@ -451,7 +644,9 @@ def check_spec(
                 )
             )
             continue
-        disagreements.extend(_grade(generated, config, oracle, result, registry))
+        disagreements.extend(
+            _grade(generated, config, oracle, result, registry, cache)
+        )
     return oracle, disagreements
 
 
@@ -467,6 +662,8 @@ def run_differential(
     parallel: bool = True,
     progress: Optional[Callable[[int, GeneratedSpec, int], None]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fast: bool = False,
+    por: bool = False,
 ) -> DifferentialReport:
     """Fuzz ``n_specs`` random specs through the full matrix.
 
@@ -478,14 +675,15 @@ def run_differential(
 
     With ``metrics`` the sweep keeps running totals (``selftest.specs``,
     ``selftest.configs``, ``selftest.disagreements``) for the CLI's
-    ``--stats-out`` sink.
+    ``--stats-out`` sink.  ``fast``/``por`` force the reducers across
+    the matrix (``sandtable selftest --fast/--por``).
     """
     report = DifferentialReport()
     params_rng = random.Random(f"params:{seed}")
     for index in range(n_specs):
         params = sample_params(params_rng)
         generated = generate_spec(f"{seed}:{index}", params)
-        configs = build_matrix(generated, parallel)
+        configs = build_matrix(generated, parallel, fast=fast, por=por)
         oracle, disagreements = check_spec(generated, parallel, configs)
         report.specs += 1
         report.configs_run += len(configs)

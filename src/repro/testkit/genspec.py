@@ -63,7 +63,18 @@ PLANTED_INVARIANT = "NoPlantedSignature"
 
 @dataclasses.dataclass(frozen=True)
 class GenParams:
-    """Tunable knobs for one generated specification."""
+    """Tunable knobs for one generated specification.
+
+    ``n_channels`` adds independent top-level ``chan{i}`` variables with
+    their own *channel* actions, each declaring exact read/write sets —
+    the fuzz surface for partial-order reduction.  An *uncoupled*
+    channel action touches only its channel (statically prunable when
+    nothing else reads it); a *coupled* one (probability ``couple_p``)
+    also reads and writes ``glob``, which makes it a survivor and — via
+    the prune fixpoint — protects every other action on the same
+    channel.  The defaults generate no channels, so existing seeds keep
+    their exact historical state spaces.
+    """
 
     n_nodes: int = 3
     local_states: int = 3
@@ -75,6 +86,10 @@ class GenParams:
     enable_p: float = 0.55
     symmetric: bool = True
     plant_violation: bool = True
+    n_channels: int = 0
+    channel_states: int = 2
+    n_channel_actions: int = 0
+    couple_p: float = 0.25
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -115,36 +130,78 @@ class RandomSpec(Spec):
         pair_tables: List[dict],
         global_tables: List[dict],
         planted: Optional[PlantedViolation] = None,
+        channel_tables: Optional[List[tuple]] = None,
     ):
         self.params = params
         self.nodes = tuple(f"n{i}" for i in range(1, params.n_nodes + 1))
         self.local_tables = local_tables
         self.pair_tables = pair_tables
         self.global_tables = global_tables
+        #: (channel index, coupled, table) triples — see :class:`GenParams`.
+        self.channel_tables = channel_tables or []
         self.planted = planted
         self._action_list = self._build_actions()
 
     # -- the state machine ---------------------------------------------------
 
     def init_states(self) -> Iterable[Rec]:
-        yield Rec(locals=Rec({node: 0 for node in self.nodes}), glob=0)
+        state = {"locals": Rec({node: 0 for node in self.nodes}), "glob": 0}
+        for index in range(self.params.n_channels):
+            state[f"chan{index}"] = 0
+        yield Rec(state)
 
     def actions(self):
         return self._action_list
 
     def _build_actions(self) -> List[Action]:
+        # Every generated action declares exact top-level read/write
+        # sets: table rules are pure functions of the variables below,
+        # so the declarations are sound by construction — which is what
+        # lets the differential harness run these specs under
+        # partial-order reduction and grade the result.
         actions: List[Action] = []
+        base = ("locals", "glob")
         for index, table in enumerate(self.local_tables):
             actions.append(
-                Action(f"Local{index}", self._local_fn(table), kind="internal")
+                Action(
+                    f"Local{index}",
+                    self._local_fn(table),
+                    kind="internal",
+                    reads=base,
+                    writes=base,
+                )
             )
         for index, table in enumerate(self.pair_tables):
             actions.append(
-                Action(f"Pair{index}", self._pair_fn(table), kind="message")
+                Action(
+                    f"Pair{index}",
+                    self._pair_fn(table),
+                    kind="message",
+                    reads=base,
+                    writes=base,
+                )
             )
         for index, table in enumerate(self.global_tables):
             actions.append(
-                Action(f"Global{index}", self._global_fn(table), kind="client")
+                Action(
+                    f"Global{index}",
+                    self._global_fn(table),
+                    kind="client",
+                    reads=("glob",),
+                    writes=("glob",),
+                )
+            )
+        for index, (channel, coupled, table) in enumerate(self.channel_tables):
+            key = f"chan{channel}"
+            touched = (key, "glob") if coupled else (key,)
+            actions.append(
+                Action(
+                    f"Chan{index}",
+                    self._channel_fn(key, coupled, table),
+                    kind="internal",
+                    reads=touched,
+                    writes=touched,
+                )
             )
         return actions
 
@@ -197,6 +254,27 @@ class RandomSpec(Spec):
 
         return fn
 
+    def _channel_fn(self, key: str, coupled: bool, table: dict):
+        if coupled:
+
+            def fn(state: Rec):
+                options = table.get((state[key], state["glob"]), ())
+                for branch, (new_chan, new_glob) in enumerate(options):
+                    yield (
+                        (),
+                        state.update({key: new_chan, "glob": new_glob}),
+                        f"b{branch}",
+                    )
+
+        else:
+
+            def fn(state: Rec):
+                options = table.get(state[key], ())
+                for branch, new_chan in enumerate(options):
+                    yield ((), state.set(key, new_chan), f"b{branch}")
+
+        return fn
+
     # -- properties ----------------------------------------------------------
 
     def invariants(self):
@@ -207,7 +285,16 @@ class RandomSpec(Spec):
         def no_planted_signature(state: Rec) -> bool:
             return signature(state) != bad_sig
 
-        return (Invariant(self.planted.invariant, no_planted_signature),)
+        # The signature reads exactly these variables; declaring them
+        # keeps channel actions independent of the invariant, which is
+        # what makes them POR-prunable.
+        return (
+            Invariant(
+                self.planted.invariant,
+                no_planted_signature,
+                reads=("locals", "glob"),
+            ),
+        )
 
     def symmetry_sets(self):
         return (self.nodes,) if self.params.symmetric else ()
@@ -228,6 +315,7 @@ class GeneratedSpec:
     pair_tables: List[dict]
     global_tables: List[dict]
     planted: Optional[PlantedViolation]
+    channel_tables: List[tuple] = dataclasses.field(default_factory=list)
 
     def spec(self, invariants: bool = True) -> RandomSpec:
         """Instantiate the spec, with or without the planted invariant."""
@@ -237,6 +325,7 @@ class GeneratedSpec:
             self.pair_tables,
             self.global_tables,
             planted=self.planted if invariants else None,
+            channel_tables=self.channel_tables,
         )
 
     @property
@@ -296,7 +385,37 @@ def _draw_tables(rng: random.Random, params: GenParams):
                 table[glob] = options
         global_tables.append(table)
 
-    return local_tables, pair_tables, global_tables
+    # Channel draws come strictly after the historical ones, and only
+    # when channels are enabled — existing (seed, params) pairs keep
+    # their byte-identical tables.
+    channel_tables = []
+    if params.n_channels > 0 and params.n_channel_actions > 0:
+        C = params.channel_states
+
+        def channel_update():
+            return rng.randrange(C)
+
+        def coupled_update():
+            return (rng.randrange(C), rng.randrange(G))
+
+        for _ in range(params.n_channel_actions):
+            channel = rng.randrange(params.n_channels)
+            coupled = rng.random() < params.couple_p
+            table = {}
+            if coupled:
+                for chan in range(C):
+                    for glob in range(G):
+                        options = _draw_options(rng, params, coupled_update)
+                        if options:
+                            table[(chan, glob)] = options
+            else:
+                for chan in range(C):
+                    options = _draw_options(rng, params, channel_update)
+                    if options:
+                        table[chan] = options
+            channel_tables.append((channel, coupled, table))
+
+    return local_tables, pair_tables, global_tables, channel_tables
 
 
 def generate_spec(seed: Any, params: Optional[GenParams] = None) -> GeneratedSpec:
@@ -308,7 +427,9 @@ def generate_spec(seed: Any, params: Optional[GenParams] = None) -> GeneratedSpe
     """
     params = params or GenParams()
     rng = random.Random(str(seed))
-    local_tables, pair_tables, global_tables = _draw_tables(rng, params)
+    local_tables, pair_tables, global_tables, channel_tables = _draw_tables(
+        rng, params
+    )
     generated = GeneratedSpec(
         seed=str(seed),
         params=params,
@@ -316,6 +437,7 @@ def generate_spec(seed: Any, params: Optional[GenParams] = None) -> GeneratedSpe
         pair_tables=pair_tables,
         global_tables=global_tables,
         planted=None,
+        channel_tables=channel_tables,
     )
     if params.plant_violation:
         generated.planted = _plant_violation(rng, generated)
@@ -361,15 +483,32 @@ def sample_params(rng: random.Random) -> GenParams:
     """
     n_nodes = rng.choice((2, 2, 3, 3))
     local_states = rng.choice((2, 3)) if n_nodes == 3 else rng.choice((2, 3, 4))
+    global_states = rng.choice((2, 3, 4))
+    n_local_actions = rng.choice((1, 2, 3))
+    n_pair_actions = rng.choice((0, 1, 1, 2))
+    n_global_actions = rng.choice((0, 1))
+    branching = rng.choice((1, 2, 2, 3))
+    enable_p = rng.choice((0.4, 0.5, 0.6, 0.7))
+    symmetric = rng.random() < 0.85
+    # Channel draws are appended after the historical ones so the same
+    # sweep seed keeps every pre-channel parameter unchanged.
+    n_channels = rng.choice((0, 0, 1, 2))
+    n_channel_actions = rng.choice((1, 2)) if n_channels else 0
+    channel_states = rng.choice((2, 3)) if n_channels else 2
+    couple_p = rng.choice((0.0, 0.25, 0.5)) if n_channels else 0.25
     return GenParams(
         n_nodes=n_nodes,
         local_states=local_states,
-        global_states=rng.choice((2, 3, 4)),
-        n_local_actions=rng.choice((1, 2, 3)),
-        n_pair_actions=rng.choice((0, 1, 1, 2)),
-        n_global_actions=rng.choice((0, 1)),
-        branching=rng.choice((1, 2, 2, 3)),
-        enable_p=rng.choice((0.4, 0.5, 0.6, 0.7)),
-        symmetric=rng.random() < 0.85,
+        global_states=global_states,
+        n_local_actions=n_local_actions,
+        n_pair_actions=n_pair_actions,
+        n_global_actions=n_global_actions,
+        branching=branching,
+        enable_p=enable_p,
+        symmetric=symmetric,
         plant_violation=True,
+        n_channels=n_channels,
+        channel_states=channel_states,
+        n_channel_actions=n_channel_actions,
+        couple_p=couple_p,
     )

@@ -69,6 +69,68 @@ class TestCheckCommand:
         assert code == 0
 
 
+class TestReducerFlags:
+    def test_fast_check_runs_clean(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--fast",
+                "--por",
+                "--max-states",
+                "5000",
+                "--time-budget",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_fast_rejects_out(self, tmp_path, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--fast",
+                "--out",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "re-search" in err and "--out" in err
+
+    def test_por_rejects_no_compile(self, capsys):
+        code = main(
+            ["check", "--system", "pysyncobj", "--nodes", "2", "--por", "--no-compile"]
+        )
+        assert code == 2
+        assert "ActionMeta" in capsys.readouterr().err
+
+    def test_selftest_forced_reducers(self, capsys):
+        code = main(
+            [
+                "selftest",
+                "--specs",
+                "2",
+                "--seed",
+                "cli-fast",
+                "--serial-only",
+                "--quiet",
+                "--fast",
+                "--por",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+
 class TestSimulateCommand:
     def test_reports_walk_metrics(self, capsys):
         code = main(

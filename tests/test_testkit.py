@@ -155,6 +155,42 @@ def test_matrix_covers_required_cells():
         assert "violation/durable-resume" in names
 
 
+def test_channel_specs_are_deterministic():
+    params = GenParams(n_channels=2, channel_states=3, n_channel_actions=2)
+    first = generate_spec("chan:7", params)
+    second = generate_spec("chan:7", params)
+    a = oracle_explore(first.spec(invariants=False))
+    b = oracle_explore(second.spec(invariants=False))
+    assert a.to_dict() == b.to_dict()
+    init = next(iter(first.spec(invariants=False).init_states()))
+    assert init["chan0"] == 0 and init["chan1"] == 0
+
+
+def test_default_params_generate_no_channels():
+    generated = generate_spec("chan:8", GenParams())
+    init = next(iter(generated.spec(invariants=False).init_states()))
+    assert "chan0" not in init
+
+
+def test_channel_actions_declare_read_write_metadata():
+    params = GenParams(n_channels=1, channel_states=2, n_channel_actions=2)
+    spec = generate_spec("chan:9", params).spec(invariants=True)
+    for action in spec.actions():
+        assert action.writes is not None, action.name
+        assert action.reads is not None, action.name
+    for invariant in spec.invariants():
+        assert invariant.reads is not None
+
+
+def test_channel_spec_agrees_across_matrix():
+    params = GenParams(
+        n_channels=2, channel_states=2, n_channel_actions=2, couple_p=1.0
+    )
+    generated = generate_spec("chan:10", params)
+    _, disagreements = check_spec(generated, parallel=False)
+    assert disagreements == [], [d.describe() for d in disagreements]
+
+
 def test_check_spec_agrees_on_a_few_seeds():
     for index in range(3):
         generated = generate_spec(f"agree:{index}")
