@@ -24,7 +24,9 @@ sink.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from .bugs import BUGS, detect
@@ -32,6 +34,10 @@ from .core.compile import compile_disabled
 from .core.state import set_delta_codec
 from .conformance import BugReplayer, ConformanceChecker, mapping_for
 from .core import bfs_explore, simulate
+
+# SPEC_CLASSES/make_spec moved to repro.dist.specref (spec references
+# must resolve without importing the CLI); re-exported here unchanged.
+from .dist.specref import SPEC_CLASSES, make_spec  # noqa: F401 - re-export
 from .obs import (
     MetricsRegistry,
     MetricsSink,
@@ -41,38 +47,44 @@ from .obs import (
     resolve_sink_path,
 )
 from .persist import RunDirError, load_violation, save_violation
-from .specs.raft import (
-    DaosRaftSpec,
-    PySyncObjSpec,
-    RaftConfig,
-    RaftOSSpec,
-    RedisRaftSpec,
-    WRaftSpec,
-    XraftKVSpec,
-    XraftSpec,
-)
-from .specs.zab import ZabConfig, ZabSpec
 from .systems import SYSTEMS
 
-SPEC_CLASSES = {
-    "pysyncobj": PySyncObjSpec,
-    "wraft": WRaftSpec,
-    "redisraft": RedisRaftSpec,
-    "daosraft": DaosRaftSpec,
-    "raftos": RaftOSSpec,
-    "xraft": XraftSpec,
-    "xraft-kv": XraftKVSpec,
-    "zookeeper": ZabSpec,
-}
+
+def _workers_value(text: str) -> int:
+    """argparse type for ``--workers``: a positive integer, or exit 2."""
+    try:
+        value = int(str(text).strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer worker count, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value} (1 means serial)"
+        )
+    return value
 
 
-def make_spec(system: str, nodes: int, bugs: Sequence[str], invariant: Optional[str]):
-    node_names = tuple(f"n{i}" for i in range(1, nodes + 1))
-    only = [invariant] if invariant else None
-    if system == "zookeeper":
-        return ZabSpec(ZabConfig(nodes=node_names), bugs=bugs, only_invariants=only)
-    spec_cls = SPEC_CLASSES[system]
-    return spec_cls(RaftConfig(nodes=node_names), bugs=bugs, only_invariants=only)
+def _resolve_workers(args: argparse.Namespace) -> int:
+    """``--workers``, else ``SANDTABLE_WORKERS``, else 1.
+
+    Raises :class:`WorkersError` (→ exit 2) on a malformed environment
+    value; a typo must not silently run serial.
+    """
+    if args.workers is not None:
+        return args.workers
+    env = os.environ.get("SANDTABLE_WORKERS", "").strip()
+    if not env:
+        return 1
+    try:
+        return _workers_value(env)
+    except argparse.ArgumentTypeError as exc:
+        raise WorkersError(f"SANDTABLE_WORKERS: {exc}") from None
+
+
+class WorkersError(ValueError):
+    """A malformed worker-count setting (flag validation handles the flag
+    itself; this covers the ``SANDTABLE_WORKERS`` environment path)."""
 
 
 def _make_stats(args: argparse.Namespace):
@@ -88,6 +100,20 @@ def _finish_stats(args: argparse.Namespace, registry, stats=None, spec=None) -> 
     if registry is None:
         return
     print(coverage_from_registry(registry, spec).render())
+    snap = registry.snapshot()
+    rounds = snap["counters"].get("parallel.rounds", 0)
+    if rounds:
+        batch_bytes = snap["counters"].get("parallel.batch_bytes", 0)
+        wire_sent = snap["counters"].get("dist.wire.bytes_sent", 0)
+        wire_received = snap["counters"].get("dist.wire.bytes_received", 0)
+        wait = snap["histograms"].get("parallel.round_wait_ms")
+        line = f"exchange: {rounds} rounds, {batch_bytes} batch bytes routed"
+        if wire_sent or wire_received:
+            line += f", wire {wire_sent}B out / {wire_received}B in"
+        if wait and wait.get("count"):
+            mean = wait["total"] / wait["count"]
+            line += f", master wait mean {mean:.1f} ms max {wait['max']:.1f} ms"
+        print(line)
     if getattr(args, "stats_out", None):
         sink = MetricsSink(args.stats_out, registry, meta={"command": args.command})
         sink.close(stats=stats)
@@ -139,6 +165,35 @@ def cmd_check(args: argparse.Namespace) -> int:
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    try:
+        workers = _resolve_workers(args)
+    except WorkersError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    transport = None
+    if args.worker:
+        # Remote socket workers: the spec travels as a reference, the
+        # shard count defaults to one shard per address.
+        from .dist.specref import system_ref
+        from .dist.transport import SocketTransport, TransportError
+
+        if args.workers is None:
+            workers = len(args.worker)
+        elif workers > len(args.worker):
+            print(
+                f"--workers {workers} needs at least {workers} --worker"
+                f" addresses, got {len(args.worker)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            transport = SocketTransport(
+                args.worker,
+                system_ref(args.system, args.nodes, args.bug, args.invariant),
+            )
+        except TransportError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
     durable = {}
     if args.run_dir:
@@ -152,13 +207,16 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("--resume requires --run-dir", file=sys.stderr)
         return 2
     registry, reporter = _make_stats(args)
+    from .dist.transport import TransportError as _TransportError
+
     try:
         result = bfs_explore(
             spec,
             max_states=args.max_states,
             time_budget=args.time_budget,
             symmetry=args.symmetry,
-            workers=args.workers,
+            workers=workers,
+            transport=transport,
             metrics=registry,
             progress=reporter,
             compiled=_compiled(args),
@@ -166,7 +224,9 @@ def cmd_check(args: argparse.Namespace) -> int:
             por=args.por,
             **durable,
         )
-    except RunDirError as exc:
+    except (RunDirError, _TransportError) as exc:
+        # TransportError surfaces when transport.start() cannot reach a
+        # worker agent — a usage error, not a crash.
         print(exc, file=sys.stderr)
         return 2
     print(f"explored {result.describe()}")
@@ -374,6 +434,124 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if confirmation.confirmed else 1
 
 
+def _parse_listen(text: str) -> tuple:
+    """``HOST:PORT`` for ``--listen``; unlike worker addresses, port 0
+    (ephemeral, kernel-assigned) is welcome here."""
+    host, _, port_text = str(text).strip().rpartition(":")
+    if not host:
+        host, port_text = (port_text, "0") if not port_text.isdigit() else (
+            "127.0.0.1",
+            port_text,
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise WorkersError(f"bad --listen {text!r}: expected HOST:PORT") from None
+    if not 0 <= port < 65536:
+        raise WorkersError(f"bad --listen {text!r}: port out of range")
+    return host, port
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .dist.agent import WorkerAgent
+
+    try:
+        host, port = _parse_listen(args.listen)
+    except WorkersError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    log = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet else None
+    agent = WorkerAgent(
+        host, port, max_sessions=1 if args.once else None, log=log
+    )
+    # The bound address on stdout first: scripts (and the CI smoke job)
+    # read it to learn the ephemeral port.
+    print(agent.address, flush=True)
+    try:
+        agent.serve_forever()
+    except KeyboardInterrupt:
+        agent.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .dist.service import serve
+
+    try:
+        host, port = _parse_listen(args.listen)
+    except WorkersError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    log = (lambda msg: print(msg, file=sys.stderr)) if not args.quiet else None
+    server = serve(host, port, args.data_dir, log=log)
+    print(server.url, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .dist.client import ServiceClient, ServiceError
+    from .dist.specref import SpecRefError, system_ref
+
+    try:
+        ref = system_ref(args.system, args.nodes, args.bug, args.invariant)
+    except SpecRefError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = {"max_states": args.max_states, "time_budget": args.time_budget}
+    if args.workers is not None:
+        config["workers"] = args.workers
+    if args.worker:
+        config["worker_addrs"] = list(args.worker)
+    for flag in ("symmetry", "fast", "por"):
+        if getattr(args, flag):
+            config[flag] = True
+    client = ServiceClient(args.server)
+    try:
+        record = client.submit(ref, config)
+        job_id = record["id"]
+        print(f"submitted {job_id} to {client.base_url}")
+        if not args.watch:
+            return 0
+        offset = 0
+        while True:
+            status = client.status(job_id)
+            records, offset = client.metrics(job_id, offset)
+            for item in records:
+                stats = item.get("stats") or {}
+                if "distinct_states" in stats:
+                    print(
+                        f"  [{item.get('event')}] {stats['distinct_states']}"
+                        f" states, {stats.get('transitions', 0)} transitions,"
+                        f" depth {stats.get('max_depth', 0)}",
+                        flush=True,
+                    )
+            if not status.get("running") and status.get("status") != "starting":
+                break
+            time.sleep(args.poll)
+        final = status.get("status")
+        print(f"{job_id}: {final}")
+        if final == "violation":
+            trace = client.trace(job_id)
+            print(
+                f"  {trace.get('invariant')} violated at depth"
+                f" {trace.get('depth')}"
+            )
+            return 1
+        if final in ("complete", "stopped"):
+            # complete = space exhausted; stopped = a budget hit first.
+            return 0
+        if status.get("error"):
+            print(status["error"], file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sandtable",
@@ -434,9 +612,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--workers",
-        type=int,
-        default=1,
-        help="parallel BFS worker processes (fingerprint-sharded; 1 = serial)",
+        type=_workers_value,
+        default=None,
+        help="parallel BFS worker processes (fingerprint-sharded; 1 = serial;"
+        " default: $SANDTABLE_WORKERS or 1)",
+    )
+    check.add_argument(
+        "--worker",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="distribute shards to these sandtable worker agents over TCP"
+        " (repeatable; extra addresses past --workers are warm spares)",
     )
     check.add_argument(
         "--run-dir",
@@ -564,6 +751,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="append sweep-wide JSONL metrics snapshots to FILE",
     )
     selftest.set_defaults(fn=cmd_selftest)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve BFS shards to remote masters over TCP (repro.dist)",
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port"
+        " (printed on stdout)",
+    )
+    worker.add_argument(
+        "--once", action="store_true", help="serve one master session, then exit"
+    )
+    worker.add_argument("--quiet", action="store_true", help="no session log")
+    worker.set_defaults(fn=cmd_worker)
+
+    srv = sub.add_parser(
+        "serve",
+        help="multi-tenant checking service: POST jobs, GET progress/traces",
+    )
+    srv.add_argument(
+        "--listen",
+        default="127.0.0.1:8800",
+        metavar="HOST:PORT",
+        help="bind address (port 0 = ephemeral; URL printed on stdout)",
+    )
+    srv.add_argument(
+        "--data-dir",
+        default="sandtable-jobs",
+        help="root for per-job durable run directories",
+    )
+    srv.add_argument("--quiet", action="store_true", help="no request log")
+    srv.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a check to a sandtable serve instance"
+    )
+    submit.add_argument("--server", required=True, help="service URL (host:port)")
+    submit.add_argument("--system", required=True, choices=sorted(SPEC_CLASSES))
+    submit.add_argument("--nodes", type=int, default=3)
+    submit.add_argument("--bug", action="append", default=[], help="seed a bug flag")
+    submit.add_argument("--invariant", help="check only this invariant")
+    submit.add_argument("--max-states", type=int, default=1_000_000)
+    submit.add_argument("--time-budget", type=float, default=60.0)
+    submit.add_argument("--symmetry", action="store_true")
+    submit.add_argument("--fast", action="store_true")
+    submit.add_argument("--por", action="store_true")
+    submit.add_argument(
+        "--workers", type=_workers_value, default=None, help="parallel workers"
+    )
+    submit.add_argument(
+        "--worker",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="run the job against these remote worker agents (repeatable)",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll progress until the job finishes; exit 1 on violation",
+    )
+    submit.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS", help="watch cadence"
+    )
+    submit.set_defaults(fn=cmd_submit)
 
     return parser
 

@@ -44,7 +44,13 @@ from .explorer import BFSExplorer, BFSResult, BFSStats, bfs_explore, research_vi
 from .guided import ScenarioError, ScenarioResult, run_scenario
 from .linearizability import LinearizabilityResult, Operation, check_linearizable
 from .liveness import LivenessProperty, LivenessStats, compare_progress, measure_progress
-from .parallel import ParallelBFS, parallel_bfs
+from .parallel import (
+    ForkTransport,
+    ParallelBFS,
+    ShardWorker,
+    WorkerDied,
+    parallel_bfs,
+)
 from .ranking import ConstraintScore, RankedConstraints, rank_constraints
 from .simulation import SimulationResult, WalkResult, random_walk, simulate
 from .spec import Action, Invariant, Spec, SpecError, Transition, TransitionInvariant
@@ -87,8 +93,11 @@ __all__ = [
     "BFSResult",
     "BFSStats",
     "ConstraintScore",
+    "ForkTransport",
     "Invariant",
     "ParallelBFS",
+    "ShardWorker",
+    "WorkerDied",
     "PendingTrace",
     "RankedConstraints",
     "Rec",

@@ -246,6 +246,7 @@ def bfs_explore(
     checkpoint_every: Optional[float] = None,
     checkpoint_states: Optional[int] = None,
     resume: bool = False,
+    transport: Optional[Any] = None,
     **kwargs: Any,
 ) -> BFSResult:
     """Run one BFS exploration of ``spec``; see :class:`BFSExplorer`.
@@ -255,6 +256,9 @@ def bfs_explore(
     partitioned ``fp % workers`` across forked engine workers, which is
     sound because :func:`~repro.core.state.fingerprint` is canonical and
     process-stable.  Results are merged into the same :class:`BFSResult`.
+    A ``transport`` (e.g. :class:`repro.dist.transport.SocketTransport`)
+    forces the parallel driver and selects how the shard workers are
+    reached — remote socket workers instead of local forks.
 
     With ``run_dir`` the run is durable (:func:`repro.persist.run_check`):
     a disk-backed state store, periodic crash-safe checkpoints every
@@ -271,10 +275,11 @@ def bfs_explore(
             resume=resume,
             checkpoint_every=checkpoint_every,
             checkpoint_states=checkpoint_states,
+            transport=transport,
             **kwargs,
         )
-    if workers > 1:
+    if workers > 1 or transport is not None:
         from .parallel import parallel_bfs  # local import: parallel imports us
 
-        return parallel_bfs(spec, workers=workers, **kwargs)
+        return parallel_bfs(spec, workers=workers, transport=transport, **kwargs)
     return BFSExplorer(spec, **kwargs).run()

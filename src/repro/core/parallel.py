@@ -3,8 +3,8 @@
 The scalability story of TLC-style stateful exploration is a visited-
 fingerprint set partitioned across workers.  This module provides that
 layer for the pure-Python kernel: breadth-first search driven by a
-master process and ``N`` worker processes, with the fingerprint space
-partitioned by ``fp % N`` ("owner computes").  It exists because
+master and ``N`` shard workers, with the fingerprint space partitioned
+by ``fp % N`` ("owner computes").  It exists because
 :func:`repro.core.state.fingerprint` is canonical — a blake2b digest of
 the canonical state codec — so every process assigns every state to the
 same owner without any coordination.
@@ -34,10 +34,31 @@ merging every worker's parent edges (``StateStore.edges()``) into one
 store and re-executing from the initial state, exactly like the serial
 explorer.
 
-Workers are forked, so specs need not be picklable; all cross-process
-state travels as canonical codec bytes.  On platforms without ``fork``
-(or with ``workers <= 1``) :func:`parallel_bfs` transparently falls back
-to the serial :class:`~repro.core.explorer.BFSExplorer`.
+**Transports.**  The master never talks to a process or a socket
+directly: all exchange goes through a :class:`WorkerTransport` —
+``send(wid, msg)`` / ``recv(timeout)`` / ``replace(wid)`` / ``close()``.
+The default :class:`ForkTransport` forks local workers and moves
+messages over multiprocessing queues (specs need not be picklable; all
+cross-process state travels as canonical codec bytes).  The socket
+transport in :mod:`repro.dist.transport` speaks the same protocol to
+``sandtable worker`` agents over TCP, so exploration spans hosts.  The
+per-shard protocol logic itself lives in :class:`ShardWorker`, shared by
+both.
+
+**Elastic membership.**  A transport reports a lost worker by raising
+:class:`WorkerDied`.  The master then replaces the worker (respawn, or
+connect to a spare agent), drains stale in-flight replies with a
+ping/pong barrier, and rolls the whole fleet back to the last committed
+generation-addressed checkpoint (or re-seeds from the initial states
+when none was written yet).  Checkpoints are taken at round boundaries
+the uninterrupted run also passes through, so the recovered run is
+census- and trace-identical to an undisturbed one.
+
+On platforms without ``fork`` (or with ``workers <= 1``)
+:func:`parallel_bfs` falls back to the serial
+:class:`~repro.core.explorer.BFSExplorer` — with a ``RuntimeWarning``
+and a ``parallel.fallback_serial`` counter, so the degradation is never
+silent.
 
 ``fast=True`` switches every worker to the traceless
 :class:`~repro.core.engine.FingerprintOnlyStore` and drops the parent
@@ -54,13 +75,24 @@ deterministic, so all workers agree on the reduced successor relation.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_mod
 import time
 import traceback
+import warnings
 from collections import defaultdict, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..obs.metrics import ACTION_FIRES, CODEC_CHUNKS, SIZE_BOUNDS, Histogram
+from ..obs.metrics import (
+    ACTION_FIRES,
+    BATCH_BYTES,
+    CODEC_CHUNKS,
+    FALLBACK_SERIAL,
+    ROUND_WAIT_MS,
+    SIZE_BOUNDS,
+    WAIT_BOUNDS_MS,
+    Histogram,
+)
 from .compile import compile_disabled, maybe_compile
 from .engine import (
     CompactStore,
@@ -76,7 +108,13 @@ from .symmetry import SymmetryReducer
 from .trace import PendingTrace, TraceStep
 from .violation import Violation
 
-__all__ = ["parallel_bfs", "ParallelBFS"]
+__all__ = [
+    "parallel_bfs",
+    "ParallelBFS",
+    "ShardWorker",
+    "ForkTransport",
+    "WorkerDied",
+]
 
 #: violation descriptor: (kind, invariant, depth, fp, action, args, branch,
 #: encoded target or None) — everything the master needs to rebuild the
@@ -86,10 +124,317 @@ _ViolationDesc = Tuple[str, str, int, int, str, tuple, str, Optional[bytes]]
 _ROOT_ACTION = "<init>"
 
 
+class WorkerDied(RuntimeError):
+    """A shard worker was lost (process death, EOF, or connection error).
+
+    Raised by :meth:`WorkerTransport.recv`/``send`` — *not* for errors in
+    worker code (those surface as ``("error", ...)`` replies and raise a
+    plain :class:`RuntimeError`, because re-running the same code would
+    just die again).  The master reacts by replacing the worker and
+    rolling the fleet back to its last committed checkpoint.
+    """
+
+    def __init__(self, wid: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"parallel BFS worker {wid} died{detail}")
+        self.wid = wid
+        self.reason = reason
+
+
 def _make_reducer(spec: Spec, symmetry: bool) -> Optional[SymmetryReducer]:
     if not symmetry:
         return None
     return SymmetryReducer(spec.symmetry_sets(), key=fingerprint)
+
+
+class ShardWorker:
+    """One shard's protocol logic, independent of how messages arrive.
+
+    Owns the fingerprints with ``fp % workers == wid``: a local store, a
+    local frontier, and the expand/absorb/edges/checkpoint/restore op
+    handlers.  The fork worker loop (:func:`_worker_main`) and the TCP
+    worker agent (:class:`repro.dist.agent.WorkerAgent`) both drive one
+    instance through :meth:`handle`, which keeps the two transports
+    behaviorally identical by construction.
+    """
+
+    def __init__(
+        self,
+        spec: Spec,
+        wid: int,
+        workers: int,
+        *,
+        symmetry: bool = False,
+        stop_on_violation: bool = True,
+        metrics_on: bool = False,
+        compiled: bool = True,
+        fast: bool = False,
+        por: bool = False,
+    ):
+        # Workers receive the *source* spec and compile locally:
+        # compilation is cheap, per-process, and this keeps the fork
+        # payload identical whether or not the run is compiled.  POR
+        # pruning is a pure function of the spec's ActionMeta, so every
+        # worker derives the same reduced successor relation.
+        spec = maybe_compile(spec, compiled, por=por)
+        self.spec = spec
+        self.wid = wid
+        self.workers = workers
+        self.fast = bool(fast)
+        self.stop_on_violation = stop_on_violation
+        self.metrics_on = metrics_on
+        reducer = _make_reducer(spec, symmetry)
+        self._canon = reducer.canonical if reducer is not None else None
+        self.store = FingerprintOnlyStore() if fast else CompactStore()
+        self.frontier: deque = deque()
+        self._constraint = spec.state_constraint
+        self._successors = spec.successors
+        self._check_state = spec.check_state
+        self._check_transition = spec.check_transition
+        # Incremental invariant checking, mirroring the serial engine:
+        # touched keys are read off the functional-update chain before
+        # fingerprinting consumes it; state-invariant skipping requires
+        # clean parents, which stop_on_violation guarantees.
+        incremental = getattr(spec, "incremental", False)
+        self._changed_of = changed_keys if incremental else None
+        self._skip_state_invs = incremental and stop_on_violation
+
+    # -- op dispatch ---------------------------------------------------------
+
+    def handle(self, msg: tuple) -> tuple:
+        """Process one master op; returns the reply message."""
+        op = msg[0]
+        if op == "absorb":
+            return self.absorb(msg[1])
+        if op == "expand":
+            return self.expand(msg[1])
+        if op == "edges":
+            return self.edges_reply()
+        if op == "checkpoint":
+            if len(msg) > 1 and msg[1] is not None:
+                return self.checkpoint(msg[1])
+            return self.checkpoint_payload()
+        if op == "restore":
+            return self.restore(msg[1] if len(msg) > 1 else None)
+        if op == "ping":
+            return ("pong", self.wid)
+        raise RuntimeError(f"unknown parallel-BFS op {op!r}")
+
+    # -- ops -----------------------------------------------------------------
+
+    def absorb(self, items: list) -> tuple:
+        store = self.store
+        frontier = self.frontier
+        check_state = self._check_state
+        added = 0
+        violations: List[_ViolationDesc] = []
+        if self.fast:
+            # Traceless batches carry no parent edge or action —
+            # just (codec bytes, fingerprint, depth).
+            for enc, fp, depth in items:
+                if store.seen(fp):
+                    continue
+                state = decode(enc)
+                store.record(fp, None, "")
+                added += 1
+                bad = check_state(state)
+                if bad is not None:
+                    violations.append(("state", bad, depth, fp, "", (), "", None))
+                frontier.append((state, fp, depth))
+        else:
+            for enc, fp, parent_fp, action, depth in items:
+                if store.seen(fp):
+                    continue
+                state = decode(enc)
+                if parent_fp is None:
+                    store.record_init(fp, state)
+                else:
+                    store.record(fp, parent_fp, action)
+                added += 1
+                bad = check_state(state)
+                if bad is not None:
+                    violations.append(("state", bad, depth, fp, action, (), "", None))
+                frontier.append((state, fp, depth))
+        return ("absorbed", self.wid, added, violations, len(frontier))
+
+    def expand(self, deadline: Optional[float]) -> tuple:
+        wid = self.wid
+        n_workers = self.workers
+        store = self.store
+        fast = self.fast
+        stop_on_violation = self.stop_on_violation
+        canon = self._canon
+        constraint = self._constraint
+        successors = self._successors
+        check_state = self._check_state
+        check_transition = self._check_transition
+        changed_of = self._changed_of
+        skip_state_invs = self._skip_state_invs
+        metrics_on = self.metrics_on
+        monotonic = time.monotonic
+
+        current, self.frontier = self.frontier, deque()
+        frontier = self.frontier
+        transitions = pruned = added = 0
+        truncated = stopping = False
+        batches: Dict[int, list] = defaultdict(list)
+        violations: List[_ViolationDesc] = []
+        # Per-round observability deltas, shipped to the master
+        # with the "expanded" reply and merged there.
+        fires: Optional[Dict[str, int]] = {} if metrics_on else None
+        fanout = Histogram("engine.fanout", SIZE_BOUNDS) if metrics_on else None
+        codec_base = codec_stats() if metrics_on else None
+        while current and not stopping:
+            state, fp, depth = current.popleft()
+            if deadline is not None and monotonic() > deadline:
+                truncated = True
+                break
+            if not constraint(state):
+                pruned += 1
+                continue
+            fanout_base = transitions
+            for transition in successors(state):
+                transitions += 1
+                if fires is not None:
+                    name = transition.action
+                    fires[name] = fires.get(name, 0) + 1
+                changed = (
+                    changed_of(transition.target, state)
+                    if changed_of is not None
+                    else None
+                )
+                bad = check_transition(state, transition, changed)
+                if bad is not None:
+                    violations.append(
+                        (
+                            "transition",
+                            bad,
+                            depth + 1,
+                            fp,
+                            transition.action,
+                            tuple(transition.args),
+                            transition.branch,
+                            encode(transition.target),
+                        )
+                    )
+                    if stop_on_violation:
+                        stopping = True
+                        break
+                target = transition.target
+                child = canon(target) if canon is not None else target
+                child_fp = fingerprint(child)
+                if child_fp % n_workers == wid:
+                    if store.seen(child_fp):
+                        continue
+                    store.record(child_fp, fp, transition.action)
+                    added += 1
+                    bad = check_state(child, changed if skip_state_invs else None)
+                    if bad is not None:
+                        violations.append(
+                            (
+                                "state",
+                                bad,
+                                depth + 1,
+                                child_fp,
+                                transition.action,
+                                (),
+                                "",
+                                None,
+                            )
+                        )
+                        if stop_on_violation:
+                            stopping = True
+                            break
+                    frontier.append((child, child_fp, depth + 1))
+                elif fast:
+                    batches[child_fp % n_workers].append(
+                        (encode(child), child_fp, depth + 1)
+                    )
+                else:
+                    batches[child_fp % n_workers].append(
+                        (
+                            encode(child),
+                            child_fp,
+                            fp,
+                            transition.action,
+                            depth + 1,
+                        )
+                    )
+            if fanout is not None:
+                fanout.observe(transitions - fanout_base)
+        if metrics_on:
+            codec_now = codec_stats()
+            codec_delta = {
+                key: codec_now[key] - codec_base[key]
+                for key in codec_now
+                if codec_now[key] != codec_base[key]
+            }
+            obs = (fires, fanout.to_dict(), codec_delta)
+        else:
+            obs = None
+        return (
+            "expanded",
+            wid,
+            transitions,
+            pruned,
+            added,
+            dict(batches),
+            violations,
+            len(frontier),
+            truncated,
+            obs,
+        )
+
+    def edges_reply(self) -> tuple:
+        store = self.store
+        return (
+            "edges",
+            self.wid,
+            list(store.edges()),
+            [(fp, encode(state)) for fp, state in store.roots()],
+        )
+
+    def checkpoint(self, path: Any) -> tuple:
+        # Local import: persist depends on core, never the reverse.
+        from ..persist.checkpoint import write_worker_checkpoint
+
+        write_worker_checkpoint(path, self.store, self.frontier)
+        return ("checkpointed", self.wid)
+
+    def checkpoint_payload(self) -> tuple:
+        """Checkpoint as container bytes — the master writes the file.
+
+        Socket workers have no shared filesystem with the master; the
+        generation-addressed files (and hence resume and reassignment)
+        stay a master-side concern.
+        """
+        from ..persist.checkpoint import worker_checkpoint_bytes
+
+        return ("checkpointed", self.wid, worker_checkpoint_bytes(self.store, self.frontier))
+
+    def restore(self, source: Any) -> tuple:
+        """Reset to a checkpoint (path or bytes), or to empty (``None``).
+
+        Always rebuilds a *fresh* store: for a newly forked/connected
+        worker this is a no-op, and for a surviving worker rolled back
+        after a peer's death it discards everything recorded past the
+        committed generation.
+        """
+        from ..persist.checkpoint import (
+            load_worker_checkpoint,
+            load_worker_checkpoint_bytes,
+        )
+
+        self.store = FingerprintOnlyStore() if self.fast else CompactStore()
+        if source is None:
+            self.frontier = deque()
+        elif isinstance(source, (bytes, bytearray)):
+            self.frontier = deque(
+                load_worker_checkpoint_bytes(bytes(source), self.store)
+            )
+        else:
+            self.frontier = deque(load_worker_checkpoint(source, self.store))
+        return ("restored", self.wid, len(self.frontier))
 
 
 def _worker_main(
@@ -105,220 +450,134 @@ def _worker_main(
     in_q: Any,
     out_q: Any,
 ) -> None:
-    """One shard worker: owns fingerprints with ``fp % n_workers == wid``."""
+    """Fork-worker loop: drive one :class:`ShardWorker` over mp queues."""
     try:
-        # Workers are forked with the *source* spec and compile locally:
-        # compilation is cheap, per-process, and this keeps the fork
-        # payload identical whether or not the run is compiled.  POR
-        # pruning is a pure function of the spec's ActionMeta, so every
-        # worker derives the same reduced successor relation.
-        spec = maybe_compile(spec, compiled, por=por)
-        reducer = _make_reducer(spec, symmetry)
-        canon = reducer.canonical if reducer is not None else None
-        store = FingerprintOnlyStore() if fast else CompactStore()
-        frontier: deque = deque()
-        constraint = spec.state_constraint
-        successors = spec.successors
-        check_state = spec.check_state
-        check_transition = spec.check_transition
-        monotonic = time.monotonic
-        # Incremental invariant checking, mirroring the serial engine:
-        # touched keys are read off the functional-update chain before
-        # fingerprinting consumes it; state-invariant skipping requires
-        # clean parents, which stop_on_violation guarantees.
-        incremental = getattr(spec, "incremental", False)
-        changed_of = changed_keys if incremental else None
-        skip_state_invs = incremental and stop_on_violation
-
+        worker = ShardWorker(
+            spec,
+            wid,
+            n_workers,
+            symmetry=symmetry,
+            stop_on_violation=stop_on_violation,
+            metrics_on=metrics_on,
+            compiled=compiled,
+            fast=fast,
+            por=por,
+        )
         while True:
             msg = in_q.get()
-            op = msg[0]
-
-            if op == "stop":
+            if msg[0] == "stop":
                 return
-
-            if op == "absorb":
-                added = 0
-                violations: List[_ViolationDesc] = []
-                if fast:
-                    # Traceless batches carry no parent edge or action —
-                    # just (codec bytes, fingerprint, depth).
-                    for enc, fp, depth in msg[1]:
-                        if store.seen(fp):
-                            continue
-                        state = decode(enc)
-                        store.record(fp, None, "")
-                        added += 1
-                        bad = check_state(state)
-                        if bad is not None:
-                            violations.append(
-                                ("state", bad, depth, fp, "", (), "", None)
-                            )
-                        frontier.append((state, fp, depth))
-                else:
-                    for enc, fp, parent_fp, action, depth in msg[1]:
-                        if store.seen(fp):
-                            continue
-                        state = decode(enc)
-                        if parent_fp is None:
-                            store.record_init(fp, state)
-                        else:
-                            store.record(fp, parent_fp, action)
-                        added += 1
-                        bad = check_state(state)
-                        if bad is not None:
-                            violations.append(
-                                ("state", bad, depth, fp, action, (), "", None)
-                            )
-                        frontier.append((state, fp, depth))
-                out_q.put(("absorbed", wid, added, violations, len(frontier)))
-
-            elif op == "expand":
-                deadline = msg[1]
-                current, frontier = frontier, deque()
-                transitions = pruned = added = 0
-                truncated = stopping = False
-                batches: Dict[int, list] = defaultdict(list)
-                violations = []
-                # Per-round observability deltas, shipped to the master
-                # with the "expanded" reply and merged there.
-                fires: Optional[Dict[str, int]] = {} if metrics_on else None
-                fanout = (
-                    Histogram("engine.fanout", SIZE_BOUNDS) if metrics_on else None
-                )
-                codec_base = codec_stats() if metrics_on else None
-                while current and not stopping:
-                    state, fp, depth = current.popleft()
-                    if deadline is not None and monotonic() > deadline:
-                        truncated = True
-                        break
-                    if not constraint(state):
-                        pruned += 1
-                        continue
-                    fanout_base = transitions
-                    for transition in successors(state):
-                        transitions += 1
-                        if fires is not None:
-                            name = transition.action
-                            fires[name] = fires.get(name, 0) + 1
-                        changed = (
-                            changed_of(transition.target, state)
-                            if changed_of is not None
-                            else None
-                        )
-                        bad = check_transition(state, transition, changed)
-                        if bad is not None:
-                            violations.append(
-                                (
-                                    "transition",
-                                    bad,
-                                    depth + 1,
-                                    fp,
-                                    transition.action,
-                                    tuple(transition.args),
-                                    transition.branch,
-                                    encode(transition.target),
-                                )
-                            )
-                            if stop_on_violation:
-                                stopping = True
-                                break
-                        target = transition.target
-                        child = canon(target) if canon is not None else target
-                        child_fp = fingerprint(child)
-                        if child_fp % n_workers == wid:
-                            if store.seen(child_fp):
-                                continue
-                            store.record(child_fp, fp, transition.action)
-                            added += 1
-                            bad = check_state(
-                                child, changed if skip_state_invs else None
-                            )
-                            if bad is not None:
-                                violations.append(
-                                    (
-                                        "state",
-                                        bad,
-                                        depth + 1,
-                                        child_fp,
-                                        transition.action,
-                                        (),
-                                        "",
-                                        None,
-                                    )
-                                )
-                                if stop_on_violation:
-                                    stopping = True
-                                    break
-                            frontier.append((child, child_fp, depth + 1))
-                        elif fast:
-                            batches[child_fp % n_workers].append(
-                                (encode(child), child_fp, depth + 1)
-                            )
-                        else:
-                            batches[child_fp % n_workers].append(
-                                (
-                                    encode(child),
-                                    child_fp,
-                                    fp,
-                                    transition.action,
-                                    depth + 1,
-                                )
-                            )
-                    if fanout is not None:
-                        fanout.observe(transitions - fanout_base)
-                if metrics_on:
-                    codec_now = codec_stats()
-                    codec_delta = {
-                        key: codec_now[key] - codec_base[key]
-                        for key in codec_now
-                        if codec_now[key] != codec_base[key]
-                    }
-                    obs = (fires, fanout.to_dict(), codec_delta)
-                else:
-                    obs = None
-                out_q.put(
-                    (
-                        "expanded",
-                        wid,
-                        transitions,
-                        pruned,
-                        added,
-                        dict(batches),
-                        violations,
-                        len(frontier),
-                        truncated,
-                        obs,
-                    )
-                )
-
-            elif op == "edges":
-                out_q.put(
-                    (
-                        "edges",
-                        wid,
-                        list(store.edges()),
-                        [(fp, encode(state)) for fp, state in store.roots()],
-                    )
-                )
-
-            elif op == "checkpoint":
-                # Local import: persist depends on core, never the reverse.
-                from ..persist.checkpoint import write_worker_checkpoint
-
-                write_worker_checkpoint(msg[1], store, frontier)
-                out_q.put(("checkpointed", wid))
-
-            elif op == "restore":
-                from ..persist.checkpoint import load_worker_checkpoint
-
-                frontier = deque(load_worker_checkpoint(msg[1], store))
-                out_q.put(("restored", wid, len(frontier)))
-
-            else:  # pragma: no cover - protocol error
-                raise RuntimeError(f"unknown parallel-BFS op {op!r}")
+            if msg[0] == "die":
+                # Test-only fault injection: vanish without a reply, as a
+                # crashed or OOM-killed worker would.
+                os._exit(1)
+            out_q.put(worker.handle(msg))
     except BaseException:
         out_q.put(("error", wid, traceback.format_exc()))
+
+
+class ForkTransport:
+    """The default transport: forked local workers over mp queues.
+
+    One queue into each worker, one shared queue back; FIFO order per
+    worker is guaranteed by the queue semantics, which the master's
+    ping/pong drain relies on after a replacement.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._ctx: Any = None
+        self._config: Dict[str, Any] = {}
+        self._procs: List[Any] = []
+        self._in_qs: List[Any] = []
+        self._out_q: Any = None
+
+    def start(self, config: Dict[str, Any]) -> None:
+        self._config = dict(config)
+        self.n = int(config["workers"])
+        ctx = self._ctx = multiprocessing.get_context("fork")
+        self._out_q = ctx.Queue()
+        self._in_qs = [ctx.Queue() for _ in range(self.n)]
+        self._procs = [self._spawn(wid, self._in_qs[wid]) for wid in range(self.n)]
+        for proc in self._procs:
+            proc.start()
+
+    def _spawn(self, wid: int, in_q: Any) -> Any:
+        config = self._config
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(
+                wid,
+                self.n,
+                config["spec"],
+                config["symmetry"],
+                config["stop_on_violation"],
+                config["metrics_on"],
+                config["compiled"],
+                config["fast"],
+                config["por"],
+                in_q,
+                self._out_q,
+            ),
+            daemon=True,
+            name=f"sandtable-bfs-{wid}",
+        )
+
+    def send(self, wid: int, msg: tuple) -> None:
+        self._in_qs[wid].put(msg)
+
+    def recv(self, timeout: float = 1.0) -> Optional[tuple]:
+        """One worker reply, ``None`` on timeout; raises on lost workers."""
+        try:
+            msg = self._out_q.get(timeout=timeout)
+        except queue_mod.Empty:
+            for wid, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    raise WorkerDied(
+                        wid, f"{proc.name} exited with code {proc.exitcode}"
+                    ) from None
+            return None
+        if msg[0] == "error":
+            raise RuntimeError(f"parallel BFS worker {msg[1]} failed:\n{msg[2]}")
+        return msg
+
+    def replace(self, wid: int) -> bool:
+        """Respawn the worker behind shard ``wid`` with a fresh queue."""
+        old_proc = self._procs[wid]
+        if old_proc.is_alive():  # pragma: no cover - defensive
+            old_proc.terminate()
+        old_proc.join(timeout=5)
+        old_q = self._in_qs[wid]
+        in_q = self._ctx.Queue()
+        self._in_qs[wid] = in_q
+        proc = self._spawn(wid, in_q)
+        self._procs[wid] = proc
+        proc.start()
+        try:
+            old_q.close()
+            old_q.cancel_join_thread()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        return True
+
+    def close(self) -> None:
+        for in_q in self._in_qs:
+            try:
+                in_q.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hard shutdown
+                proc.terminate()
+                proc.join(timeout=5)
+        queues = list(self._in_qs)
+        if self._out_q is not None:
+            queues.append(self._out_q)
+        for q in queues:
+            q.close()
+            q.cancel_join_thread()
 
 
 class ParallelBFS:
@@ -330,6 +589,10 @@ class ParallelBFS:
     between rounds, so the distinct-state count can overshoot the bound
     by up to one BFS level (the serial explorer stops exactly at the
     bound).
+
+    ``transport`` selects how the shard workers are reached (default:
+    :class:`ForkTransport`); ``max_reassignments`` bounds how many worker
+    deaths the master will absorb before giving up.
     """
 
     def __init__(
@@ -350,6 +613,8 @@ class ParallelBFS:
         fast: bool = False,
         por: bool = False,
         research: bool = True,
+        transport: Optional[Any] = None,
+        max_reassignments: int = 3,
     ):
         if por and (not compiled or compile_disabled()):
             # Fail in the master, before forking: maybe_compile raises
@@ -370,59 +635,34 @@ class ParallelBFS:
         self.fast = bool(fast)
         self.por = bool(por)
         self.research = bool(research)
+        self.transport = transport
+        self.max_reassignments = max_reassignments
         self.stats = SearchStats()
 
     # -- the search ----------------------------------------------------------
 
     def run(self) -> SearchResult:
-        ctx = multiprocessing.get_context("fork")
-        n = self.workers
-        in_qs = [ctx.Queue() for _ in range(n)]
-        out_q = ctx.Queue()
-        procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    wid,
-                    n,
-                    self.spec,
-                    self.symmetry,
-                    self.stop_on_violation,
-                    self.metrics is not None,
-                    self.compiled,
-                    self.fast,
-                    self.por,
-                    in_qs[wid],
-                    out_q,
-                ),
-                daemon=True,
-                name=f"sandtable-bfs-{wid}",
-            )
-            for wid in range(n)
-        ]
-        for proc in procs:
-            proc.start()
-        self._procs = procs
-        self._out_q = out_q
+        transport = self.transport if self.transport is not None else ForkTransport()
+        transport.start(
+            {
+                "workers": self.workers,
+                "spec": self.spec,
+                "symmetry": self.symmetry,
+                "stop_on_violation": self.stop_on_violation,
+                "metrics_on": self.metrics is not None,
+                "compiled": self.compiled,
+                "fast": self.fast,
+                "por": self.por,
+                "metrics": self.metrics,
+            }
+        )
+        self._transport = transport
         try:
-            return self._drive(in_qs, out_q)
+            return self._drive(transport)
         finally:
-            for in_q in in_qs:
-                try:
-                    in_q.put(("stop",))
-                except Exception:
-                    pass
-            for proc in procs:
-                proc.join(timeout=5)
-            for proc in procs:
-                if proc.is_alive():  # pragma: no cover - hard shutdown
-                    proc.terminate()
-                    proc.join(timeout=5)
-            for in_q in in_qs + [out_q]:
-                in_q.close()
-                in_q.cancel_join_thread()
+            transport.close()
 
-    def _drive(self, in_qs: list, out_q: Any) -> SearchResult:
+    def _drive(self, transport: Any) -> SearchResult:
         resume = self.resume
         checkpointer = self.checkpointer
         stats = self.stats = SearchStats() if resume is None else resume.stats
@@ -436,8 +676,43 @@ class ParallelBFS:
         stop_on_violation = self.stop_on_violation
         reducer = _make_reducer(self.spec, self.symmetry)
         depth = 0
+        reassigned = 0
+        #: membership events (deaths + reassignments), carried into every
+        #: checkpoint manifest from now on and exposed to callers (the
+        #: durable runner records them in the run manifest).
+        membership: List[Dict[str, Any]] = []
+        self.membership = membership
 
         metrics = self.metrics
+        fires_table: Any = None
+        fanout_hist = batch_hist = wait_hist = None
+        rounds_counter = batch_bytes = None
+        shard_states: Any = None
+        chunk_counts: Any = None
+        queue_gauge = rate_gauge = None
+
+        def hoist_instruments() -> None:
+            # Bind the hot-path instrument objects to locals.  Called
+            # again after every ``metrics.restore`` — restore replaces
+            # the labeled-count dicts wholesale, so stale hoists would
+            # otherwise keep feeding dead objects.
+            nonlocal fires_table, fanout_hist, batch_hist, wait_hist
+            nonlocal rounds_counter, batch_bytes, shard_states, chunk_counts
+            nonlocal queue_gauge, rate_gauge
+            fires_table = metrics.counts(ACTION_FIRES)
+            for action in self.spec.actions():
+                fires_table.setdefault(action.name, 0)
+            fanout_hist = metrics.histogram("engine.fanout", SIZE_BOUNDS)
+            batch_hist = metrics.histogram("parallel.batch_sizes", SIZE_BOUNDS)
+            wait_hist = metrics.histogram(ROUND_WAIT_MS, WAIT_BOUNDS_MS)
+            rounds_counter = metrics.counter("parallel.rounds")
+            batch_bytes = metrics.counter(BATCH_BYTES)
+            shard_states = metrics.counts("parallel.shard_states")
+            chunk_counts = metrics.counts(CODEC_CHUNKS)
+            queue_gauge = metrics.gauge("engine.queue_depth")
+            rate_gauge = metrics.gauge("engine.states_per_sec")
+
+        baseline_snapshot: Optional[Dict[str, Any]] = None
         if metrics is not None:
             if resume is not None:
                 snapshot = getattr(resume, "metrics", None)
@@ -445,36 +720,16 @@ class ParallelBFS:
                     # Discard anything a killed run counted past its last
                     # committed checkpoint; the rounds re-run from here.
                     metrics.restore(snapshot)
-            fires_table = metrics.counts(ACTION_FIRES)
-            for action in self.spec.actions():
-                fires_table.setdefault(action.name, 0)
-            fanout_hist = metrics.histogram("engine.fanout", SIZE_BOUNDS)
-            batch_hist = metrics.histogram("parallel.batch_sizes", SIZE_BOUNDS)
-            rounds_counter = metrics.counter("parallel.rounds")
-            shard_states = metrics.counts("parallel.shard_states")
-            chunk_counts = metrics.counts(CODEC_CHUNKS)
-            queue_gauge = metrics.gauge("engine.queue_depth")
-            rate_gauge = metrics.gauge("engine.states_per_sec")
+            hoist_instruments()
+            # For a rollback with no committed checkpoint yet: the
+            # registry exactly as it was before any exploration counted.
+            baseline_snapshot = metrics.snapshot()
 
-        if resume is not None:
-            # Shard ownership is fp % n: a checkpoint only makes sense to
-            # the worker count that wrote it.
-            if resume.workers != n:
-                raise ValueError(
-                    f"checkpoint was written by {resume.workers} workers;"
-                    f" resume with --workers {resume.workers} (got {n})"
-                )
-            violations: List[_ViolationDesc] = list(resume.violations)
-            frontier_sizes: Dict[int, int] = dict(resume.frontier_sizes)
-            for wid in range(n):
-                in_qs[wid].put(("restore", str(resume.worker_files[wid])))
-            self._gather("restored", n)
-            depth = resume.depth
-        else:
-            violations = []
-            frontier_sizes = {wid: 0 for wid in range(n)}
+        violations: List[_ViolationDesc] = []
+        frontier_sizes: Dict[int, int] = {}
 
-            # -- seed: route deduplicated initial states to their owners ----
+        def route_seed() -> None:
+            # Seed: route deduplicated initial states to their owners.
             seed_batches: Dict[int, list] = defaultdict(list)
             seeded = set()
             for init in self.spec.init_states():
@@ -491,16 +746,35 @@ class ParallelBFS:
                     )
             targets = sorted(seed_batches)
             for wid in targets:
-                in_qs[wid].put(("absorb", seed_batches[wid]))
-            for _, wid, added, viols, size in self._gather(
-                "absorbed", len(targets)
-            ):
+                if metrics is not None:
+                    batch_bytes.inc(sum(len(item[0]) for item in seed_batches[wid]))
+                transport.send(wid, ("absorb", seed_batches[wid]))
+            for _, wid, added, viols, size in self._gather("absorbed", len(targets)):
                 stats.distinct_states += added
                 violations.extend(viols)
                 frontier_sizes[wid] = size
                 if metrics is not None and added:
                     key = str(wid)
                     shard_states[key] = shard_states.get(key, 0) + added
+
+        if resume is not None:
+            # Shard ownership is fp % n: a checkpoint only makes sense to
+            # the worker count that wrote it.
+            if resume.workers != n:
+                raise ValueError(
+                    f"checkpoint was written by {resume.workers} workers;"
+                    f" resume with --workers {resume.workers} (got {n})"
+                )
+            violations.extend(resume.violations)
+            frontier_sizes.update(resume.frontier_sizes)
+            membership.extend(getattr(resume, "reassignments", ()) or ())
+            for wid in range(n):
+                transport.send(wid, ("restore", str(resume.worker_files[wid])))
+            self._gather("restored", n)
+            depth = resume.depth
+        else:
+            frontier_sizes.update({wid: 0 for wid in range(n)})
+            route_seed()
 
         # -- level-synchronous rounds ---------------------------------------
         def refresh_gauges() -> None:
@@ -513,140 +787,250 @@ class ParallelBFS:
             stats.elapsed = monotonic() - started
             if metrics is not None:
                 refresh_gauges()
-            violation = self._build_violation(in_qs, violations, reducer)
+            violation = self._build_violation(transport, violations, reducer)
             exhausted = reason is StopReason.EXHAUSTED and (
                 violation is None or not stop_on_violation
             )
             return SearchResult(stats, violation, exhausted, reason)
 
         while True:
-            if violations and stop_on_violation:
-                return finish(StopReason.VIOLATION)
-            if deadline is not None and monotonic() > deadline:
-                return finish(StopReason.TIME_BUDGET)
-            if (
-                self.max_states is not None
-                and stats.distinct_states >= self.max_states
-            ):
-                return finish(StopReason.MAX_STATES)
-            if not any(frontier_sizes.values()):
-                return finish(StopReason.EXHAUSTED)
-            if self.max_depth is not None and depth >= self.max_depth:
-                # BFS semantics: states at the depth bound are not expanded.
-                stats.max_depth = self.max_depth
-                return finish(StopReason.EXHAUSTED)
+            try:
+                if violations and stop_on_violation:
+                    return finish(StopReason.VIOLATION)
+                if deadline is not None and monotonic() > deadline:
+                    return finish(StopReason.TIME_BUDGET)
+                if (
+                    self.max_states is not None
+                    and stats.distinct_states >= self.max_states
+                ):
+                    return finish(StopReason.MAX_STATES)
+                if not any(frontier_sizes.values()):
+                    return finish(StopReason.EXHAUSTED)
+                if self.max_depth is not None and depth >= self.max_depth:
+                    # BFS semantics: states at the depth bound are not expanded.
+                    stats.max_depth = self.max_depth
+                    return finish(StopReason.EXHAUSTED)
 
-            # Round boundary: every recorded state is consistent with the
-            # pending per-shard frontiers, so checkpoint here if due —
-            # each worker dumps its shard, then the master manifest commit
-            # publishes the fleet-wide snapshot atomically.
-            if checkpointer is not None and checkpointer.due(stats):
-                stats.elapsed = monotonic() - started
-                for wid in range(n):
-                    in_qs[wid].put(
-                        ("checkpoint", str(checkpointer.worker_path(wid)))
+                # Round boundary: every recorded state is consistent with
+                # the pending per-shard frontiers, so checkpoint here if
+                # due — each worker dumps its shard, then the master
+                # manifest commit publishes the fleet-wide snapshot
+                # atomically.
+                if checkpointer is not None and checkpointer.due(stats):
+                    stats.elapsed = monotonic() - started
+                    for wid in range(n):
+                        transport.send(
+                            wid, ("checkpoint", str(checkpointer.worker_path(wid)))
+                        )
+                    self._gather("checkpointed", n)
+                    checkpointer.commit(
+                        workers=n,
+                        depth=depth,
+                        stats=stats,
+                        frontier_sizes=dict(frontier_sizes),
+                        violations=violations,
+                        metrics=metrics.snapshot() if metrics is not None else None,
+                        reassignments=membership,
                     )
-                self._gather("checkpointed", n)
-                checkpointer.commit(
-                    workers=n,
-                    depth=depth,
-                    stats=stats,
-                    frontier_sizes=dict(frontier_sizes),
-                    violations=violations,
-                    metrics=metrics.snapshot() if metrics is not None else None,
-                )
 
-            # expand: every worker pops its slice of the depth-`depth` level
-            for in_q in in_qs:
-                in_q.put(("expand", deadline))
-            round_batches: Dict[int, list] = defaultdict(list)
-            truncated = False
-            for (
-                _,
-                wid,
-                transitions,
-                pruned,
-                added,
-                batches,
-                viols,
-                size,
-                was_truncated,
-                obs,
-            ) in self._gather("expanded", n):
-                stats.transitions += transitions
-                stats.pruned += pruned
-                stats.distinct_states += added
-                violations.extend(viols)
-                frontier_sizes[wid] = size
-                truncated = truncated or was_truncated
-                for owner, items in batches.items():
-                    round_batches[owner].extend(items)
-                if metrics is not None and obs is not None:
-                    round_fires, fanout_state, codec_delta = obs
-                    for name, count in round_fires.items():
-                        fires_table[name] = fires_table.get(name, 0) + count
-                    fanout_hist.merge(fanout_state)
-                    for key, count in codec_delta.items():
-                        chunk_counts[key] = chunk_counts.get(key, 0) + count
-                    if added:
+                # expand: every worker pops its slice of the current level
+                for wid in range(n):
+                    transport.send(wid, ("expand", deadline))
+                round_batches: Dict[int, list] = defaultdict(list)
+                truncated = False
+                wait_start = monotonic()
+                replies = self._gather("expanded", n)
+                if metrics is not None:
+                    wait_hist.observe((monotonic() - wait_start) * 1000.0)
+                for (
+                    _,
+                    wid,
+                    transitions,
+                    pruned,
+                    added,
+                    batches,
+                    viols,
+                    size,
+                    was_truncated,
+                    obs,
+                ) in replies:
+                    stats.transitions += transitions
+                    stats.pruned += pruned
+                    stats.distinct_states += added
+                    violations.extend(viols)
+                    frontier_sizes[wid] = size
+                    truncated = truncated or was_truncated
+                    for owner, items in batches.items():
+                        round_batches[owner].extend(items)
+                    if metrics is not None and obs is not None:
+                        round_fires, fanout_state, codec_delta = obs
+                        for name, count in round_fires.items():
+                            fires_table[name] = fires_table.get(name, 0) + count
+                        fanout_hist.merge(fanout_state)
+                        for key, count in codec_delta.items():
+                            chunk_counts[key] = chunk_counts.get(key, 0) + count
+                        if added:
+                            key = str(wid)
+                            shard_states[key] = shard_states.get(key, 0) + added
+                stats.max_depth = max(stats.max_depth, depth)
+
+                # absorb: owners dedupe and enqueue the routed children
+                targets = sorted(round_batches)
+                for wid in targets:
+                    transport.send(wid, ("absorb", round_batches[wid]))
+                    if metrics is not None:
+                        batch_hist.observe(len(round_batches[wid]))
+                        batch_bytes.inc(
+                            sum(len(item[0]) for item in round_batches[wid])
+                        )
+                for _, wid, added, viols, size in self._gather(
+                    "absorbed", len(targets)
+                ):
+                    stats.distinct_states += added
+                    violations.extend(viols)
+                    frontier_sizes[wid] = size
+                    if metrics is not None and added:
                         key = str(wid)
                         shard_states[key] = shard_states.get(key, 0) + added
-            stats.max_depth = max(stats.max_depth, depth)
 
-            # absorb: owners dedupe and enqueue the routed children
-            targets = sorted(round_batches)
-            for wid in targets:
-                in_qs[wid].put(("absorb", round_batches[wid]))
+                depth += 1
                 if metrics is not None:
-                    batch_hist.observe(len(round_batches[wid]))
-            for _, wid, added, viols, size in self._gather(
-                "absorbed", len(targets)
-            ):
-                stats.distinct_states += added
-                violations.extend(viols)
-                frontier_sizes[wid] = size
-                if metrics is not None and added:
-                    key = str(wid)
-                    shard_states[key] = shard_states.get(key, 0) + added
+                    rounds_counter.inc()
+                if self.progress is not None:
+                    stats.elapsed = monotonic() - started
+                    if metrics is not None:
+                        refresh_gauges()
+                    self.progress(stats)
+                if truncated:
+                    return finish(StopReason.TIME_BUDGET)
 
-            depth += 1
-            if metrics is not None:
-                rounds_counter.inc()
-            if self.progress is not None:
-                stats.elapsed = monotonic() - started
-                if metrics is not None:
-                    refresh_gauges()
-                self.progress(stats)
-            if truncated:
-                return finish(StopReason.TIME_BUDGET)
+            except WorkerDied as death:
+                # -- elastic membership: replace, drain, roll back ----------
+                pending: Optional[WorkerDied] = death
+                while pending is not None:
+                    reassigned += 1
+                    if metrics is not None:
+                        metrics.inc("parallel.worker_deaths")
+                    if reassigned > self.max_reassignments:
+                        raise RuntimeError(
+                            f"parallel BFS giving up after"
+                            f" {self.max_reassignments} worker reassignments"
+                            f" (last: {pending})"
+                        ) from pending
+                    if not transport.replace(pending.wid):
+                        raise RuntimeError(
+                            f"parallel BFS worker {pending.wid} died and no"
+                            f" replacement worker is available"
+                            f" ({pending.reason or 'no spare agents'})"
+                        ) from pending
+                    warnings.warn(
+                        f"parallel BFS worker {pending.wid} died"
+                        f" ({pending.reason or 'no reason recorded'});"
+                        f" reassigned its shard and rolling back to the last"
+                        f" committed checkpoint",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    try:
+                        # FIFO per-worker channels: once every worker
+                        # answers a ping, no stale pre-death reply can
+                        # still be in flight.
+                        self._drain(transport)
+
+                        presume = None
+                        if checkpointer is not None and checkpointer.has_commit():
+                            from ..persist.checkpoint import load_parallel_resume
+
+                            presume = load_parallel_resume(checkpointer.run_dir)
+                        if presume is not None:
+                            stats = self.stats = presume.stats
+                            depth = presume.depth
+                            violations = list(presume.violations)
+                            frontier_sizes = dict(presume.frontier_sizes)
+                            if metrics is not None:
+                                if presume.metrics:
+                                    metrics.restore(presume.metrics)
+                                else:
+                                    metrics.restore(baseline_snapshot)
+                                hoist_instruments()
+                            for wid in range(n):
+                                transport.send(
+                                    wid, ("restore", str(presume.worker_files[wid]))
+                                )
+                            self._gather("restored", n)
+                        else:
+                            # No committed checkpoint yet: restart the
+                            # exploration from the initial states.
+                            for wid in range(n):
+                                transport.send(wid, ("restore", None))
+                            self._gather("restored", n)
+                            stats = self.stats = SearchStats()
+                            depth = 0
+                            violations = []
+                            frontier_sizes = {wid: 0 for wid in range(n)}
+                            if metrics is not None:
+                                metrics.restore(baseline_snapshot)
+                                hoist_instruments()
+                            route_seed()
+                        membership.append(
+                            {
+                                "wid": pending.wid,
+                                "reason": pending.reason,
+                                "recovered": "checkpoint" if presume else "seed",
+                                "depth": depth,
+                            }
+                        )
+                        if metrics is not None:
+                            metrics.inc("parallel.reassignments")
+                        # Keep the cumulative time budget honest across
+                        # the rollback.
+                        started = monotonic() - stats.elapsed
+                        if self.time_budget is not None:
+                            deadline = started + self.time_budget
+                        pending = None
+                    except WorkerDied as again:
+                        pending = again
+                continue
 
     # -- plumbing -------------------------------------------------------------
 
     def _gather(self, kind: str, count: int) -> List[tuple]:
-        """Collect ``count`` messages of ``kind``, watching worker health."""
+        """Collect ``count`` messages of ``kind``, watching worker health.
+
+        Replies are sorted by worker id before they are returned, so the
+        master merges them in a deterministic order regardless of which
+        worker (or transport) answered first — this is what makes the
+        merged parent edges, and therefore reconstructed counterexample
+        traces, byte-identical across runs and transports.
+        """
         messages: List[tuple] = []
         while len(messages) < count:
-            try:
-                msg = self._out_q.get(timeout=1.0)
-            except queue_mod.Empty:
-                for proc in self._procs:
-                    if not proc.is_alive():
-                        raise RuntimeError(
-                            f"parallel BFS worker {proc.name} died unexpectedly"
-                        ) from None
+            msg = self._transport.recv(timeout=1.0)
+            if msg is None:
                 continue
-            if msg[0] == "error":
-                raise RuntimeError(
-                    f"parallel BFS worker {msg[1]} failed:\n{msg[2]}"
-                )
             if msg[0] != kind:  # pragma: no cover - protocol error
                 raise RuntimeError(f"unexpected {msg[0]!r} (awaiting {kind!r})")
             messages.append(msg)
+        messages.sort(key=lambda m: m[1])
         return messages
+
+    def _drain(self, transport: Any) -> None:
+        """Ping/pong barrier: discard stale replies from an aborted round."""
+        n = self.workers
+        for wid in range(n):
+            transport.send(wid, ("ping",))
+        pending = set(range(n))
+        while pending:
+            msg = transport.recv(timeout=1.0)
+            if msg is None:
+                continue
+            if msg[0] == "pong":
+                pending.discard(msg[1])
+            # anything else is a stale reply from before the death; drop it
 
     def _build_violation(
         self,
-        in_qs: list,
+        transport: Any,
         violations: List[_ViolationDesc],
         reducer: Optional[SymmetryReducer],
     ) -> Optional[Violation]:
@@ -675,9 +1059,10 @@ class ParallelBFS:
                 compiled=self.compiled,
             )
         merged = CompactStore()
-        for in_q in in_qs:
-            in_q.put(("edges",))
-        for _, _, edges, roots in self._gather("edges", len(in_qs)):
+        n = self.workers
+        for wid in range(n):
+            transport.send(wid, ("edges",))
+        for _, _, edges, roots in self._gather("edges", n):
             for edge_fp, parent_fp, edge_action in edges:
                 if parent_fp is not None:
                     merged.record(edge_fp, parent_fp, edge_action)
@@ -700,11 +1085,31 @@ def parallel_bfs(
     """Run a sharded parallel BFS of ``spec`` across ``workers`` processes.
 
     Accepts the :class:`ParallelBFS` options (``symmetry``, ``max_states``,
-    ``max_depth``, ``time_budget``, ``stop_on_violation``, ``progress``).
-    Falls back to the serial explorer when ``workers <= 1`` or the
-    platform has no ``fork`` start method.
+    ``max_depth``, ``time_budget``, ``stop_on_violation``, ``progress``,
+    ``transport``, ...).  Without an explicit ``transport``, falls back
+    to the serial explorer when ``workers <= 1`` or the platform has no
+    ``fork`` start method — loudly: a ``RuntimeWarning`` is emitted and
+    the ``parallel.fallback_serial`` counter incremented, because a
+    degraded-to-serial "parallel" run is a capacity surprise worth
+    noticing.
     """
-    if workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+    if kwargs.get("transport") is None and (
+        workers <= 1 or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        if workers <= 1:
+            reason = f"workers={workers} leaves nothing to parallelize"
+        else:
+            reason = "the platform has no 'fork' start method"
+        warnings.warn(
+            f"parallel BFS falling back to the serial explorer: {reason}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        metrics = kwargs.get("metrics")
+        if metrics is not None:
+            metrics.inc(FALLBACK_SERIAL)
+        kwargs.pop("transport", None)
+        kwargs.pop("max_reassignments", None)
         from .explorer import BFSExplorer
 
         return BFSExplorer(spec, **kwargs).run()

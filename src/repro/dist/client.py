@@ -1,0 +1,116 @@
+"""ServiceClient: a thin urllib client for the ``sandtable serve`` API.
+
+Used by ``sandtable submit`` and the tests; nothing here a plain
+``curl`` could not do, which is the point — the service speaks ordinary
+HTTP + JSON and this module just keeps the URL spelling in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service refused a request or cannot be reached.
+
+    ``status`` is the HTTP status code, or ``None`` when the connection
+    itself failed.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one job service at ``base_url`` (e.g. ``http://host:8080``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = "http://" + self.base_url
+        self.timeout = timeout
+
+    # -- raw HTTP ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[bytes, Dict[str, str]]:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read(), dict(response.headers)
+        except HTTPError as exc:
+            detail = ""
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except Exception:
+                pass
+            raise ServiceError(
+                f"{method} {path}: HTTP {exc.code}" + (f": {detail}" if detail else ""),
+                status=exc.code,
+            ) from exc
+        except (URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        raw, _ = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- API -----------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._json("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def submit(
+        self, spec_ref: Dict[str, Any], config: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """POST a job; returns the job record (``["id"]`` is the handle)."""
+        body: Dict[str, Any] = {"spec": spec_ref}
+        if config:
+            body["config"] = config
+        return self._json("POST", "/jobs", body)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def metrics(self, job_id: str, offset: int = 0) -> Tuple[List[dict], int]:
+        """Complete ``metrics.jsonl`` records past ``offset``.
+
+        Returns ``(records, next_offset)``; poll with the returned
+        offset to tail the run's progress stream.
+        """
+        raw, headers = self._request("GET", f"/jobs/{job_id}/metrics?offset={offset}")
+        records = [json.loads(line) for line in raw.splitlines() if line.strip()]
+        next_offset = int(headers.get("X-Next-Offset", offset))
+        return records, next_offset
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}/trace")
+
+    def coverage(self, job_id: str) -> str:
+        raw, _ = self._request("GET", f"/jobs/{job_id}/coverage")
+        return raw.decode("utf-8")

@@ -1,0 +1,148 @@
+"""Spec references: portable JSON descriptions both ends resolve alike.
+
+A distributed check cannot ship a live spec object over the wire (specs
+close over Python callables), and it must not silently run two subtly
+different specs on two hosts — the owner-computes sharding is only sound
+when every process fingerprints the *same* transition system.  A *spec
+reference* solves both: a small JSON value that any ``repro`` build can
+resolve to the identical spec, plus a fingerprint over the reference and
+the codec version that the handshake compares before any state moves.
+
+Two kinds exist:
+
+* ``{"kind": "system", "system": ..., "nodes": ..., "bugs": [...],
+  "invariant": ...}`` — one of the Table 2 system specs, the same
+  parameters ``sandtable check`` takes;
+* ``{"kind": "testkit", "seed": ..., "params": {...}, "invariants":
+  ...}`` — a generated differential-testkit spec, fully deterministic
+  from its seed and :class:`~repro.testkit.genspec.GenParams`.
+
+``SPEC_CLASSES``/:func:`make_spec` live here (the CLI re-exports them)
+so resolving a reference never imports the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from ..core.spec import Spec
+from ..core.state import CODEC_VERSION
+from ..specs.raft import (
+    DaosRaftSpec,
+    PySyncObjSpec,
+    RaftConfig,
+    RaftOSSpec,
+    RedisRaftSpec,
+    WRaftSpec,
+    XraftKVSpec,
+    XraftSpec,
+)
+from ..specs.zab import ZabConfig, ZabSpec
+
+__all__ = [
+    "SPEC_CLASSES",
+    "SpecRefError",
+    "make_spec",
+    "system_ref",
+    "testkit_ref",
+    "resolve_spec",
+    "spec_fingerprint",
+]
+
+SPEC_CLASSES = {
+    "pysyncobj": PySyncObjSpec,
+    "wraft": WRaftSpec,
+    "redisraft": RedisRaftSpec,
+    "daosraft": DaosRaftSpec,
+    "raftos": RaftOSSpec,
+    "xraft": XraftSpec,
+    "xraft-kv": XraftKVSpec,
+    "zookeeper": ZabSpec,
+}
+
+
+class SpecRefError(ValueError):
+    """A spec reference that cannot be resolved by this build."""
+
+
+def make_spec(
+    system: str, nodes: int, bugs: Sequence[str], invariant: Optional[str]
+) -> Spec:
+    """Instantiate one of the named system specs (``sandtable check``)."""
+    node_names = tuple(f"n{i}" for i in range(1, nodes + 1))
+    only = [invariant] if invariant else None
+    if system == "zookeeper":
+        return ZabSpec(ZabConfig(nodes=node_names), bugs=bugs, only_invariants=only)
+    spec_cls = SPEC_CLASSES[system]
+    return spec_cls(RaftConfig(nodes=node_names), bugs=bugs, only_invariants=only)
+
+
+def system_ref(
+    system: str,
+    nodes: int = 3,
+    bugs: Sequence[str] = (),
+    invariant: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Reference one of the Table 2 system specs."""
+    if system not in SPEC_CLASSES:
+        raise SpecRefError(
+            f"unknown system {system!r}; known: {', '.join(sorted(SPEC_CLASSES))}"
+        )
+    return {
+        "kind": "system",
+        "system": system,
+        "nodes": int(nodes),
+        "bugs": list(bugs),
+        "invariant": invariant,
+    }
+
+
+def testkit_ref(seed: Any, params: Any, invariants: bool = True) -> Dict[str, Any]:
+    """Reference a generated testkit spec by its ``(seed, params)``."""
+    return {
+        "kind": "testkit",
+        "seed": seed,
+        "params": params.to_dict() if hasattr(params, "to_dict") else dict(params),
+        "invariants": bool(invariants),
+    }
+
+
+def resolve_spec(ref: Dict[str, Any]) -> Spec:
+    """Instantiate the spec a reference describes."""
+    kind = ref.get("kind")
+    if kind == "system":
+        system = ref.get("system")
+        if system not in SPEC_CLASSES:
+            raise SpecRefError(
+                f"unknown system {system!r}; known:"
+                f" {', '.join(sorted(SPEC_CLASSES))}"
+            )
+        return make_spec(
+            system,
+            int(ref.get("nodes", 3)),
+            list(ref.get("bugs", ())),
+            ref.get("invariant"),
+        )
+    if kind == "testkit":
+        # Local import: the testkit imports dist for its distributed
+        # matrix cells, so this edge must stay lazy.
+        from ..testkit.genspec import GenParams, generate_spec
+
+        generated = generate_spec(ref["seed"], GenParams.from_dict(ref["params"]))
+        return generated.spec(invariants=bool(ref.get("invariants", True)))
+    raise SpecRefError(f"unknown spec reference kind {kind!r}")
+
+
+def spec_fingerprint(ref: Dict[str, Any]) -> str:
+    """A stable digest of a reference *and* the codec version.
+
+    Two builds that disagree on either would shard states differently or
+    exchange incompatible bytes; the handshake refuses the connection
+    when the fingerprints differ.
+    """
+    payload = json.dumps(
+        {"codec": CODEC_VERSION, "ref": ref}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()

@@ -21,12 +21,18 @@ without cycles, and the engines keep seeing it only through an
 
 from .metrics import (
     ACTION_FIRES,
+    BATCH_BYTES,
     Counter,
+    FALLBACK_SERIAL,
     Gauge,
     Histogram,
     MetricsRegistry,
+    ROUND_WAIT_MS,
     SIZE_BOUNDS,
     TIME_BOUNDS,
+    WAIT_BOUNDS_MS,
+    WIRE_BYTES_RECEIVED,
+    WIRE_BYTES_SENT,
 )
 from .report import (
     METRICS_FILENAME,
@@ -41,15 +47,21 @@ from .sink import MetricsSink, last_metrics, read_sink
 __all__ = [
     "ACTION_FIRES",
     "ActionCoverage",
+    "BATCH_BYTES",
     "Counter",
+    "FALLBACK_SERIAL",
     "Gauge",
     "Histogram",
     "METRICS_FILENAME",
     "MetricsRegistry",
     "MetricsSink",
     "ProgressReporter",
+    "ROUND_WAIT_MS",
     "SIZE_BOUNDS",
     "TIME_BOUNDS",
+    "WAIT_BOUNDS_MS",
+    "WIRE_BYTES_RECEIVED",
+    "WIRE_BYTES_SENT",
     "compose_progress",
     "coverage_from_registry",
     "coverage_from_sink",

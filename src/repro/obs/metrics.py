@@ -35,14 +35,20 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "ACTION_FIRES",
+    "BATCH_BYTES",
     "CODEC_CHUNKS",
     "Counter",
+    "FALLBACK_SERIAL",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ROUND_WAIT_MS",
     "SIZE_BOUNDS",
     "STORE_BYTES",
     "TIME_BOUNDS",
+    "WAIT_BOUNDS_MS",
+    "WIRE_BYTES_RECEIVED",
+    "WIRE_BYTES_SENT",
 ]
 
 #: The labeled-count family holding per-action fire counts — the one
@@ -64,6 +70,27 @@ CODEC_CHUNKS = "codec.chunk_cache"
 #: rendered in progress lines and ``metrics.jsonl``.
 STORE_BYTES = "store.bytes_per_state"
 
+#: Counter: canonical codec bytes routed in absorb batches — the
+#: exchange-layer payload volume, counted at the master so it is
+#: identical whichever transport (fork pipes or TCP sockets) moved it.
+BATCH_BYTES = "parallel.batch_bytes"
+
+#: Histogram: per-round master wait for the slowest worker, in
+#: milliseconds — the level-synchronous straggler cost.  Bucket counts
+#: are timing-dependent; only the observation *count* (== rounds) is
+#: deterministic across resume.
+ROUND_WAIT_MS = "parallel.round_wait_ms"
+
+#: Counter: times ``parallel_bfs`` silently would have degraded to the
+#: serial explorer (no fork support, or ``workers <= 1``); paired with a
+#: RuntimeWarning so the degradation is visible, not silent.
+FALLBACK_SERIAL = "parallel.fallback_serial"
+
+#: Counters: raw framed bytes moved by the socket transport (frames +
+#: payloads), from the master's point of view.
+WIRE_BYTES_SENT = "dist.wire.bytes_sent"
+WIRE_BYTES_RECEIVED = "dist.wire.bytes_received"
+
 #: Geometric buckets for size-like observations (fan-out, batch sizes).
 SIZE_BOUNDS: Tuple[float, ...] = tuple(2**i for i in range(17))  # 1 .. 65536
 
@@ -73,6 +100,9 @@ TIME_BOUNDS: Tuple[float, ...] = tuple(
     for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
     for base in (1.0, 2.5, 5.0)
 )
+
+#: Millisecond-valued buckets for the per-round master-wait histogram.
+WAIT_BOUNDS_MS: Tuple[float, ...] = tuple(b * 1000.0 for b in TIME_BOUNDS)
 
 
 class Counter:

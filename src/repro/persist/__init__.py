@@ -32,8 +32,10 @@ from .checkpoint import (
     ParallelResume,
     ResumeState,
     SerialCheckpointer,
+    build_checkpoint_bytes,
     load_parallel_resume,
     load_serial_resume,
+    parse_checkpoint,
     read_checkpoint,
     write_checkpoint,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "DiskStore",
     "write_checkpoint",
     "read_checkpoint",
+    "build_checkpoint_bytes",
+    "parse_checkpoint",
     "SerialCheckpointer",
     "ParallelCheckpointer",
     "ResumeState",

@@ -63,6 +63,8 @@ from .rundir import RunDir, RunDirError, atomic_write_json, read_json
 __all__ = [
     "ResumeState",
     "CheckpointData",
+    "build_checkpoint_bytes",
+    "parse_checkpoint",
     "write_checkpoint",
     "read_checkpoint",
     "SerialCheckpointer",
@@ -72,6 +74,8 @@ __all__ = [
     "load_parallel_resume",
     "write_worker_checkpoint",
     "load_worker_checkpoint",
+    "worker_checkpoint_bytes",
+    "load_worker_checkpoint_bytes",
 ]
 
 _MAGIC = b"STCKPT1\n"
@@ -175,8 +179,7 @@ def _violation_from_dict(raw: Dict[str, Any]) -> Violation:
     )
 
 
-def write_checkpoint(
-    path: Union[str, os.PathLike],
+def build_checkpoint_bytes(
     *,
     stats: Optional[SearchStats] = None,
     store: Optional[StateStore] = None,
@@ -184,13 +187,16 @@ def write_checkpoint(
     frontier: Iterable[Tuple[Rec, Any, int]] = (),
     violations: Sequence[Violation] = (),
     extra: Optional[Dict[str, Any]] = None,
-) -> None:
-    """Write one checkpoint file atomically.
+) -> bytes:
+    """Serialize one checkpoint to its container bytes.
 
     Pass ``store`` to dump an in-memory store's edges and roots inline
     (via the generic ``edges()``/``roots()`` seam — works for any
     :class:`~repro.core.engine.StateStore`), or ``store_meta`` to record
-    a :class:`DiskStore`'s offsets instead of its contents.
+    a :class:`DiskStore`'s offsets instead of its contents.  The result
+    is exactly what :func:`write_checkpoint` commits to disk; socket
+    shard workers ship it over the wire instead, so the master can write
+    the generation-addressed files without a shared filesystem.
     """
     action_ids: Dict[str, int] = {}
     actions: List[str] = []
@@ -252,21 +258,41 @@ def write_checkpoint(
     out += edge_records
     out += root_records
     out += frontier_records
+    return bytes(out)
 
+
+def write_checkpoint(
+    path: Union[str, os.PathLike],
+    *,
+    stats: Optional[SearchStats] = None,
+    store: Optional[StateStore] = None,
+    store_meta: Optional[Dict[str, Any]] = None,
+    frontier: Iterable[Tuple[Rec, Any, int]] = (),
+    violations: Sequence[Violation] = (),
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write one checkpoint file atomically (tmp + fsync + rename)."""
+    data = build_checkpoint_bytes(
+        stats=stats,
+        store=store,
+        store_meta=store_meta,
+        frontier=frontier,
+        violations=violations,
+        extra=extra,
+    )
     path = pathlib.Path(path)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
-        handle.write(out)
+        handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)  # the commit point
 
 
-def read_checkpoint(path: Union[str, os.PathLike]) -> CheckpointData:
-    with open(path, "rb") as handle:
-        data = handle.read()
+def parse_checkpoint(data: bytes, source: str = "<bytes>") -> CheckpointData:
+    """Parse checkpoint container bytes (inverse of :func:`build_checkpoint_bytes`)."""
     if not data.startswith(_MAGIC):
-        raise RunDirError(f"{path} is not a checkpoint file")
+        raise RunDirError(f"{source} is not a checkpoint file")
     offset = len(_MAGIC)
     (header_len,) = _U32.unpack_from(data, offset)
     offset += _U32.size
@@ -275,7 +301,7 @@ def read_checkpoint(path: Union[str, os.PathLike]) -> CheckpointData:
     codec = header.get("codec_version")
     if codec != CODEC_VERSION:
         raise RunDirError(
-            f"checkpoint {path} was written with codec version {codec};"
+            f"checkpoint {source} was written with codec version {codec};"
             f" this build uses {CODEC_VERSION} and cannot load it"
         )
     counts = header["counts"]
@@ -308,6 +334,12 @@ def read_checkpoint(path: Union[str, os.PathLike]) -> CheckpointData:
         offset += length
 
     return CheckpointData(header, actions, edges, roots, frontier)
+
+
+def read_checkpoint(path: Union[str, os.PathLike]) -> CheckpointData:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return parse_checkpoint(data, source=str(path))
 
 
 # ---------------------------------------------------------------------------
@@ -477,6 +509,10 @@ class ParallelResume:
     #: metrics-registry snapshot from the manifest (None when the
     #: checkpointed run had no metrics).
     metrics: Optional[Dict[str, Any]] = None
+    #: membership events (worker deaths + shard reassignments) recorded
+    #: up to this checkpoint, carried so a resumed run keeps the full
+    #: fleet history in its next manifests.
+    reassignments: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
 
 
 class ParallelCheckpointer:
@@ -525,6 +561,10 @@ class ParallelCheckpointer:
     def worker_path(self, wid: int) -> pathlib.Path:
         return self.run_dir.checkpoint_dir / f"worker-{wid}-{self._generation}.ckpt"
 
+    def has_commit(self) -> bool:
+        """Whether a committed fleet-wide checkpoint exists to roll back to."""
+        return self.master_path.exists()
+
     def due(self, stats: SearchStats) -> bool:
         if (
             self.every_states is not None
@@ -545,6 +585,7 @@ class ParallelCheckpointer:
         frontier_sizes: Dict[int, int],
         violations: Sequence[tuple],
         metrics: Optional[Dict[str, Any]] = None,
+        reassignments: Sequence[Dict[str, Any]] = (),
     ) -> None:
         """Publish the master manifest: the fleet-wide commit point."""
         manifest = {
@@ -558,6 +599,8 @@ class ParallelCheckpointer:
         }
         if metrics is not None:
             manifest["metrics"] = metrics
+        if reassignments:
+            manifest["reassignments"] = list(reassignments)
         atomic_write_json(self.master_path, manifest)
         # Only now — after the commit point — is it safe to drop worker
         # files from superseded (or crash-orphaned) generations.
@@ -595,6 +638,7 @@ def load_parallel_resume(run_dir: RunDir) -> ParallelResume:
         worker_files=[run_dir.checkpoint_dir / name for name in manifest["files"]],
         workers=manifest["workers"],
         metrics=manifest.get("metrics"),
+        reassignments=list(manifest.get("reassignments", ())),
     )
 
 
@@ -607,6 +651,13 @@ def write_worker_checkpoint(
     write_checkpoint(path, store=store, frontier=frontier)
 
 
+def worker_checkpoint_bytes(
+    store: StateStore, frontier: Iterable[Tuple[Rec, Any, int]]
+) -> bytes:
+    """A shard worker's checkpoint as container bytes (socket transport)."""
+    return build_checkpoint_bytes(store=store, frontier=frontier)
+
+
 def load_worker_checkpoint(
     path: Union[str, os.PathLike], store: StateStore
 ) -> List[Tuple[Rec, int, int]]:
@@ -614,3 +665,12 @@ def load_worker_checkpoint(
     data = read_checkpoint(path)
     data.restore_into(store)
     return data.frontier_items()
+
+
+def load_worker_checkpoint_bytes(
+    data: bytes, store: StateStore
+) -> List[Tuple[Rec, int, int]]:
+    """Restore a shard store from checkpoint bytes; returns the frontier."""
+    parsed = parse_checkpoint(data)
+    parsed.restore_into(store)
+    return parsed.frontier_items()

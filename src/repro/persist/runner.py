@@ -80,6 +80,8 @@ def run_check(
     fast: bool = False,
     por: bool = False,
     research: bool = True,
+    transport: Optional[Any] = None,
+    manifest_extra: Optional[dict] = None,
 ) -> SearchResult:
     """Run (or resume) one durable BFS check in ``run_dir``.
 
@@ -89,6 +91,15 @@ def run_check(
     append-only JSONL sink is kept at ``<run dir>/metrics.jsonl`` — a
     resumed run appends to the same file, marked by a fresh ``open``
     line.
+
+    ``transport`` (a :class:`~repro.core.parallel.ForkTransport`-shaped
+    object, e.g. :class:`repro.dist.transport.SocketTransport`) forces
+    the parallel driver and selects how shard workers are reached; it is
+    deliberately not part of the recorded config, since a fork run and a
+    socket run over the same spec are byte-identical and a resume may
+    freely switch between them.  ``manifest_extra`` merges extra fields
+    into the run-dir manifest (the job service records its job metadata
+    this way).
     """
     if strong_fingerprints:
         raise ValueError(
@@ -98,7 +109,9 @@ def run_check(
         )
     if checkpoint_every is None and checkpoint_states is None:
         checkpoint_every = 60.0
-    parallel = workers > 1 and "fork" in multiprocessing.get_all_start_methods()
+    parallel = transport is not None or (
+        workers > 1 and "fork" in multiprocessing.get_all_start_methods()
+    )
     config = {
         "spec": spec_label or _spec_label(spec),
         "mode": "parallel" if parallel else "serial",
@@ -117,9 +130,9 @@ def run_check(
     if resume:
         rd = RunDir.open(run_dir)
         rd.check_config(config, ignore=BUDGET_KEYS)
-        rd.update_manifest(status="running", config=config)
+        rd.update_manifest(status="running", config=config, **(manifest_extra or {}))
     else:
-        rd = RunDir.create(run_dir, config=config)
+        rd = RunDir.create(run_dir, config=config, **(manifest_extra or {}))
 
     sink: Optional[MetricsSink] = None
     if metrics is not None:
@@ -161,13 +174,19 @@ def run_check(
             )
             from ..core.parallel import ParallelBFS  # heavy import, keep local
 
-            result = ParallelBFS(
+            bfs = ParallelBFS(
                 spec,
                 workers=workers,
                 checkpointer=checkpointer,
                 resume=presume,
+                transport=transport,
                 **explore,
-            ).run()
+            )
+            result = bfs.run()
+            # Surface elastic-membership events (worker deaths and shard
+            # reassignments) where clients look: the run-dir manifest.
+            if getattr(bfs, "membership", None):
+                rd.update_manifest(reassignments=list(bfs.membership))
         else:
             if resume:
                 loaded, resume_state = load_serial_resume(

@@ -52,6 +52,8 @@ import multiprocessing
 import os
 import random
 import tempfile
+import threading
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.compile import por_prune_set
@@ -102,6 +104,8 @@ class MatrixConfig:
     fast: bool = False  # traceless store + bounded re-search
     por: bool = False  # partial-order-reduced compile
     exhaustive: bool = False  # violation-phase spec, stop_on_violation=False
+    transport: str = "fork"  # "fork" | "socket" (repro.dist worker agents)
+    dist_kill: bool = False  # kill one socket agent mid-run; spare adopts
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -175,6 +179,26 @@ def build_matrix(
             census.append(
                 MatrixConfig("census/workers-2-symmetry", "census", workers=2, symmetry=True)
             )
+        # Socket-distributed cells: the same owner-computes exchange
+        # over repro.dist worker agents (in-process threads here), and a
+        # kill-one-agent cell where a warm spare adopts the dead shard.
+        census.append(
+            MatrixConfig("census/dist-2", "census", workers=2, transport="socket")
+        )
+        census.append(
+            MatrixConfig(
+                "census/fast-dist-2", "census", workers=2, transport="socket", fast=True
+            )
+        )
+        census.append(
+            MatrixConfig(
+                "census/dist-kill",
+                "census",
+                workers=2,
+                transport="socket",
+                dist_kill=True,
+            )
+        )
 
     matrix = census
     if generated.planted is not None:
@@ -238,6 +262,20 @@ def build_matrix(
             matrix.append(
                 MatrixConfig(
                     "violation/por-workers-2", "violation", workers=2, por=True
+                )
+            )
+            matrix.append(
+                MatrixConfig(
+                    "violation/dist-2", "violation", workers=2, transport="socket"
+                )
+            )
+            matrix.append(
+                MatrixConfig(
+                    "violation/dist-kill",
+                    "violation",
+                    workers=2,
+                    transport="socket",
+                    dist_kill=True,
                 )
             )
     if fast or por:
@@ -395,6 +433,8 @@ def _run_config(
                 ),
                 resumed,
             )
+    if config.workers > 1 and config.transport == "socket":
+        return _run_socket_config(generated, config, spec, stop, registry)
     if config.workers > 1:
         return (
             bfs_explore(
@@ -451,6 +491,97 @@ def _run_config(
         ).run(),
         registry,
     )
+
+
+#: Ops into a session before the fault-injected agent vanishes: late
+#: enough that real exchange (and, durably, a checkpoint commit) has
+#: happened, early enough that recovery still has work left to redo.
+_DIST_KILL_AFTER_OPS = 6
+
+
+def _run_socket_config(
+    generated: GeneratedSpec,
+    config: MatrixConfig,
+    spec: Any,
+    stop: bool,
+    registry: MetricsRegistry,
+) -> Tuple[SearchResult, MetricsRegistry]:
+    """One socket-transport cell: in-process worker agents over TCP.
+
+    The agents run :class:`~repro.dist.agent.WorkerAgent` on loopback
+    (threads, ephemeral ports) and resolve the spec from its *testkit
+    reference* — so the spec-fingerprint handshake, the codec-bytes wire
+    batches, and (for ``dist_kill``) the kill→reassign→rollback path are
+    all under differential test against the oracle.
+    """
+    from ..dist.agent import WorkerAgent
+    from ..dist.specref import testkit_ref
+    from ..dist.transport import SocketTransport
+
+    ref = testkit_ref(
+        generated.seed, generated.params, invariants=config.phase == "violation"
+    )
+    agents: List[WorkerAgent] = []
+    try:
+        for index in range(config.workers):
+            die = (
+                _DIST_KILL_AFTER_OPS
+                if config.dist_kill and index == config.workers - 1
+                else None
+            )
+            agents.append(WorkerAgent(die_after_ops=die))
+        if config.dist_kill:
+            agents.append(WorkerAgent())  # the warm spare that adopts the shard
+        for agent in agents:
+            threading.Thread(
+                target=agent.serve_forever,
+                name=f"sandtable-test-agent-{agent.port}",
+                daemon=True,
+            ).start()
+        transport = SocketTransport([agent.address for agent in agents], ref)
+        with warnings.catch_warnings():
+            # The reassignment RuntimeWarning is this cell's expected
+            # behaviour, not a finding.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            if config.dist_kill:
+                # Durable run: the reassigned shard must roll back to the
+                # last *committed* generation shipped over the wire.
+                with tempfile.TemporaryDirectory(
+                    prefix="sandtable-selftest-"
+                ) as tmp:
+                    return (
+                        run_check(
+                            spec,
+                            os.path.join(tmp, "run"),
+                            workers=config.workers,
+                            transport=transport,
+                            symmetry=config.symmetry,
+                            stop_on_violation=stop,
+                            compiled=config.compiled,
+                            fast=config.fast,
+                            por=config.por,
+                            checkpoint_states=_CHECKPOINT_STATES,
+                            metrics=registry,
+                        ),
+                        registry,
+                    )
+            return (
+                bfs_explore(
+                    spec,
+                    workers=config.workers,
+                    transport=transport,
+                    symmetry=config.symmetry,
+                    stop_on_violation=stop,
+                    metrics=registry,
+                    compiled=config.compiled,
+                    fast=config.fast,
+                    por=config.por,
+                ),
+                registry,
+            )
+    finally:
+        for agent in agents:
+            agent.close()
 
 
 # ---------------------------------------------------------------------------
@@ -515,6 +646,35 @@ def _reference_trace(
     return cache[key]
 
 
+def _parallel_reference_trace(
+    generated: GeneratedSpec, config: MatrixConfig, cache: Dict[Any, Any]
+) -> str:
+    """Sorted-JSON counterexample of a fork-parallel run of the same cell.
+
+    The socket transport must be *invisible*: a distributed violation
+    cell has to reconstruct the byte-identical minimal trace the fork
+    transport produces for the same worker count (serial is not the
+    right reference — parallel BFS finishes its round, so it may stop on
+    a different same-depth counterexample than a serial sweep).
+    """
+    key = ("parallel-ref", config.workers, config.symmetry, config.por)
+    if key not in cache:
+        reference = bfs_explore(
+            generated.spec(invariants=True),
+            workers=config.workers,
+            symmetry=config.symmetry,
+            por=config.por,
+            stop_on_violation=True,
+        )
+        if reference.violation is None:
+            cache[key] = "<reference fork-parallel run found no violation>"
+        else:
+            cache[key] = json.dumps(
+                reference.violation.trace.to_dict(), sort_keys=True
+            )
+    return cache[key]
+
+
 def _grade(
     generated: GeneratedSpec,
     config: MatrixConfig,
@@ -557,6 +717,14 @@ def _grade(
                 actual = json.dumps(violation.trace.to_dict(), sort_keys=True)
                 if actual != expected:
                     found.append(mismatch("trace_bytes", expected, actual))
+        elif config.transport == "socket" and cache is not None and _fork_available():
+            # Full-store socket cells (including the kill-and-reassign
+            # one) must reconstruct the byte-identical trace the fork
+            # transport produces for the same worker count.
+            expected = _parallel_reference_trace(generated, config, cache)
+            actual = json.dumps(violation.trace.to_dict(), sort_keys=True)
+            if actual != expected:
+                found.append(mismatch("trace_bytes", expected, actual))
 
     found: List[Disagreement] = []
     if config.phase == "census" or config.exhaustive:

@@ -399,3 +399,155 @@ class TestStatsAndCoverage:
         assert counters["selftest.specs"] == 1
         assert counters["selftest.configs"] > 0
         assert counters["selftest.disagreements"] == 0
+
+
+class TestWorkersValidation:
+    def test_zero_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["check", "--system", "pysyncobj", "--workers", "0"])
+        assert err.value.code == 2
+        assert "worker count must be >= 1" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["check", "--system", "pysyncobj", "--workers", "-2"])
+        assert err.value.code == 2
+
+    def test_non_integer_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["check", "--system", "pysyncobj", "--workers", "two"])
+        assert err.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_bad_env_workers_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("SANDTABLE_WORKERS", "banana")
+        code = main(
+            ["check", "--system", "pysyncobj", "--nodes", "2", "--max-states", "10"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "SANDTABLE_WORKERS" in err and "positive integer" in err
+
+    def test_env_workers_flag_wins(self, capsys, monkeypatch):
+        # An explicit flag beats a bogus environment value.
+        monkeypatch.setenv("SANDTABLE_WORKERS", "banana")
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--nodes",
+                "2",
+                "--max-states",
+                "200",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+
+    def test_workers_exceeding_worker_addresses_rejected(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--workers",
+                "3",
+                "--worker",
+                "127.0.0.1:59999",
+            ]
+        )
+        assert code == 2
+        assert "--worker addresses" in capsys.readouterr().err
+
+
+class TestDistCommands:
+    def test_check_against_worker_agents(self, capsys):
+        import threading
+
+        from repro.dist.agent import WorkerAgent
+
+        agents = [WorkerAgent() for _ in range(2)]
+        for agent in agents:
+            threading.Thread(target=agent.serve_forever, daemon=True).start()
+        try:
+            code = main(
+                [
+                    "check",
+                    "--system",
+                    "pysyncobj",
+                    "--nodes",
+                    "2",
+                    "--max-states",
+                    "2000",
+                    "--worker",
+                    agents[0].address,
+                    "--worker",
+                    agents[1].address,
+                    "--stats",
+                ]
+            )
+        finally:
+            for agent in agents:
+                agent.close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no violation" in out
+        assert "exchange:" in out and "wire" in out
+
+    def test_unreachable_worker_is_a_clean_error(self, capsys):
+        code = main(
+            [
+                "check",
+                "--system",
+                "pysyncobj",
+                "--worker",
+                "127.0.0.1:1",
+            ]
+        )
+        assert code == 2
+        assert "cannot reach worker" in capsys.readouterr().err
+
+    def test_submit_watch_end_to_end(self, tmp_path, capsys):
+        import threading
+
+        from repro.dist.service import serve
+
+        server = serve("127.0.0.1", 0, tmp_path / "jobs")
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            code = main(
+                [
+                    "submit",
+                    "--server",
+                    server.url,
+                    "--system",
+                    "pysyncobj",
+                    "--nodes",
+                    "2",
+                    "--max-states",
+                    "500",
+                    "--watch",
+                    "--poll",
+                    "0.1",
+                ]
+            )
+        finally:
+            server.shutdown()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submitted job-" in out
+
+    def test_submit_unreachable_server_is_a_clean_error(self, capsys):
+        code = main(
+            [
+                "submit",
+                "--server",
+                "127.0.0.1:1",
+                "--system",
+                "pysyncobj",
+            ]
+        )
+        assert code == 2
+        assert "cannot reach service" in capsys.readouterr().err

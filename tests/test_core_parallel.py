@@ -93,9 +93,16 @@ class TestEquivalence:
         assert par.stats.distinct_states == 20
 
     def test_workers_1_falls_back_to_serial(self):
-        result = parallel_bfs(CounterSpec(2, 3), workers=1)
+        # The fallback must be loud: a RuntimeWarning plus a counter, so
+        # a "parallel" run that silently went serial is visible.
+        from repro.obs.metrics import FALLBACK_SERIAL, MetricsRegistry
+
+        registry = MetricsRegistry()
+        with pytest.warns(RuntimeWarning, match="serial"):
+            result = parallel_bfs(CounterSpec(2, 3), workers=1, metrics=registry)
         assert result.stats.distinct_states == 16
         assert result.exhausted
+        assert registry.snapshot()["counters"][FALLBACK_SERIAL] == 1
 
     def test_bfs_explore_workers_kwarg(self):
         result = bfs_explore(CounterSpec(2, 3), workers=2)

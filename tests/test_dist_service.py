@@ -1,0 +1,196 @@
+"""Tests for the multi-tenant job service (``sandtable serve``)."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.dist.client import ServiceClient, ServiceError
+from repro.dist.service import CONFIG_KEYS, JobManager, serve
+from repro.dist.specref import system_ref
+from repro.dist.specref import testkit_ref as make_testkit_ref  # noqa: N813
+from repro.testkit.genspec import GenParams, generate_spec
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = serve("127.0.0.1", 0, tmp_path / "jobs")
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+def violation_ref():
+    # A generated spec with a planted violation, fully described by its
+    # (seed, params) reference — nothing to upload, nothing to trust.
+    gen = generate_spec("dist-transport:1", GenParams())
+    assert gen.planted is not None
+    return make_testkit_ref(gen.seed, gen.params, invariants=True)
+
+
+def census_ref():
+    return make_testkit_ref("dist-transport:1", GenParams().to_dict(), invariants=False)
+
+
+class TestEndToEnd:
+    def test_submit_watch_trace(self, server, client):
+        record = client.submit(violation_ref(), {"max_states": 5000})
+        job_id = record["id"]
+        assert record["status"] in ("starting", "running", "violation")
+        assert server.manager.wait(job_id, timeout=120)
+
+        status = client.status(job_id)
+        assert status["status"] == "violation"
+        assert status["manifest"]["job"]["id"] == job_id
+
+        # Progress stream: complete JSONL lines, resumable by offset.
+        records, offset = client.metrics(job_id, 0)
+        assert records, "the metrics stream must hold at least one snapshot"
+        assert all("event" in item for item in records)
+        again, final_offset = client.metrics(job_id, offset)
+        assert again == [] and final_offset == offset
+
+        trace = client.trace(job_id)
+        assert trace["invariant"] == "NoPlantedSignature"
+        assert trace["depth"] == 4
+
+        coverage = client.coverage(job_id)
+        assert "act" in coverage or "%" in coverage
+
+    def test_census_job_completes_clean(self, server, client):
+        record = client.submit(census_ref(), {"max_states": 5000})
+        job_id = record["id"]
+        assert server.manager.wait(job_id, timeout=120)
+        status = client.status(job_id)
+        assert status["status"] == "complete"
+        with pytest.raises(ServiceError) as err:
+            client.trace(job_id)
+        assert err.value.status == 404
+
+    def test_distributed_job_over_worker_agents(self, server, client):
+        from repro.dist.agent import WorkerAgent
+
+        agents = [WorkerAgent() for _ in range(2)]
+        for agent in agents:
+            threading.Thread(target=agent.serve_forever, daemon=True).start()
+        try:
+            record = client.submit(
+                violation_ref(),
+                {"worker_addrs": [a.address for a in agents]},
+            )
+            job_id = record["id"]
+            assert server.manager.wait(job_id, timeout=120)
+            status = client.status(job_id)
+            assert status["status"] == "violation"
+            assert status["manifest"]["config"]["workers"] == 2
+        finally:
+            for agent in agents:
+                agent.close()
+
+    def test_jobs_listing_and_health(self, server, client):
+        assert client.healthy()
+        a = client.submit(census_ref(), {"max_states": 100})["id"]
+        b = client.submit(census_ref(), {"max_states": 100})["id"]
+        server.manager.wait(a, timeout=60)
+        server.manager.wait(b, timeout=60)
+        ids = [job["id"] for job in client.jobs()]
+        assert a in ids and b in ids
+        assert ids == sorted(ids, reverse=True)  # newest first
+
+
+class TestValidation:
+    def test_unknown_config_key_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit(census_ref(), {"bogus_key": 1})
+        assert err.value.status == 400
+        assert "bogus_key" in str(err.value)
+
+    def test_bad_spec_rejected(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "martian"})
+        assert err.value.status == 400
+
+    def test_missing_spec_rejected(self, server):
+        request = urllib.request.Request(
+            server.url + "/jobs",
+            data=json.dumps({"config": {}}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_garbage_body_rejected(self, server):
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"\xff not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("job-9999-cafebabe")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError):
+            client.metrics("job-9999-cafebabe")
+
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_bad_offset_400(self, server, client):
+        job_id = client.submit(census_ref(), {"max_states": 50})["id"]
+        server.manager.wait(job_id, timeout=60)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + f"/jobs/{job_id}/metrics?offset=xyz")
+        assert err.value.code == 400
+
+    def test_config_keys_cover_run_check_budgets(self):
+        # The allowlist must at least cover the documented budgets.
+        assert {"max_states", "max_depth", "time_budget", "workers"} <= CONFIG_KEYS
+
+
+class TestManagerDirectly:
+    def test_system_ref_jobs_work(self, tmp_path):
+        manager = JobManager(tmp_path / "jobs")
+        job_id = manager.submit(system_ref("pysyncobj", 3), {"max_states": 500})
+        assert manager.wait(job_id, timeout=120)
+        assert manager.status(job_id)["status"] in ("complete", "stopped")
+
+    def test_adoption_after_restart(self, tmp_path):
+        manager = JobManager(tmp_path / "jobs")
+        job_id = manager.submit(system_ref("pysyncobj", 3), {"max_states": 200})
+        assert manager.wait(job_id, timeout=120)
+        # A fresh manager over the same data dir still serves the job's
+        # status from its durable run dir.
+        reborn = JobManager(tmp_path / "jobs")
+        status = reborn.status(job_id)
+        assert status["status"] in ("complete", "stopped")
+        assert not status["running"]
+
+    def test_offset_streaming_never_tears_lines(self, tmp_path):
+        manager = JobManager(tmp_path / "jobs")
+        job_id = manager.submit(system_ref("pysyncobj", 3), {"max_states": 500})
+        assert manager.wait(job_id, timeout=120)
+        whole, _ = manager.metrics_chunk(job_id, 0)
+        # Read byte-by-byte via offsets: reassembled stream must equal
+        # the whole file, every chunk ending on a line boundary.
+        parts, offset = [], 0
+        while True:
+            chunk, next_offset = manager.metrics_chunk(job_id, offset)
+            if not chunk:
+                break
+            assert chunk.endswith(b"\n")
+            parts.append(chunk)
+            offset = next_offset
+        assert b"".join(parts) == whole

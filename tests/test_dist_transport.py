@@ -1,0 +1,321 @@
+"""Tests for the socket worker transport, agents, and elastic membership."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.explorer import BFSExplorer, bfs_explore
+from repro.core.parallel import WorkerDied, parallel_bfs
+from repro.dist.agent import WorkerAgent
+from repro.dist.specref import resolve_spec, system_ref
+from repro.dist.specref import testkit_ref as make_testkit_ref  # noqa: N813
+from repro.dist.transport import SocketTransport, TransportError, parse_address
+from repro.dist.wire import PROTOCOL_VERSION
+from repro.obs.metrics import (
+    FALLBACK_SERIAL,
+    WIRE_BYTES_RECEIVED,
+    WIRE_BYTES_SENT,
+    MetricsRegistry,
+)
+from repro.persist.runner import run_check
+from repro.testkit.genspec import GenParams, generate_spec
+
+
+def start_agents(n, **kwargs):
+    agents = [WorkerAgent(**kwargs) for _ in range(n)]
+    for agent in agents:
+        threading.Thread(target=agent.serve_forever, daemon=True).start()
+    return agents
+
+
+@pytest.fixture
+def gen():
+    # 81 states, diameter 5, planted violation: big enough that a
+    # die_after_ops agent dies mid-exchange, small enough to stay fast.
+    return generate_spec("dist-transport:1", GenParams())
+
+
+def census(result):
+    return (
+        result.stats.distinct_states,
+        result.stats.transitions,
+        result.stats.max_depth,
+        result.stats.pruned,
+    )
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.1:8801") == ("10.0.0.1", 8801)
+
+    def test_bare_port(self):
+        assert parse_address("8801") == ("127.0.0.1", 8801)
+
+    def test_empty_host_defaults_to_loopback(self):
+        assert parse_address(":8801") == ("127.0.0.1", 8801)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(TransportError):
+            parse_address("host:notaport")
+        with pytest.raises(TransportError):
+            parse_address("host:0")
+        with pytest.raises(TransportError):
+            parse_address("host:70000")
+
+
+class TestSocketEquivalence:
+    def test_census_matches_serial(self, gen):
+        spec = gen.spec(invariants=False)
+        serial = BFSExplorer(gen.spec(invariants=False)).run()
+        agents = start_agents(2)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+            )
+            dist = parallel_bfs(spec, workers=2, transport=transport)
+        finally:
+            for agent in agents:
+                agent.close()
+        assert census(dist) == census(serial)
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fork transport unavailable",
+    )
+    def test_violation_trace_matches_fork_parallel(self, gen):
+        if gen.planted is None:
+            pytest.skip("no planted violation in this spec")
+        fork = bfs_explore(gen.spec(invariants=True), workers=2)
+        agents = start_agents(2)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=True),
+            )
+            dist = parallel_bfs(gen.spec(invariants=True), workers=2, transport=transport)
+        finally:
+            for agent in agents:
+                agent.close()
+        assert fork.violation is not None and dist.violation is not None
+        assert json.dumps(dist.violation.trace.to_dict(), sort_keys=True) == json.dumps(
+            fork.violation.trace.to_dict(), sort_keys=True
+        )
+
+    def test_wire_byte_counters_accumulate(self, gen):
+        registry = MetricsRegistry()
+        agents = start_agents(2)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+                metrics=registry,
+            )
+            parallel_bfs(
+                gen.spec(invariants=False),
+                workers=2,
+                transport=transport,
+                metrics=registry,
+            )
+        finally:
+            for agent in agents:
+                agent.close()
+        snap = registry.snapshot()["counters"]
+        assert snap[WIRE_BYTES_SENT] > 0
+        assert snap[WIRE_BYTES_RECEIVED] > 0
+
+
+class TestHandshakeRefusal:
+    def test_wrong_fingerprint_refused(self, gen):
+        agents = start_agents(1)
+        try:
+            ref = make_testkit_ref(gen.seed, gen.params, invariants=False)
+            transport = SocketTransport([agents[0].address], ref)
+            transport.spec_ref = dict(ref, seed=str(ref["seed"]) + "-other")
+            # The handshake carries the *tampered* ref; the agent derives
+            # a different fingerprint for it than the one we claim.
+            transport._config = {"workers": 1}
+            transport.n = 1
+            hello_ref = dict(ref)  # claim the original fingerprint...
+            import repro.dist.transport as transport_module
+
+            with pytest.raises(TransportError, match="refused"):
+                # ...by making make_handshake see the original ref but the
+                # agent resolve the tampered one.
+                original = transport_module.make_handshake
+
+                def tampered(spec_ref, **kwargs):
+                    hello = original(hello_ref, **kwargs)
+                    hello["spec_ref"] = transport.spec_ref
+                    return hello
+
+                transport_module.make_handshake = tampered
+                try:
+                    transport._connect(0, 0)
+                finally:
+                    transport_module.make_handshake = original
+        finally:
+            agents[0].close()
+
+    def test_protocol_mismatch_refused(self, gen, monkeypatch):
+        import repro.dist.transport as transport_module
+
+        agents = start_agents(1)
+        try:
+            ref = make_testkit_ref(gen.seed, gen.params, invariants=False)
+            original = transport_module.make_handshake
+
+            def wrong_proto(spec_ref, **kwargs):
+                hello = original(spec_ref, **kwargs)
+                hello["proto"] = PROTOCOL_VERSION + 1
+                return hello
+
+            monkeypatch.setattr(transport_module, "make_handshake", wrong_proto)
+            transport = SocketTransport([agents[0].address], ref)
+            with pytest.raises(TransportError, match="protocol version"):
+                transport.start({"workers": 1})
+        finally:
+            agents[0].close()
+
+    def test_unresolvable_spec_refused(self):
+        agents = start_agents(1)
+        try:
+            bad_ref = {"kind": "system", "system": "no-such-system"}
+            transport = SocketTransport([agents[0].address], bad_ref)
+            with pytest.raises(TransportError, match="refused"):
+                transport.start({"workers": 1})
+        finally:
+            agents[0].close()
+
+
+class TestElasticMembership:
+    def test_kill_and_reassign_census_identical(self, gen):
+        spec = gen.spec(invariants=False)
+        baseline = BFSExplorer(gen.spec(invariants=False)).run()
+        # Agent for shard 1 dies mid-run; the extra agent is a warm spare.
+        agents = start_agents(1) + start_agents(1, die_after_ops=5) + start_agents(1)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+            )
+            with pytest.warns(RuntimeWarning, match="died"):
+                dist = parallel_bfs(spec, workers=2, transport=transport)
+        finally:
+            for agent in agents:
+                agent.close()
+        assert census(dist) == census(baseline)
+
+    def test_kill_with_checkpoints_rolls_back_to_commit(self, gen, tmp_path):
+        baseline = BFSExplorer(gen.spec(invariants=False)).run()
+        agents = start_agents(1) + start_agents(1, die_after_ops=6) + start_agents(1)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+            )
+            with pytest.warns(RuntimeWarning, match="died"):
+                result = run_check(
+                    gen.spec(invariants=False),
+                    tmp_path / "run",
+                    workers=2,
+                    transport=transport,
+                    checkpoint_states=7,
+                    metrics=MetricsRegistry(),
+                )
+        finally:
+            for agent in agents:
+                agent.close()
+        assert census(result) == census(baseline)
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        reassignments = manifest.get("reassignments", [])
+        assert reassignments, "the membership event must be recorded"
+        assert reassignments[0]["wid"] == 1
+
+    def test_no_spare_left_raises(self, gen):
+        agents = start_agents(1) + start_agents(1, die_after_ops=4)
+        try:
+            transport = SocketTransport(
+                [a.address for a in agents],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+            )
+            with pytest.raises(RuntimeError, match="no replacement worker"):
+                parallel_bfs(
+                    gen.spec(invariants=False), workers=2, transport=transport
+                )
+        finally:
+            for agent in agents:
+                agent.close()
+
+
+class TestAgentLifecycle:
+    def test_agent_serves_multiple_sessions(self, gen):
+        spec_params = make_testkit_ref(gen.seed, gen.params, invariants=False)
+        agents = start_agents(2)
+        try:
+            results = []
+            for _ in range(2):
+                transport = SocketTransport([a.address for a in agents], spec_params)
+                results.append(
+                    parallel_bfs(gen.spec(invariants=False), workers=2, transport=transport)
+                )
+        finally:
+            for agent in agents:
+                agent.close()
+        assert census(results[0]) == census(results[1])
+        # The session count increments after the agent notices the stop,
+        # which races transport.close(); give it a moment.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if all(agent.sessions_served == 2 for agent in agents):
+                break
+            time.sleep(0.02)
+        assert all(agent.sessions_served == 2 for agent in agents)
+
+    def test_once_serves_one_session(self):
+        agent = WorkerAgent(max_sessions=1)
+        thread = threading.Thread(target=agent.serve_forever, daemon=True)
+        thread.start()
+        ref = system_ref("pysyncobj", 3)
+        transport = SocketTransport([agent.address], ref)
+        transport.start({"workers": 1})
+        transport.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert agent.sessions_served == 1
+
+    def test_resolve_spec_rejects_unknown_kind(self):
+        from repro.dist.specref import SpecRefError
+
+        with pytest.raises(SpecRefError):
+            resolve_spec({"kind": "martian"})
+
+
+class TestSerialFallback:
+    def test_workers_1_warns_and_counts(self, gen):
+        registry = MetricsRegistry()
+        with pytest.warns(RuntimeWarning, match="serial"):
+            result = parallel_bfs(
+                gen.spec(invariants=False), workers=1, metrics=registry
+            )
+        assert result.stats.distinct_states > 0
+        assert registry.snapshot()["counters"][FALLBACK_SERIAL] == 1
+
+    def test_transport_suppresses_fallback(self, gen):
+        # An explicit transport means the caller wants distribution even
+        # for one shard; no silent serial fallback.
+        agents = start_agents(1)
+        try:
+            transport = SocketTransport(
+                [agents[0].address],
+                make_testkit_ref(gen.seed, gen.params, invariants=False),
+            )
+            result = parallel_bfs(
+                gen.spec(invariants=False), workers=1, transport=transport
+            )
+        finally:
+            agents[0].close()
+        serial = BFSExplorer(gen.spec(invariants=False)).run()
+        assert census(result) == census(serial)

@@ -1,0 +1,254 @@
+"""Tests for the repro.dist wire format and versioned handshake."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.state import CODEC_VERSION
+from repro.dist.specref import spec_fingerprint, system_ref
+from repro.dist.specref import testkit_ref as make_testkit_ref  # noqa: N813 - pytest collects test* names
+from repro.dist.wire import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameBuffer,
+    WireError,
+    check_handshake,
+    decode_message,
+    encode_frame,
+    encode_message,
+    make_handshake,
+    read_frame,
+    write_frame,
+)
+from repro.testkit.genspec import GenParams, generate_spec
+
+
+def roundtrip(msg):
+    return decode_message(encode_message(msg))
+
+
+class TestMessageRoundtrip:
+    def test_simple_ops(self):
+        assert roundtrip(("ping",)) == ("ping",)
+        assert roundtrip(("stop",)) == ("stop",)
+        assert roundtrip(("expand", None)) == ("expand", None)
+        assert roundtrip(("expand", 12.5)) == ("expand", 12.5)
+
+    def test_blobs_survive_exactly(self):
+        enc = bytes(range(256)) * 3
+        msg = ("absorb", [[enc, 1234, None, "act", 2]])
+        op, items = roundtrip(msg)
+        assert op == "absorb"
+        assert items[0][0] == enc
+        assert items[0][1] == 1234
+        assert items[0][3] == "act"
+
+    def test_int_keyed_dicts_survive(self):
+        # Per-owner batch dicts are keyed by worker id — JSON objects
+        # cannot carry int keys, the $d escape must.
+        batches = {0: [[b"aa", 1, None, "x", 0]], 2: [[b"bb", 2, 1, "y", 1]]}
+        op, out = roundtrip(("expanded", batches))
+        assert set(out) == {0, 2}
+        assert out[0][0][0] == b"aa"
+        assert out[2][0][0] == b"bb"
+
+    def test_dollar_string_keys_survive(self):
+        op, out = roundtrip(("x", {"$b": "not-a-blob", "plain": 1}))
+        assert out == {"$b": "not-a-blob", "plain": 1}
+
+    def test_empty_blob(self):
+        assert roundtrip(("x", b""))[1] == b""
+
+    def test_violation_desc_shape(self):
+        desc = ("invariant", "inv_0", 3, 987654321, "act", ["n1"], 0, b"enc")
+        op, wid, out = roundtrip(("expanded", 1, [list(desc)]))
+        got = out[0]
+        assert got[0] == "invariant" and got[7] == b"enc"
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(WireError):
+            encode_message(("x", object()))
+
+    @given(
+        st.lists(st.binary(max_size=200), max_size=8),
+        st.integers(min_value=0, max_value=2**63 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_blobs_and_ints(self, blobs, fp):
+        msg = ("batch", blobs, fp)
+        op, out_blobs, out_fp = roundtrip(msg)
+        assert out_blobs == blobs and out_fp == fp
+
+
+class TestMessageRoundtripOverSpecs:
+    @pytest.mark.parametrize("seed", ["wire:0", "wire:1", "wire:2"])
+    def test_real_codec_bytes_roundtrip(self, seed):
+        # The exact canonical codec bytes the fork transport moves must
+        # survive the socket wire untouched, fingerprints included.
+        from repro.core.state import encode, fingerprint
+
+        generated = generate_spec(seed, GenParams())
+        spec = generated.spec(invariants=False)
+        state = next(iter(spec.init_states()))
+        enc = encode(state)
+        fp = fingerprint(enc)
+        op, items = roundtrip(("absorb", [[enc, fp, None, "seed", 0]]))
+        assert items[0][0] == enc
+        assert fingerprint(items[0][0]) == fp
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        payload = encode_message(("ping",))
+        handle = io.BytesIO(encode_frame(payload))
+        assert read_frame(handle) == payload
+
+    def test_write_then_read(self):
+        handle = io.BytesIO()
+        write_frame(handle, b"abc")
+        handle.seek(0)
+        assert read_frame(handle) == b"abc"
+
+    def test_clean_eof_is_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            read_frame(io.BytesIO(b""))
+
+    def test_torn_length_prefix(self):
+        with pytest.raises(WireError, match="length prefix"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_torn_payload(self):
+        frame = encode_frame(b"abcdef")
+        with pytest.raises(WireError, match="mid-payload"):
+            read_frame(io.BytesIO(frame[:-2]))
+
+    def test_oversize_length_rejected(self):
+        bad = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(WireError, match="MAX_FRAME"):
+            read_frame(io.BytesIO(bad))
+
+    def test_oversize_payload_refused_on_encode(self):
+        class FakeLen(bytes):
+            def __len__(self):
+                return MAX_FRAME + 1
+
+        with pytest.raises(WireError):
+            encode_frame(FakeLen())
+
+    def test_buffer_reassembles_byte_at_a_time(self):
+        payload = encode_message(("absorb", [[b"state-bytes", 7, None, "a", 1]]))
+        frame = encode_frame(payload)
+        buffer = FrameBuffer()
+        popped = []
+        for i in range(len(frame)):
+            buffer.feed(frame[i : i + 1])
+            out = buffer.pop()
+            if out is not None:
+                popped.append(out)
+        assert popped == [payload]
+        assert buffer.pending == 0
+
+    def test_buffer_pops_multiple_frames(self):
+        a, b = encode_message(("ping",)), encode_message(("stop",))
+        buffer = FrameBuffer()
+        buffer.feed(encode_frame(a) + encode_frame(b))
+        assert buffer.pop() == a
+        assert buffer.pop() == b
+        assert buffer.pop() is None
+
+    def test_buffer_oversize_raises(self):
+        buffer = FrameBuffer()
+        buffer.feed(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(WireError):
+            buffer.pop()
+
+    @given(st.binary(max_size=500), st.integers(min_value=1, max_value=37))
+    @settings(max_examples=40, deadline=None)
+    def test_property_chunked_reassembly(self, payload, chunk):
+        frame = encode_frame(payload)
+        buffer = FrameBuffer()
+        popped = []
+        for start in range(0, len(frame), chunk):
+            buffer.feed(frame[start : start + chunk])
+            while True:
+                out = buffer.pop()
+                if out is None:
+                    break
+                popped.append(out)
+        assert popped == [payload]
+
+
+class TestTruncatedMessages:
+    def test_missing_blob_count(self):
+        with pytest.raises(WireError, match="blob count"):
+            decode_message(b"\x00")
+
+    def test_truncated_blob_table(self):
+        payload = encode_message(("x", b"0123456789"))
+        with pytest.raises(WireError, match="truncated"):
+            decode_message(payload[:8])
+
+    def test_dangling_blob_index(self):
+        import json
+
+        body = json.dumps(["x", {"$b": 5}]).encode()
+        payload = struct.pack(">I", 0) + body
+        with pytest.raises(WireError, match="dangling blob"):
+            decode_message(payload)
+
+    def test_non_list_body_rejected(self):
+        payload = struct.pack(">I", 0) + b'{"not": "a list"}'
+        with pytest.raises(WireError, match="op"):
+            decode_message(payload)
+
+    def test_garbage_body_rejected(self):
+        payload = struct.pack(">I", 0) + b"\xff\xfe not json"
+        with pytest.raises(WireError):
+            decode_message(payload)
+
+
+class TestHandshake:
+    def ref(self):
+        return system_ref("pysyncobj", 3)
+
+    def test_good_handshake_accepted(self):
+        hello = make_handshake(self.ref(), wid=1, workers=2)
+        assert check_handshake(hello) is None
+        assert hello["proto"] == PROTOCOL_VERSION
+        assert hello["codec_version"] == CODEC_VERSION
+        assert hello["spec_fingerprint"] == spec_fingerprint(self.ref())
+
+    def test_handshake_roundtrips_on_wire(self):
+        hello = make_handshake(self.ref(), wid=0, workers=2, fast=True, por=True)
+        op, out = roundtrip(("hello", hello))
+        assert check_handshake(out) is None
+        assert out["fast"] is True and out["por"] is True
+
+    def test_protocol_mismatch_refused(self):
+        hello = make_handshake(self.ref(), wid=0, workers=2)
+        hello["proto"] = PROTOCOL_VERSION + 1
+        assert "protocol version mismatch" in check_handshake(hello)
+
+    def test_codec_mismatch_refused(self):
+        hello = make_handshake(self.ref(), wid=0, workers=2)
+        hello["codec_version"] = CODEC_VERSION + 1
+        assert "codec version mismatch" in check_handshake(hello)
+
+    def test_shard_out_of_range_refused(self):
+        hello = make_handshake(self.ref(), wid=2, workers=2)
+        assert "out of range" in check_handshake(hello)
+
+    def test_malformed_header_refused(self):
+        assert check_handshake("nope") is not None
+        assert check_handshake({}) is not None
+
+    def test_testkit_fingerprint_is_stable_and_discriminating(self):
+        params = GenParams()
+        a = spec_fingerprint(make_testkit_ref("s:0", params))
+        b = spec_fingerprint(make_testkit_ref("s:0", params))
+        c = spec_fingerprint(make_testkit_ref("s:1", params))
+        assert a == b
+        assert a != c

@@ -205,6 +205,18 @@ def test_check_spec_agrees_with_workers():
     assert disagreements == [], [d.describe() for d in disagreements]
 
 
+def test_matrix_includes_socket_distributed_cells():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("parallel cells require the fork start method")
+    generated = generate_spec("dist:0")
+    names = {config.name for config in build_matrix(generated, parallel=True)}
+    assert {"census/dist-2", "census/fast-dist-2", "census/dist-kill"} <= names
+    if generated.planted is not None:
+        assert {"violation/dist-2", "violation/dist-kill"} <= names
+
+
 def test_run_differential_report_and_determinism(tmp_path):
     report = run_differential(2, seed="sweep", parallel=False)
     assert report.ok
