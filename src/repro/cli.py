@@ -8,9 +8,13 @@ Subcommands mirror Figure 1:
 * ``conformance`` — iterative conformance checking of spec vs. impl;
 * ``detect`` — run the registry-recorded detection for one bug;
 * ``replay`` — detect a bug and confirm it at the implementation level;
+* ``validate-trace`` — check a runtime-emitted JSONL event log against
+  the spec (:mod:`repro.tracecheck`): conforms, or diverges at event k
+  with near-miss evidence;
 * ``selftest`` — differential fuzzing of the checker itself
   (:mod:`repro.testkit`): random specs, a naive oracle, the full engine
-  configuration matrix;
+  configuration matrix; ``--tracecheck`` instead grades the trace
+  validator against logs with planted divergences;
 * ``coverage`` — the per-action coverage report of a finished run
   (from a durable run directory's ``metrics.jsonl`` or a ``--stats-out``
   file).
@@ -272,15 +276,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_conformance(args: argparse.Namespace) -> int:
     spec = make_spec(args.system, args.nodes, args.bug, None)
+    emitter_factory = None
+    if args.emit_log:
+        from .tracecheck import system_emitter
+
+        emitter_factory = lambda: system_emitter(  # noqa: E731
+            args.system, spec.nodes, meta={"source": "conformance"}
+        )
     checker = ConformanceChecker(
         spec,
         SYSTEMS[args.system],
         mapping_for(args.system, spec.nodes),
         impl_bugs=args.impl_bug if args.impl_bug is not None else None,
+        emitter_factory=emitter_factory,
     )
     report = checker.run(
         quiet_period=args.quiet_period, max_traces=args.max_traces, seed=args.seed
     )
+    if args.emit_log and checker.last_emitter is not None:
+        # The last replay's log: on failure, the failing replay's —
+        # exactly the execution worth validating against the spec.
+        checker.last_emitter.write(args.emit_log)
+        print(f"wrote event log to {args.emit_log}")
     print(f"checked {report.traces_checked} traces in {report.elapsed:.1f}s")
     if report.passed:
         print("conformance PASSED (no discrepancy within the quiet period)")
@@ -325,6 +342,75 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0 if result.found else 1
 
 
+def cmd_validate_trace(args: argparse.Namespace) -> int:
+    from .persist.rundir import RunDir
+    from .tracecheck import (
+        TraceLogError,
+        read_log,
+        validate_log,
+        write_report_artifact,
+    )
+
+    try:
+        log = read_log(args.log)
+    except FileNotFoundError:
+        print(f"no such log file: {args.log}", file=sys.stderr)
+        return 2
+    except TraceLogError as exc:
+        print(f"bad event log: {exc}", file=sys.stderr)
+        return 2
+    system = args.system or log.header.spec
+    if system not in SPEC_CLASSES:
+        print(
+            f"unknown system {system!r} (log header says {log.header.spec!r});"
+            f" pass --system with one of: {', '.join(sorted(SPEC_CLASSES))}",
+            file=sys.stderr,
+        )
+        return 2
+    nodes = args.nodes or (len(log.header.nodes) or 3)
+    spec = make_spec(system, nodes, args.bug, None)
+    if log.header.nodes and tuple(log.header.nodes) != tuple(spec.nodes):
+        print(
+            f"log was emitted by nodes {list(log.header.nodes)} but the spec"
+            f" models {list(spec.nodes)}; pass a matching --nodes",
+            file=sys.stderr,
+        )
+        return 2
+    registry, _ = _make_stats(args)
+    report = validate_log(
+        spec,
+        log,
+        stutter_depth=args.stutter,
+        max_frontier=args.max_frontier,
+        compiled=_compiled(args),
+        metrics=registry,
+    )
+    print(report.describe())
+    if args.run_dir:
+        try:
+            run = RunDir.create(
+                args.run_dir,
+                config={
+                    "command": "validate-trace",
+                    "system": system,
+                    "nodes": nodes,
+                    "log": str(args.log),
+                },
+            )
+        except RunDirError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        path = write_report_artifact(run, report)
+        print(f"saved validation report to {path}")
+    if args.out:
+        from .persist.rundir import atomic_write_json
+
+        atomic_write_json(args.out, report.to_dict())
+        print(f"saved validation report to {args.out}")
+    _finish_stats(args, registry, spec=spec)
+    return 0 if report.conforms else 1
+
+
 def cmd_selftest(args: argparse.Namespace) -> int:
     from .testkit import replay_artifact, run_differential
 
@@ -335,6 +421,17 @@ def cmd_selftest(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.tracecheck:
+        from .testkit import run_log_fuzz
+
+        reporter = ProgressReporter(enabled=not args.quiet)
+        report = run_log_fuzz(
+            n_specs=args.specs,
+            seed=str(args.seed),
+            progress=lambda line: reporter.event("logfuzz", spec=line),
+        )
+        print(report.describe())
+        return 0 if report.ok else 1
     if args.replay:
         original, fresh = replay_artifact(args.replay)
         print(f"replaying artifact: {original.describe()}")
@@ -671,7 +768,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument("--quiet-period", type=float, default=10.0)
     conf.add_argument("--max-traces", type=int, default=None)
+    conf.add_argument(
+        "--emit-log",
+        metavar="FILE",
+        help="dump the last replay's event log (JSONL) for validate-trace",
+    )
     conf.set_defaults(fn=cmd_conformance)
+
+    vt = sub.add_parser(
+        "validate-trace",
+        help="check a runtime-emitted event log against the spec",
+    )
+    vt.add_argument("log", help="JSONL event log (see repro.tracecheck.logfmt)")
+    vt.add_argument(
+        "--system",
+        choices=sorted(SPEC_CLASSES),
+        help="spec to validate against (default: the log header's)",
+    )
+    vt.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="cluster size (default: the log header's node count)",
+    )
+    vt.add_argument("--bug", action="append", default=[], help="seed a bug flag")
+    vt.add_argument(
+        "--stutter",
+        type=int,
+        default=0,
+        metavar="N",
+        help="allow up to N unobserved internal spec steps between events",
+    )
+    vt.add_argument(
+        "--max-frontier",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="breadth cap: candidate spec states kept per log event",
+    )
+    vt.add_argument(
+        "--run-dir",
+        help="create a durable run directory and save the validation report"
+        " as artifacts/validation.json",
+    )
+    vt.add_argument("--out", help="save the validation report as JSON")
+    no_compile(vt)
+    stats_args(vt)
+    vt.set_defaults(fn=cmd_validate_trace)
 
     det = sub.add_parser("detect", help="run one registry bug detection")
     no_compile(det)
@@ -733,6 +876,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest.add_argument(
         "--replay", metavar="ARTIFACT", help="re-run one saved disagreement artifact"
+    )
+    selftest.add_argument(
+        "--tracecheck",
+        action="store_true",
+        help="grade the trace validator instead: random-walk logs with"
+        " planted divergences at oracle-known indices (repro.testkit.genlog)",
     )
     selftest.add_argument(
         "--fast",

@@ -79,6 +79,7 @@ class ConformanceChecker:
         latency: Optional[LatencyModel] = None,
         compare_every_step: bool = True,
         resource_limits: Optional[dict] = None,
+        emitter_factory: Optional[Callable] = None,
     ):
         self.spec = spec
         self.factory = factory
@@ -90,14 +91,24 @@ class ConformanceChecker:
         # A correct implementation retains no handled messages; a leak
         # (WRaft#6) shows up as an ever-growing retained count.
         self.resource_limits = dict(resource_limits or {"retained_messages": 0})
+        # Optional zero-arg factory building a trace-validation log
+        # emitter (``repro.tracecheck.RuntimeLogEmitter``) per replay;
+        # the most recent one is kept on ``last_emitter`` so callers can
+        # dump the last replay's (e.g. the failing replay's) event log.
+        self.emitter_factory = emitter_factory
+        self.last_emitter = None
 
     def _new_engine(self) -> ExecutionEngine:
+        emitter = None
+        if self.emitter_factory is not None:
+            emitter = self.last_emitter = self.emitter_factory()
         return ExecutionEngine(
             self.factory,
             self.spec.nodes,
             network_kind=self.spec.net.kind,
             bugs=self.impl_bugs,
             latency=self.latency,
+            emitter=emitter,
         )
 
     # ------------------------------------------------------------------

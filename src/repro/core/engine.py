@@ -1000,9 +1000,13 @@ class ScenarioFrontier(FrontierStrategy):
     """Guided execution: one transition per scenario pick, in order.
 
     Raises :class:`ScenarioError` when a pick matches no enabled
-    transition, or several while ``allow_ambiguous`` is false.  The
-    spec's state constraint is deliberately not applied — a scenario
-    drives exactly the chosen interleaving, bounds or not.
+    transition, or several *distinct* ones while ``allow_ambiguous`` is
+    false: candidates are deduplicated by successor fingerprint first,
+    so a pick matching several transitions that all lead to the same
+    state (symmetric argument orders, interchangeable branch labels) is
+    not ambiguous — any of them is the same step.  The spec's state
+    constraint is deliberately not applied — a scenario drives exactly
+    the chosen interleaving, bounds or not.
     """
 
     name = "scenario"
@@ -1039,10 +1043,18 @@ class ScenarioFrontier(FrontierStrategy):
                 f" enabled actions: {enabled}"
             )
         if len(candidates) > 1 and not self.allow_ambiguous:
-            labels = [t.label for t in candidates[:6]]
-            raise ScenarioError(
-                f"pick #{self._index} ({pick!r}) is ambiguous: {labels}"
-            )
+            # Several matches whose successors are one and the same state
+            # are a single step, not an ambiguity.  Fingerprinting may
+            # consume a candidate's functional-update chain, degrading
+            # this step's incremental invariant check to a full one —
+            # correct either way.
+            fp_fn = self.engine.fingerprint
+            distinct = {fp_fn(t.target) for t in candidates}
+            if len(distinct) > 1:
+                labels = [t.label for t in candidates[:6]]
+                raise ScenarioError(
+                    f"pick #{self._index} ({pick!r}) is ambiguous: {labels}"
+                )
         self._index += 1
         return (candidates[0],)
 

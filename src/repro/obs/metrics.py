@@ -46,6 +46,8 @@ __all__ = [
     "SIZE_BOUNDS",
     "STORE_BYTES",
     "TIME_BOUNDS",
+    "TRACECHECK_FRONTIER_SIZE",
+    "TRACECHECK_STUTTER_STEPS",
     "WAIT_BOUNDS_MS",
     "WIRE_BYTES_RECEIVED",
     "WIRE_BYTES_SENT",
@@ -90,6 +92,16 @@ FALLBACK_SERIAL = "parallel.fallback_serial"
 #: payloads), from the master's point of view.
 WIRE_BYTES_SENT = "dist.wire.bytes_sent"
 WIRE_BYTES_RECEIVED = "dist.wire.bytes_received"
+
+#: Histogram: candidate spec states entering each log-event level during
+#: trace validation — the width of the nondeterminism the matcher is
+#: tracking.  One observation per consumed log event.
+TRACECHECK_FRONTIER_SIZE = "tracecheck.frontier_size"
+
+#: Counter: internal (unobserved) spec transitions inserted between log
+#: events on *accepted* matches — the total stuttering the validator
+#: needed to explain the log.
+TRACECHECK_STUTTER_STEPS = "tracecheck.stutter_steps"
 
 #: Geometric buckets for size-like observations (fan-out, batch sizes).
 SIZE_BOUNDS: Tuple[float, ...] = tuple(2**i for i in range(17))  # 1 .. 65536

@@ -60,8 +60,12 @@ class ExecutionEngine:
         network_kind: str = "tcp",
         bugs: Sequence[str] = (),
         latency: Optional[LatencyModel] = None,
+        emitter: Optional[Any] = None,
     ):
         self.nodes = tuple(nodes)
+        #: optional event-log emitter (``repro.tracecheck.RuntimeLogEmitter``):
+        #: notified after every successfully executed command.
+        self.emitter = emitter
         self.network_kind = network_kind
         self.clock = VirtualClock(self.nodes)
         self.proxy = NetworkProxy(self.nodes, kind=network_kind)
@@ -93,7 +97,10 @@ class ExecutionEngine:
         except SystemCrash as crash:
             self.crashes.append(crash)
             return CommandResult(command, ok=False, crash=crash)
-        return CommandResult(command, detail=detail)
+        result = CommandResult(command, detail=detail)
+        if self.emitter is not None:
+            self.emitter.on_command(self, command, result)
+        return result
 
     def run(self, commands: Sequence[Command]) -> List[CommandResult]:
         return [self.execute(command) for command in commands]

@@ -45,6 +45,7 @@ class Interceptor:
         self.timers: Dict[str, bool] = {}
         self.log_lines: List[str] = []
         self.sent_messages = 0
+        self.event_seq = 0
 
     # -- time (clock_gettime / gettimeofday) ------------------------------------
 
@@ -108,9 +109,22 @@ class Interceptor:
         matches = self.grep_log(pattern)
         return matches[-1] if matches else None
 
+    # -- event sequencing (trace validation) ---------------------------------------------
+
+    def next_event_seq(self) -> int:
+        """The node's next event sequence number, for emitted event logs.
+
+        Monotonic over the node's whole lifetime — crash/restart does
+        *not* reset it (it lives with the host, like the persistent
+        dict), so a log's per-node ordering stays checkable across
+        failures.
+        """
+        self.event_seq += 1
+        return self.event_seq
+
     def reset_volatile(self) -> None:
         """Called on crash: timers and buffered log lines vanish with the
-        process; persistent storage and syscall statistics survive for
-        post-mortem inspection."""
+        process; persistent storage, syscall statistics, and the event
+        sequence counter survive for post-mortem inspection."""
         self.timers = {}
         self.log_lines = []

@@ -103,3 +103,10 @@ class NodeHost:
         if self.proc is None:
             return None
         return self.proc.extract_state()
+
+    def observed_state(self, observed: Optional[Sequence[str]] = None) -> Optional[Dict[str, Any]]:
+        """The node's extracted state filtered to an observed-variable
+        subset (``None`` keeps everything); ``None`` when crashed."""
+        if self.proc is None:
+            return None
+        return self.proc.observed_state(observed)

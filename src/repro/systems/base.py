@@ -95,6 +95,19 @@ class SystemNode(abc.ABC):
     def extract_state(self) -> Dict[str, Any]:
         """Protocol state under spec variable names, for conformance."""
 
+    def observed_state(self, observed=None) -> Dict[str, Any]:
+        """:meth:`extract_state` projected to an observed-variable subset.
+
+        Trace validation snapshots this after every logged event — the
+        per-event ``obs`` field of the emitted log.  ``None`` keeps
+        every extracted variable.
+        """
+        state = self.extract_state()
+        if observed is None:
+            return state
+        keep = frozenset(observed)
+        return {var: value for var, value in state.items() if var in keep}
+
     def resource_stats(self) -> Dict[str, int]:
         """Resource accounting (detects leaks like WRaft#6)."""
         return {}

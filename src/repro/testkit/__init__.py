@@ -20,6 +20,16 @@ from .differential import (
     replay_artifact,
     run_differential,
 )
+from .genlog import (
+    MUTATION_KINDS,
+    LogFuzzFailure,
+    LogFuzzReport,
+    PlantedLog,
+    naive_validate,
+    plant_divergence,
+    run_log_fuzz,
+    walk_log,
+)
 from .genspec import (
     PLANTED_INVARIANT,
     GeneratedSpec,
@@ -51,4 +61,12 @@ __all__ = [
     "signature",
     "OracleResult",
     "oracle_explore",
+    "MUTATION_KINDS",
+    "LogFuzzFailure",
+    "LogFuzzReport",
+    "PlantedLog",
+    "naive_validate",
+    "plant_divergence",
+    "run_log_fuzz",
+    "walk_log",
 ]

@@ -1,0 +1,58 @@
+"""Trace validation: check real execution logs against the spec.
+
+The inverse of conformance checking (ROADMAP item 4, after "Validating
+Traces of Distributed Programs Against TLA+ Specifications",
+arXiv 2404.16075): instead of replaying spec traces on the
+implementation, ingest *implementation* event logs — with unobserved
+variables and coarse event granularity — and search for a spec behavior
+consistent with them.
+
+* :mod:`.logfmt` — the versioned JSONL event-log schema, parsing with
+  schema/ordering validation, and the runtime emitters that make every
+  :class:`~repro.runtime.engine.ExecutionEngine` run dump a validatable
+  log.
+* :mod:`.matcher` — the frontier-of-candidate-states matcher, run as a
+  frontier strategy on the shared exploration engine.
+* :mod:`.report` — the conforms/diverges verdict with near-miss
+  evidence, persistable into a run directory.
+"""
+
+from .logfmt import (
+    FORMAT_VERSION,
+    LogEvent,
+    LogHeader,
+    RuntimeLogEmitter,
+    TraceLog,
+    TraceLogError,
+    observe,
+    parse_lines,
+    project,
+    read_log,
+    render_lines,
+    system_emitter,
+    write_log,
+)
+from .matcher import DEFAULT_MAX_FRONTIER, TraceMatchFrontier, validate_log
+from .report import NearMiss, ValidationReport, write_report_artifact
+
+__all__ = [
+    "DEFAULT_MAX_FRONTIER",
+    "FORMAT_VERSION",
+    "LogEvent",
+    "LogHeader",
+    "NearMiss",
+    "RuntimeLogEmitter",
+    "TraceLog",
+    "TraceLogError",
+    "TraceMatchFrontier",
+    "ValidationReport",
+    "observe",
+    "parse_lines",
+    "project",
+    "read_log",
+    "render_lines",
+    "system_emitter",
+    "validate_log",
+    "write_log",
+    "write_report_artifact",
+]

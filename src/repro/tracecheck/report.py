@@ -1,0 +1,188 @@
+"""The trace-validation verdict and its durable rendering.
+
+A validation run produces one :class:`ValidationReport`: either the log
+**conforms** (some spec behavior explains every event) or it **diverges**
+at a 0-based event index — the first event no candidate spec state could
+match.  For divergences the report carries the evidence a user needs to
+debug the gap:
+
+* the **last consistent frontier** — a sample of the candidate spec
+  states that explained the log prefix up to the failing event;
+* the **nearest-miss transitions** — enabled transitions from those
+  candidates that almost matched, classified by what disagreed (action
+  name, argument prefix, or an observed variable with the expected and
+  actual values);
+* whether the frontier **hit its breadth cap** (in which case a
+  "diverges" verdict is only as good as the cap — rerun with a larger
+  ``--max-frontier`` to be sure).
+
+Reports serialize to JSON (``to_dict``/``from_dict``) and persist into a
+run directory as ``artifacts/validation.json`` next to the manifest, so
+a divergence survives the process that found it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from ..core.state import thaw
+from ..core.trace import from_jsonable, to_jsonable
+
+__all__ = ["NearMiss", "ValidationReport", "write_report_artifact"]
+
+
+@dataclasses.dataclass
+class NearMiss:
+    """One enabled-but-rejected transition at the divergence point."""
+
+    action: str
+    args: tuple
+    reason: str  # "action" | "args" | "obs" | "missing-var"
+    variable: Optional[str] = None
+    expected: Any = None
+    actual: Any = None
+
+    def describe(self) -> str:
+        label = f"{self.action}{list(self.args)!r}"
+        if self.reason == "obs":
+            return (
+                f"{label}: observed {self.variable}="
+                f"{_render(self.expected)} but the spec would have"
+                f" {_render(self.actual)}"
+            )
+        if self.reason == "missing-var":
+            return f"{label}: spec state has no variable {self.variable!r}"
+        if self.reason == "args":
+            return f"{label}: argument prefix disagrees with the event"
+        return f"{label}: action name disagrees with the event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "args": [to_jsonable(a) for a in self.args],
+            "reason": self.reason,
+            "variable": self.variable,
+            "expected": to_jsonable(self.expected),
+            "actual": to_jsonable(self.actual),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "NearMiss":
+        return cls(
+            action=obj["action"],
+            args=tuple(from_jsonable(a) for a in obj.get("args", ())),
+            reason=obj["reason"],
+            variable=obj.get("variable"),
+            expected=from_jsonable(obj.get("expected")),
+            actual=from_jsonable(obj.get("actual")),
+        )
+
+
+def _render(value: Any) -> str:
+    try:
+        return repr(thaw(value))
+    except TypeError:
+        return repr(value)
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """The outcome of validating one event log against one spec."""
+
+    conforms: bool
+    events_total: int
+    events_matched: int
+    divergence_index: Optional[int] = None
+    divergence_event: Optional[str] = None
+    last_frontier: List[Any] = dataclasses.field(default_factory=list)
+    near_misses: List[NearMiss] = dataclasses.field(default_factory=list)
+    frontier_limited: bool = False
+    stutter_depth: int = 0
+    max_frontier: int = 0
+    spec_name: str = ""
+    stats: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        if self.conforms:
+            return "conforms"
+        return "diverged (frontier-limited)" if self.frontier_limited else "diverged"
+
+    def describe(self) -> str:
+        lines = [
+            f"validate-trace: {self.verdict} —"
+            f" {self.events_matched}/{self.events_total} events matched"
+            + (f" against spec {self.spec_name}" if self.spec_name else "")
+        ]
+        if not self.conforms:
+            lines.append(
+                f"  first unexplained event: #{self.divergence_index}"
+                + (f" ({self.divergence_event})" if self.divergence_event else "")
+            )
+            if self.frontier_limited:
+                lines.append(
+                    f"  frontier hit its cap ({self.max_frontier});"
+                    " a consistent behavior may have been pruned —"
+                    " retry with a larger --max-frontier"
+                )
+            if self.last_frontier:
+                lines.append(
+                    f"  last consistent frontier:"
+                    f" {len(self.last_frontier)} candidate state(s) shown"
+                )
+            for miss in self.near_misses[:8]:
+                lines.append(f"  near miss: {miss.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "conforms": self.conforms,
+            "verdict": self.verdict,
+            "events_total": self.events_total,
+            "events_matched": self.events_matched,
+            "divergence_index": self.divergence_index,
+            "divergence_event": self.divergence_event,
+            "last_frontier": [to_jsonable(state) for state in self.last_frontier],
+            "near_misses": [miss.to_dict() for miss in self.near_misses],
+            "frontier_limited": self.frontier_limited,
+            "stutter_depth": self.stutter_depth,
+            "max_frontier": self.max_frontier,
+            "spec_name": self.spec_name,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "ValidationReport":
+        return cls(
+            conforms=obj["conforms"],
+            events_total=obj["events_total"],
+            events_matched=obj["events_matched"],
+            divergence_index=obj.get("divergence_index"),
+            divergence_event=obj.get("divergence_event"),
+            last_frontier=[
+                from_jsonable(state) for state in obj.get("last_frontier", ())
+            ],
+            near_misses=[
+                NearMiss.from_dict(miss) for miss in obj.get("near_misses", ())
+            ],
+            frontier_limited=obj.get("frontier_limited", False),
+            stutter_depth=obj.get("stutter_depth", 0),
+            max_frontier=obj.get("max_frontier", 0),
+            spec_name=obj.get("spec_name", ""),
+            stats=dict(obj.get("stats", {})),
+        )
+
+
+def write_report_artifact(run: Any, report: ValidationReport) -> Any:
+    """Persist a report into a run directory; returns the artifact path.
+
+    The run's manifest ``status`` is set to the verdict, so ``conforms``
+    / ``diverged`` is readable without parsing the artifact.
+    """
+    from ..persist.rundir import atomic_write_json
+
+    path = run.artifact_path("validation.json")
+    atomic_write_json(path, report.to_dict())
+    run.update_manifest(status=report.verdict)
+    return path

@@ -177,6 +177,76 @@ class TestConformanceCommand:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestValidateTraceCommand:
+    def _emit(self, tmp_path):
+        # A real runtime-emitted log: conformance replays with an
+        # emitter attached and dumps the last replay's event log.
+        path = tmp_path / "events.log"
+        code = main(
+            [
+                "conformance",
+                "--system",
+                "pysyncobj",
+                "--quiet-period",
+                "30",
+                "--max-traces",
+                "2",
+                "--emit-log",
+                str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_emitted_log_conforms(self, tmp_path, capsys):
+        path = self._emit(tmp_path)
+        code = main(["validate-trace", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conforms" in out
+
+    def test_corrupted_log_diverges_with_run_dir(self, tmp_path, capsys):
+        import json
+
+        path = self._emit(tmp_path)
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines[1:], start=1):
+            rec = json.loads(line)
+            if "currentTerm" in rec.get("obs", {}):
+                rec["obs"]["currentTerm"] = 99
+                lines[i] = json.dumps(rec, sort_keys=True)
+                index = rec["i"]
+                break
+        else:
+            pytest.fail("no event with an observed currentTerm")
+        bad = tmp_path / "bad.log"
+        bad.write_text("\n".join(lines) + "\n")
+        run_dir = tmp_path / "run"
+        code = main(["validate-trace", str(bad), "--run-dir", str(run_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "diverged" in out
+        assert f"#{index}" in out
+        report = json.loads((run_dir / "artifacts" / "validation.json").read_text())
+        assert report["conforms"] is False
+        assert report["divergence_index"] == index
+
+    def test_missing_or_malformed_log_is_usage_error(self, tmp_path, capsys):
+        assert main(["validate-trace", str(tmp_path / "nope.log")]) == 2
+        garbage = tmp_path / "garbage.log"
+        garbage.write_text("not json\n")
+        assert main(["validate-trace", str(garbage)]) == 2
+        capsys.readouterr()
+
+    def test_selftest_tracecheck_sweep(self, capsys):
+        code = main(
+            ["selftest", "--tracecheck", "--specs", "2", "--seed", "cli", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "log fuzz" in out and "0 failures" in out
+
+
 class TestDetectAndReplay:
     def test_detect(self, capsys):
         assert main(["detect", "RaftOS#1", "--time-budget", "60"]) == 0

@@ -7,7 +7,7 @@ and the result contract on specs small enough to reason about exactly.
 
 import pytest
 
-from repro.core import StopReason
+from repro.core import Action, Rec, Spec, StopReason
 from repro.core.guided import ScenarioError, ScenarioResult, run_scenario
 
 from toy_specs import CounterSpec, TokenRingSpec
@@ -54,6 +54,32 @@ class TestPickLanguage:
     def test_ambiguous_pick_raises_by_default(self):
         with pytest.raises(ScenarioError, match="ambiguous"):
             run_scenario(TokenRingSpec(3, buggy=True), ["Enter"])
+
+    def test_identical_successors_are_not_ambiguous(self):
+        # Two transitions match the pick but lead to one and the same
+        # state: that is a single step, not an ambiguity (regression —
+        # this used to raise ScenarioError).
+        class TwinSpec(Spec):
+            name = "twins"
+            nodes = ("a", "b")
+
+            def init_states(self):
+                yield Rec(done=False)
+
+            def actions(self):
+                return [Action("Finish", self._finish, kind="internal")]
+
+            def _finish(self, state):
+                if not state["done"]:
+                    yield ("a",), state.set("done", True)
+                    yield ("b",), state.set("done", True)
+
+        result = run_scenario(TwinSpec(), ["Finish"])
+        assert result.stop_reason == StopReason.COMPLETE
+        assert result.trace.steps[0].action == "Finish"
+        # The first matching transition is taken deterministically.
+        assert result.trace.steps[0].args == ("a",)
+        assert result.final_state["done"] is True
 
     def test_allow_ambiguous_takes_the_first_match(self):
         result = run_scenario(

@@ -1,0 +1,283 @@
+"""Tests for :mod:`repro.tracecheck`: log format, matcher, and fuzzer.
+
+The matcher is graded two ways: directly on generated specs with
+planted divergences whose first-divergence index the testkit oracle
+knows, and differentially against :func:`repro.testkit.naive_validate`
+(which shares no code with the matcher on the answer path).
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persist import RunDir
+from repro.testkit import (
+    MUTATION_KINDS,
+    generate_spec,
+    naive_validate,
+    plant_divergence,
+    run_log_fuzz,
+    sample_params,
+    walk_log,
+)
+from repro.tracecheck import (
+    FORMAT_VERSION,
+    LogEvent,
+    LogHeader,
+    TraceLogError,
+    ValidationReport,
+    parse_lines,
+    read_log,
+    render_lines,
+    validate_log,
+    write_log,
+    write_report_artifact,
+)
+
+
+def _generated(seed):
+    params = sample_params(random.Random(f"{seed}-params"))
+    return generate_spec(f"{seed}-spec", params), params
+
+
+def _walk(seed, length=8):
+    generated, params = _generated(seed)
+    events = walk_log(generated, random.Random(f"{seed}-walk"), length=length)
+    return generated.spec(invariants=False), params, events
+
+
+class TestLogFormat:
+    def test_round_trip_is_byte_stable(self):
+        _, _, events = _walk("fmt-0")
+        header = LogHeader(spec="testkit", nodes=("n1", "n2"), observed=("glob",))
+        lines = render_lines(header, events)
+        log = parse_lines(lines)
+        assert log.lines() == lines
+        # And once more through the parsed representation.
+        assert parse_lines(log.lines()).lines() == lines
+
+    def test_file_round_trip(self, tmp_path):
+        _, _, events = _walk("fmt-1")
+        header = LogHeader(spec="testkit", nodes=("n1",))
+        path = tmp_path / "events.log"
+        write_log(path, header, events)
+        log = read_log(path)
+        assert log.header.spec == "testkit"
+        assert log.lines() == render_lines(header, events)
+
+    def test_render_assigns_per_node_sequences(self):
+        events = [
+            LogEvent(node="a", kind="internal"),
+            LogEvent(node="b", kind="internal"),
+            LogEvent(node="a", kind="internal"),
+        ]
+        lines = render_lines(LogHeader(spec="s"), events)
+        seqs = [(json.loads(x)["node"], json.loads(x)["seq"]) for x in lines[1:]]
+        assert seqs == [("a", 1), ("b", 1), ("a", 2)]
+
+    def test_render_rejects_stale_sequence(self):
+        events = [
+            LogEvent(node="a", kind="internal", seq=2),
+            LogEvent(node="a", kind="internal", seq=2),
+        ]
+        with pytest.raises(TraceLogError, match="not greater"):
+            render_lines(LogHeader(spec="s"), events)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceLogError, match="no header"):
+            parse_lines([])
+
+    def test_event_before_header_rejected(self):
+        line = json.dumps({"k": "event", "i": 0, "node": "a", "seq": 1, "kind": "x"})
+        with pytest.raises(TraceLogError, match="before header"):
+            parse_lines([line])
+
+    def test_unsupported_version_rejected(self):
+        header = json.dumps({"k": "header", "v": FORMAT_VERSION + 1, "spec": "s"})
+        with pytest.raises(TraceLogError, match="version"):
+            parse_lines([header])
+
+    def test_index_gap_rejected(self):
+        header = json.dumps({"k": "header", "v": FORMAT_VERSION, "spec": "s"})
+        event = json.dumps(
+            {"k": "event", "i": 3, "node": "a", "seq": 1, "kind": "internal"}
+        )
+        with pytest.raises(TraceLogError, match="expected 0"):
+            parse_lines([header, event])
+
+    def test_non_monotonic_sequence_rejected(self):
+        header = json.dumps({"k": "header", "v": FORMAT_VERSION, "spec": "s"})
+        e0 = json.dumps(
+            {"k": "event", "i": 0, "node": "a", "seq": 2, "kind": "internal"}
+        )
+        e1 = json.dumps(
+            {"k": "event", "i": 1, "node": "a", "seq": 1, "kind": "internal"}
+        )
+        with pytest.raises(TraceLogError, match="monotonically"):
+            parse_lines([header, e0, e1])
+
+
+class TestMatcher:
+    def test_clean_walk_conforms(self):
+        spec, _, events = _walk("clean-0")
+        assert events, "walk produced no events"
+        report = validate_log(spec, events)
+        assert report.conforms
+        assert report.events_matched == len(events)
+        assert report.divergence_index is None
+        assert not report.frontier_limited
+
+    def test_planted_corruption_reported_at_oracle_index(self):
+        for seed in range(8):
+            spec, params, events = _walk(f"corrupt-{seed}")
+            planted = plant_divergence(
+                spec, params, events, "corrupt", random.Random(f"m-{seed}")
+            )
+            if planted is None:
+                continue
+            report = validate_log(spec, planted.events)
+            assert not report.conforms
+            assert report.divergence_index == planted.oracle_index
+            assert planted.oracle_index >= planted.planted_index
+            # The frontier was non-empty at every level before the
+            # divergence: the last consistent frontier is retained.
+            assert report.last_frontier
+            return
+        pytest.fail("no seed produced a plantable corruption")
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        kind=st.sampled_from(MUTATION_KINDS),
+    )
+    def test_verdict_agrees_with_naive_oracle(self, seed, kind):
+        spec, params, events = _walk(f"hyp-{seed}")
+        planted = plant_divergence(
+            spec, params, events, kind, random.Random(f"hyp-m-{seed}")
+        )
+        candidates = events if planted is None else planted.events
+        report = validate_log(spec, candidates)
+        conforms, index = naive_validate(spec, candidates)
+        assert report.conforms == conforms
+        if not conforms and not report.frontier_limited:
+            assert report.divergence_index == index
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_no_compile_verdict_identical(self, seed):
+        spec, params, events = _walk(f"nc-{seed}")
+        planted = plant_divergence(
+            spec, params, events, "corrupt", random.Random(f"nc-m-{seed}")
+        )
+        candidates = events if planted is None else planted.events
+        fast = validate_log(spec, candidates, compiled=True)
+        slow = validate_log(spec, candidates, compiled=False)
+        assert fast.conforms == slow.conforms
+        assert fast.divergence_index == slow.divergence_index
+
+    def test_stutter_verdict_agrees_with_naive(self):
+        checked = 0
+        for seed in range(10):
+            spec, _, events = _walk(f"st-{seed}")
+            internal = [
+                i for i, e in enumerate(events[:-1]) if e.kind == "internal"
+            ]
+            if not internal:
+                continue
+            gapped = events[: internal[0]] + events[internal[0] + 1 :]
+            report = validate_log(spec, gapped, stutter_depth=1)
+            conforms, index = naive_validate(spec, gapped, stutter_depth=1)
+            assert report.conforms == conforms
+            if not conforms and not report.frontier_limited:
+                assert report.divergence_index == index
+            checked += 1
+        assert checked > 0
+
+    def test_partial_observation_projections(self):
+        generated, _ = _generated("proj-0")
+        spec = generated.spec(invariants=False)
+        for observed in [("locals",), ("glob",)]:
+            events = walk_log(
+                generated, random.Random("proj-walk"), length=6, observed=observed
+            )
+            if not events:
+                continue
+            assert all(set(e.obs) <= set(observed) for e in events)
+            assert validate_log(spec, events).conforms
+
+    def test_hash_seed_independence(self):
+        script = (
+            "import json, random\n"
+            "from repro.testkit import generate_spec, sample_params,"
+            " walk_log, plant_divergence\n"
+            "from repro.tracecheck import validate_log\n"
+            "params = sample_params(random.Random('hs-params'))\n"
+            "gen = generate_spec('hs-spec', params)\n"
+            "events = walk_log(gen, random.Random('hs-walk'), length=8)\n"
+            "spec = gen.spec(invariants=False)\n"
+            "p = plant_divergence(spec, params, events, 'corrupt',"
+            " random.Random('hs-m'))\n"
+            "report = validate_log(spec, events if p is None else p.events)\n"
+            "print(json.dumps({'conforms': report.conforms,"
+            " 'index': report.divergence_index}, sort_keys=True))\n"
+        )
+        outputs = set()
+        for hash_seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env.setdefault("PYTHONPATH", "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(proc.stdout.strip())
+        assert len(outputs) == 1
+
+
+class TestReport:
+    def test_dict_round_trip(self):
+        spec, params, events = _walk("rep-0")
+        planted = plant_divergence(
+            spec, params, events, "corrupt", random.Random("rep-m")
+        )
+        report = validate_log(spec, events if planted is None else planted.events)
+        clone = ValidationReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.verdict == report.verdict
+
+    def test_artifact_written_to_run_dir(self, tmp_path):
+        spec, _, events = _walk("art-0")
+        report = validate_log(spec, events)
+        run = RunDir.create(tmp_path / "run", config={"mode": "validate-trace"})
+        path = write_report_artifact(run, report)
+        payload = json.loads(path.read_text())
+        assert payload["conforms"] == report.conforms
+        assert run.manifest()["status"] == report.verdict
+
+
+class TestLogFuzz:
+    def test_small_sweep_has_zero_false_verdicts(self):
+        report = run_log_fuzz(n_specs=4, seed="unit", length=8)
+        assert report.ok, report.describe()
+        assert report.graded > 0
+        # Every mutation kind was exercised at least once.
+        graded_kinds = {k for k, n in report.cells.items() if n}
+        assert "clean" in graded_kinds
+        assert graded_kinds & set(MUTATION_KINDS)
+
+    def test_seed_determinism(self):
+        first = run_log_fuzz(n_specs=2, seed="det", length=6)
+        second = run_log_fuzz(n_specs=2, seed="det", length=6)
+        assert first.cells == second.cells
+        assert first.skipped == second.skipped
+        assert [f.describe() for f in first.failures] == [
+            f.describe() for f in second.failures
+        ]
