@@ -4,6 +4,12 @@ Subcommands mirror Figure 1:
 
 * ``bugs`` — list the Table 2 registry;
 * ``check`` — specification-level model checking (BFS) for one system;
+  ``--temporal NAME`` additionally runs TLC-style liveness checking over
+  the explored graph: lasso (prefix + fair cycle) detection against the
+  named property (:mod:`repro.temporal`);
+* ``check-liveness`` — post-hoc liveness checking of a finished durable
+  run: reopen the run directory's persisted state graph and search it
+  for fair lassos, no re-exploration;
 * ``simulate`` — random-walk exploration;
 * ``conformance`` — iterative conformance checking of spec vs. impl;
 * ``detect`` — run the registry-recorded detection for one bug;
@@ -14,7 +20,9 @@ Subcommands mirror Figure 1:
 * ``selftest`` — differential fuzzing of the checker itself
   (:mod:`repro.testkit`): random specs, a naive oracle, the full engine
   configuration matrix; ``--tracecheck`` instead grades the trace
-  validator against logs with planted divergences;
+  validator against logs with planted divergences, and ``--temporal``
+  grades the lasso finder against a naive fair-cycle oracle on random
+  specs;
 * ``coverage`` — the per-action coverage report of a finished run
   (from a durable run directory's ``metrics.jsonl`` or a ``--stats-out``
   file).
@@ -52,6 +60,7 @@ from .obs import (
 )
 from .persist import RunDirError, load_violation, save_violation
 from .systems import SYSTEMS
+from .temporal import PROPERTY_NAMES
 
 
 def _workers_value(text: str) -> int:
@@ -161,6 +170,20 @@ def _validate_reducers(args: argparse.Namespace) -> Optional[str]:
             " to prove actions independent; drop --no-compile and unset"
             " SANDTABLE_NO_COMPILE"
         )
+    if getattr(args, "temporal", None):
+        if getattr(args, "fast", False):
+            return (
+                "--temporal needs the explored state graph, but --fast keeps"
+                " a fingerprint-only store with no parent edges: drop --fast"
+                " before --temporal"
+            )
+        if getattr(args, "run_dir", None):
+            return (
+                "--temporal cannot run inline with --run-dir (the durable"
+                " store is owned by the checkpointer); run the durable check"
+                " first, then `sandtable check-liveness RUN_DIR` on the"
+                " finished run directory"
+            )
     return None
 
 
@@ -173,6 +196,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         workers = _resolve_workers(args)
     except WorkersError as exc:
         print(exc, file=sys.stderr)
+        return 2
+    if args.temporal and (workers > 1 or args.worker):
+        print(
+            "--temporal runs on the serial explorer's in-memory graph; for"
+            " parallel runs do a durable --run-dir check first, then"
+            " `sandtable check-liveness RUN_DIR`",
+            file=sys.stderr,
+        )
         return 2
     transport = None
     if args.worker:
@@ -199,6 +230,22 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(exc, file=sys.stderr)
             return 2
     spec = make_spec(args.system, args.nodes, args.bug, args.invariant)
+    temporal_store = None
+    temporal_props = []
+    if args.temporal:
+        from .core.engine import CompactStore
+        from .temporal import resolve_property
+
+        try:
+            temporal_props = [
+                resolve_property(spec, name) for name in dict.fromkeys(args.temporal)
+            ]
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        # The graph needs the full budgeted census: keep exploring past
+        # safety violations (they are still collected and reported).
+        temporal_store = CompactStore()
     durable = {}
     if args.run_dir:
         durable = dict(
@@ -227,6 +274,11 @@ def cmd_check(args: argparse.Namespace) -> int:
             fast=args.fast,
             por=args.por,
             **durable,
+            **(
+                {"store": temporal_store, "stop_on_violation": False}
+                if temporal_store is not None
+                else {}
+            ),
         )
     except (RunDirError, _TransportError) as exc:
         # TransportError surfaces when transport.start() cannot reach a
@@ -234,6 +286,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(f"explored {result.describe()}")
+    temporal_violated = False
+    if temporal_store is not None:
+        from .persist import save_lasso
+        from .temporal import check_graph, materialize_graph
+
+        graph = materialize_graph(spec, temporal_store, symmetry=args.symmetry)
+        out_taken = result.found_violation  # the safety trace wins --out
+        for prop in temporal_props:
+            tres = check_graph(graph, prop, metrics=registry)
+            print(tres.describe())
+            if tres.lasso is None:
+                continue
+            temporal_violated = True
+            if args.out and not out_taken:
+                save_lasso(args.out, tres.lasso, prop.name)
+                print(f"saved lasso trace to {args.out}")
+                out_taken = True
     _finish_stats(args, registry, stats=result.stats, spec=spec)
     if result.found_violation:
         print(result.violation.describe())
@@ -241,8 +310,94 @@ def cmd_check(args: argparse.Namespace) -> int:
             save_violation(args.out, result.violation)
             print(f"saved violation trace to {args.out}")
         return 1
+    if temporal_violated:
+        return 1
     print("no violation found")
     return 0
+
+
+def cmd_check_liveness(args: argparse.Namespace) -> int:
+    """Post-hoc lasso detection over a finished durable run's state graph."""
+    from .core.engine import CompactStore, TracelessStoreError
+    from .persist import DiskStoreReader, RunDir, load_parallel_resume, save_lasso
+    from .persist.checkpoint import load_worker_checkpoint
+    from .temporal import check_graph, materialize_graph, resolve_property
+
+    try:
+        rd = RunDir.open(args.run_dir)
+    except RunDirError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = rd.manifest().get("config", {})
+    if config.get("fast"):
+        print(
+            f"run {args.run_dir} used --fast (fingerprint-only store): no"
+            " parent edges were persisted, so the explored graph cannot be"
+            " materialized — rerun the check without --fast, then"
+            " check-liveness",
+            file=sys.stderr,
+        )
+        return 2
+    symmetry = bool(config.get("symmetry", False))
+    spec = make_spec(args.system, args.nodes, args.bug, None)
+    label = f"{type(spec).__module__}.{type(spec).__qualname__}"
+    recorded = config.get("spec")
+    if recorded and recorded != label:
+        print(
+            f"warning: the run directory records spec {recorded}; rebuilding"
+            f" {label} from the flags — fingerprints will only line up if"
+            " these are the same specification",
+            file=sys.stderr,
+        )
+    if config.get("mode") == "parallel":
+        # Per-shard worker checkpoints; their edges/roots union into one
+        # graph (materialize_graph accepts the store list directly).
+        try:
+            presume = load_parallel_resume(rd)
+        except RunDirError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        source = []
+        for path in presume.worker_files:
+            shard = CompactStore()
+            load_worker_checkpoint(path, shard)
+            source.append(shard)
+    else:
+        if not (rd.store_dir / "roots.log").exists():
+            print(
+                f"{args.run_dir} has no serial disk store (roots.log);"
+                " only `sandtable check --run-dir` runs leave one behind",
+                file=sys.stderr,
+            )
+            return 2
+        source = DiskStoreReader(rd.store_dir)
+    registry, _ = _make_stats(args)
+    try:
+        graph = materialize_graph(spec, source, symmetry=symmetry)
+    except TracelessStoreError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(
+        f"materialized {len(graph)} states from {args.run_dir}"
+        f" ({len(graph.roots)} roots, {graph.boundary_edges} boundary edges)"
+    )
+    names = list(dict.fromkeys(args.temporal)) if args.temporal else list(PROPERTY_NAMES)
+    violated = False
+    for name in names:
+        try:
+            prop = resolve_property(spec, name)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        tres = check_graph(graph, prop, metrics=registry)
+        print(tres.describe())
+        if tres.lasso is not None:
+            violated = True
+            path = rd.artifact_path(f"lasso-{name}.json")
+            save_lasso(path, tres.lasso, name, spec=label)
+            print(f"saved lasso trace to {path}")
+    _finish_stats(args, registry, spec=spec)
+    return 1 if violated else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -429,6 +584,19 @@ def cmd_selftest(args: argparse.Namespace) -> int:
             n_specs=args.specs,
             seed=str(args.seed),
             progress=lambda line: reporter.event("logfuzz", spec=line),
+        )
+        print(report.describe())
+        return 0 if report.ok else 1
+    if args.temporal:
+        from .testkit import run_temporal_fuzz
+
+        reporter = ProgressReporter(enabled=not args.quiet)
+        report = run_temporal_fuzz(
+            n_specs=args.specs,
+            seed=str(args.seed),
+            out_dir=args.out,
+            serial_only=args.serial_only,
+            progress=lambda line: reporter.event("temporal", spec=line),
         )
         print(report.describe())
         return 0 if report.ok else 1
@@ -748,8 +916,42 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--out", help="save the violation trace as a replayable JSON artifact"
     )
+    check.add_argument(
+        "--temporal",
+        action="append",
+        default=[],
+        metavar="NAME",
+        choices=PROPERTY_NAMES,
+        help="also check this temporal property over the explored graph:"
+        " lasso (prefix + fair cycle) detection under the spec's"
+        f" weak-fairness declarations (repeatable; one of: "
+        f"{', '.join(PROPERTY_NAMES)})",
+    )
     stats_args(check)
     check.set_defaults(fn=cmd_check)
+
+    liveness = sub.add_parser(
+        "check-liveness",
+        help="post-hoc lasso detection over a finished durable run's graph",
+    )
+    liveness.add_argument(
+        "run_dir", help="a finished `sandtable check --run-dir` directory"
+    )
+    liveness.add_argument("--system", required=True, choices=sorted(SPEC_CLASSES))
+    liveness.add_argument("--nodes", type=int, default=3)
+    liveness.add_argument("--bug", action="append", default=[], help="seed a bug flag")
+    liveness.add_argument(
+        "--temporal",
+        action="append",
+        default=[],
+        metavar="NAME",
+        choices=PROPERTY_NAMES,
+        help="property to check (repeatable; default: all of"
+        f" {', '.join(PROPERTY_NAMES)})",
+    )
+    no_compile(liveness)
+    stats_args(liveness)
+    liveness.set_defaults(fn=cmd_check_liveness)
 
     sim = sub.add_parser("simulate", help="random-walk exploration")
     common(sim)
@@ -882,6 +1084,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="grade the trace validator instead: random-walk logs with"
         " planted divergences at oracle-known indices (repro.testkit.genlog)",
+    )
+    selftest.add_argument(
+        "--temporal",
+        action="store_true",
+        help="grade the lasso finder instead: random specs whose fair-cycle"
+        " verdicts, minimal prefixes, and lasso traces are cross-checked"
+        " against a naive reference oracle (repro.testkit.gentemporal)",
     )
     selftest.add_argument(
         "--fast",

@@ -12,6 +12,13 @@ The comparative form is the useful oracle: a liveness bug (RaftOS#4's
 as a collapse of the progress rate relative to the fixed system under
 identical budgets — without the false positives a hard "P must happen"
 check would produce on budget-starved walks.
+
+A collapsed rate is still only a *suspicion*.  ``measure_progress(...,
+confirm=True)`` escalates it into an exact search: a bounded BFS census
+plus lasso detection over the explored graph (:mod:`repro.temporal`).
+The escalation honors the spec's weak-fairness declarations, so a walk
+that merely ran out of budget — fair actions still enabled at its final
+state — confirms as "no fair cycle" instead of a false counterexample.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import dataclasses
 import random
 import time
 from collections import Counter
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from .engine import SearchStats, StopReason, action_kinds
 from .simulation import random_walk
@@ -62,16 +69,31 @@ class LivenessStats:
     stop_reasons: Counter = dataclasses.field(default_factory=Counter)
     #: unified batch stats, comparable with the other exploration modes
     stats: Optional[SearchStats] = None
+    #: True when a ``confirm=`` escalation ran an exact lasso search
+    confirm_attempted: bool = False
+    #: the exact counterexample the escalation found, if any
+    #: (a :class:`repro.temporal.LassoTrace`)
+    lasso: Optional[Any] = None
 
     @property
     def rate(self) -> float:
         return self.achieved / self.walks if self.walks else 0.0
 
+    @property
+    def confirmed(self) -> bool:
+        """The collapsed rate was escalated and proven: a fair lasso exists."""
+        return self.lasso is not None
+
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.property.name}: achieved in {self.achieved}/{self.walks}"
             f" walks ({self.rate:.1%})"
         )
+        if self.confirmed:
+            return f"{base}; CONFIRMED — {self.lasso.describe()}"
+        if self.confirm_attempted:
+            return f"{base}; no fair cycle in the explored graph"
+        return base
 
 
 def measure_progress(
@@ -80,8 +102,19 @@ def measure_progress(
     n_walks: int = 200,
     max_depth: int = 40,
     seed: int = 0,
+    confirm: bool = False,
+    confirm_below: float = 0.05,
+    confirm_max_states: Optional[int] = 20_000,
 ) -> LivenessStats:
-    """Measure how often ``prop`` is eventually achieved in random walks."""
+    """Measure how often ``prop`` is eventually achieved in random walks.
+
+    With ``confirm=True``, a rate at or below ``confirm_below`` is
+    escalated into an exact lasso search over a bounded BFS census
+    (``confirm_max_states`` states): the returned stats then carry
+    ``lasso`` (a definite counterexample honoring the spec's
+    weak-fairness declarations) or record that no fair cycle exists in
+    the explored graph (``confirm_attempted`` with ``lasso is None``).
+    """
     rng = random.Random(seed)
     achieved = 0
     failure: Optional[Trace] = None
@@ -125,7 +158,7 @@ def measure_progress(
         elapsed=time.monotonic() - started,
         walks=n_walks,
     )
-    return LivenessStats(
+    measured = LivenessStats(
         prop,
         n_walks,
         achieved,
@@ -133,6 +166,18 @@ def measure_progress(
         stop_reasons=stop_reasons,
         stats=stats,
     )
+    if confirm and measured.rate <= confirm_below:
+        # Imported here: repro.temporal sits above core in the layering.
+        from repro.temporal import eventually, explore_and_check
+
+        results, _search = explore_and_check(
+            spec,
+            [eventually(prop.predicate, name=prop.name)],
+            max_states=confirm_max_states,
+        )
+        measured.confirm_attempted = True
+        measured.lasso = results[0].lasso
+    return measured
 
 
 def compare_progress(

@@ -30,6 +30,7 @@ __all__ = [
     "Action",
     "Invariant",
     "TransitionInvariant",
+    "WeakFairness",
     "Spec",
     "SpecError",
 ]
@@ -183,6 +184,36 @@ class TransitionInvariant:
         return f"TransitionInvariant({self.name!r})"
 
 
+@dataclasses.dataclass(frozen=True)
+class WeakFairness:
+    """A weak-fairness declaration over a set of actions (TLA+ ``WF_v``).
+
+    An infinite behavior is *fair* with respect to this declaration when
+    the named actions either fire infinitely often or are disabled
+    infinitely often — a scheduler may not keep a continuously-enabled
+    fair action waiting forever.  Over a lasso counterexample (see
+    :mod:`repro.temporal`) this reduces to a per-cycle check: some cycle
+    edge fires one of ``actions``, or some cycle state has them all
+    disabled.
+
+    ``enabled``, when given, overrides the default enabledness test
+    (``spec.successors`` restricted to ``actions`` yields at least one
+    transition).  Use it for specs whose budget counters live outside
+    the action guards, so budget exhaustion reads as "disabled" rather
+    than leaving the fairness obligation dangling.  Actions named here
+    that the spec does not define (optional machinery such as UDP
+    duplication) count as disabled.
+    """
+
+    name: str
+    actions: frozenset
+    enabled: Optional[Callable[[Rec], bool]] = None
+
+    @staticmethod
+    def of(name: str, *actions: str, enabled: Optional[Callable[[Rec], bool]] = None) -> "WeakFairness":
+        return WeakFairness(name, frozenset(actions), enabled)
+
+
 class Spec:
     """Base class for specifications.
 
@@ -231,6 +262,20 @@ class Spec:
         Permuting the members of any one set must not affect whether an
         action satisfies an invariant (§3.3).  The explorer canonicalizes
         states under these permutations when symmetry reduction is on.
+        """
+        return ()
+
+    def weak_fairness(self) -> Sequence[WeakFairness]:
+        """Weak-fairness declarations assumed by temporal properties.
+
+        The lasso finder (:mod:`repro.temporal`) only reports cycles
+        that are fair with respect to every declared set; an empty
+        declaration (the default) means every cycle — including
+        stuttering at a state the exploration never expanded — counts,
+        so specs that bound their state space should declare fairness
+        over their progress actions.  Predicates used in temporal
+        properties must be symmetric under :meth:`symmetry_sets`, like
+        invariants.
         """
         return ()
 

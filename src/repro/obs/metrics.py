@@ -45,6 +45,8 @@ __all__ = [
     "ROUND_WAIT_MS",
     "SIZE_BOUNDS",
     "STORE_BYTES",
+    "TEMPORAL_CYCLE_LEN",
+    "TEMPORAL_SCC_COUNT",
     "TIME_BOUNDS",
     "TRACECHECK_FRONTIER_SIZE",
     "TRACECHECK_STUTTER_STEPS",
@@ -102,6 +104,15 @@ TRACECHECK_FRONTIER_SIZE = "tracecheck.frontier_size"
 #: events on *accepted* matches — the total stuttering the validator
 #: needed to explain the log.
 TRACECHECK_STUTTER_STEPS = "tracecheck.stutter_steps"
+
+#: Gauge: strongly connected components of the avoid-region restriction
+#: the lasso finder examined on its last temporal check — the size of
+#: the fair-cycle search space.
+TEMPORAL_SCC_COUNT = "temporal.scc_count"
+
+#: Histogram: cycle length of each lasso counterexample found (a
+#: stuttering lasso observes 1).  One observation per violated property.
+TEMPORAL_CYCLE_LEN = "temporal.cycle_len"
 
 #: Geometric buckets for size-like observations (fan-out, batch sizes).
 SIZE_BOUNDS: Tuple[float, ...] = tuple(2**i for i in range(17))  # 1 .. 65536

@@ -21,8 +21,10 @@ seams); everything here imports core freely.
 """
 
 from .artifacts import (
+    load_lasso,
     load_trace,
     load_violation,
+    save_lasso,
     save_trace,
     save_violation,
     write_text_artifact,
@@ -39,7 +41,7 @@ from .checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from .diskstore import DiskStore
+from .diskstore import DiskStore, DiskStoreReader
 from .rundir import (
     FORMAT_VERSION,
     RunDir,
@@ -58,6 +60,7 @@ __all__ = [
     "atomic_write_json",
     "read_json",
     "DiskStore",
+    "DiskStoreReader",
     "write_checkpoint",
     "read_checkpoint",
     "build_checkpoint_bytes",
@@ -72,6 +75,8 @@ __all__ = [
     "load_trace",
     "save_violation",
     "load_violation",
+    "save_lasso",
+    "load_lasso",
     "write_text_artifact",
     "run_check",
     "BUDGET_KEYS",

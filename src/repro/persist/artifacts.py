@@ -24,6 +24,8 @@ __all__ = [
     "load_trace",
     "save_violation",
     "load_violation",
+    "save_lasso",
+    "load_lasso",
     "write_text_artifact",
 ]
 
@@ -85,6 +87,51 @@ def load_violation(path: Union[str, os.PathLike]) -> Violation:
         kind=data.get("kind", "state"),
         detail=data.get("detail", ""),
     )
+
+
+def save_lasso(
+    path: Union[str, os.PathLike],
+    lasso: Any,
+    property_name: str,
+    **extra: Any,
+) -> None:
+    """Write a liveness lasso as a replayable artifact (atomic).
+
+    The payload is a superset of the violation schema — ``invariant`` /
+    ``kind`` / ``trace`` at the top level — so the same file replays
+    through ``sandtable replay --trace`` (the prefix+cycle steps are
+    genuine spec transitions) *and* round-trips back into a
+    :class:`repro.temporal.LassoTrace` via :func:`load_lasso` (the
+    ``lasso_version`` / ``cycle_start`` / ``stuttering`` fields ride
+    alongside).
+    """
+    payload = {
+        "codec_version": CODEC_VERSION,
+        "invariant": property_name,
+        "kind": "liveness",
+        "detail": lasso.describe(),
+        "depth": lasso.trace.depth,
+        "trace": lasso.trace.to_dict(),
+        "lasso_version": lasso.to_dict()["lasso_version"],
+        "cycle_start": lasso.cycle_start,
+        "stuttering": lasso.stuttering,
+    }
+    payload.update(extra)
+    atomic_write_json(path, payload)
+
+
+def load_lasso(path: Union[str, os.PathLike]):
+    """Load a lasso artifact: ``(property_name, LassoTrace)``."""
+    from ..temporal import LassoTrace  # temporal sits above persist
+
+    data = read_json(path)
+    _check_codec(data, path)
+    if "lasso_version" not in data:
+        raise RunDirError(
+            f"artifact {path} is not a lasso artifact (no lasso_version);"
+            " safety violations load with load_violation"
+        )
+    return data.get("invariant", ""), LassoTrace.from_dict(data)
 
 
 def write_text_artifact(

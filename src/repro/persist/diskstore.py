@@ -53,7 +53,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from ..core.engine import _INT_BYTES, StateStore, TracelessStoreError
 from ..core.state import Rec, decode, encode
 
-__all__ = ["DiskStore"]
+__all__ = ["DiskStore", "DiskStoreReader"]
 
 _EDGE = struct.Struct(">QQIB")  # fp, parent fp (0 when absent), action id, flags
 _ROOT = struct.Struct(">QI")  # fp, codec length (codec bytes follow)
@@ -435,3 +435,69 @@ class DiskStore(StateStore):
             index[fp] = (parent if flags & _HAS_PARENT else None, aid)
         self._edge_index = index
         return index
+
+
+class DiskStoreReader(StateStore):
+    """Read-only view of a finished run's store directory.
+
+    The writable openings both mutate the directory: the constructor
+    clears leftovers for a fresh run, and :meth:`DiskStore.resume`
+    truncates the logs back to a committed checkpoint (discarding
+    whatever a finished run appended after its last checkpoint) and
+    unlinks unreferenced segments.  Post-hoc analysis — ``sandtable
+    check-liveness`` materializing the explored graph from a run that
+    already finished — instead wants the logs at their full on-disk
+    extent, untouched.  This reader opens them exactly so and never
+    writes; only the read half of the :class:`~repro.core.engine.StateStore`
+    contract is available.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = pathlib.Path(path)
+        roots_path = self.path / "roots.log"
+        actions_path = self.path / "actions.txt"
+        self._action_names: List[str] = (
+            actions_path.read_text(encoding="utf-8").splitlines()
+            if actions_path.exists()
+            else []
+        )
+        self._inits: Dict[int, Rec] = {}
+        if roots_path.exists():
+            data = roots_path.read_bytes()
+            offset = 0
+            while offset + _ROOT.size <= len(data):
+                fp, length = _ROOT.unpack_from(data, offset)
+                offset += _ROOT.size
+                self._inits[fp] = decode(data[offset : offset + length])
+                offset += length
+
+    def edges(self) -> Iterator[Tuple[Any, Optional[Any], str]]:
+        for fp in self._inits:
+            yield fp, None, _ROOT_ACTION
+        edges_path = self.path / "edges.log"
+        if not edges_path.exists():
+            return
+        with open(edges_path, "rb") as handle:
+            data = handle.read()
+        # Ignore a torn trailing record (a crash mid-write); every full
+        # record before it is a committed edge.
+        for offset in range(0, len(data) - _EDGE.size + 1, _EDGE.size):
+            fp, parent, aid, flags = _EDGE.unpack_from(data, offset)
+            yield fp, parent if flags & _HAS_PARENT else None, self._action_names[aid]
+
+    def roots(self) -> Iterator[Tuple[Any, Rec]]:
+        yield from self._inits.items()
+
+    def init_state(self, fp: Any) -> Rec:
+        return self._inits[fp]
+
+    def seen(self, fp: Any) -> bool:
+        raise RuntimeError(
+            "DiskStoreReader is a post-hoc edge/root reader, not a visited"
+            " set; reopen the store with DiskStore.resume to explore"
+        )
+
+    record = record_init = seen  # all writes rejected the same way
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.edges())

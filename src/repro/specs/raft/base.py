@@ -23,7 +23,14 @@ from __future__ import annotations
 import dataclasses
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ...core.spec import Action, Invariant, Spec, Transition, TransitionInvariant
+from ...core.spec import (
+    Action,
+    Invariant,
+    Spec,
+    Transition,
+    TransitionInvariant,
+    WeakFairness,
+)
 from ...core.state import Rec
 from ..network import TcpModel, UdpModel, bipartitions
 from . import messages as msg
@@ -200,6 +207,23 @@ class RaftSpec(Spec):
 
     def symmetry_sets(self) -> Sequence[Tuple[str, ...]]:
         return (self.nodes,)
+
+    def weak_fairness(self) -> Sequence[WeakFairness]:
+        """Fairness over the progress machinery, not over failures.
+
+        Message delivery, timeouts, and client requests must not be
+        starved by the scheduler; crashes, partitions, and UDP
+        drops/duplicates need never happen.  Budget exhaustion makes
+        the guarded actions *disabled* (the budgets live inside the
+        action guards), so a genuinely spent model reads as a real
+        deadlock while a merely unexpanded exploration frontier — where
+        these actions are still enabled — can never seed a lasso.
+        """
+        return (
+            WeakFairness.of("wf-deliver", "ReceiveMessage"),
+            WeakFairness.of("wf-timeout", "ElectionTimeout", "HeartbeatTimeout"),
+            WeakFairness.of("wf-client", "ClientRequest"),
+        )
 
     # ------------------------------------------------------------------
     # log accessors (absolute, 1-based indices; compaction-aware)

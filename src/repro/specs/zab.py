@@ -30,7 +30,14 @@ from __future__ import annotations
 import dataclasses
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.spec import Action, Invariant, Spec, Transition, TransitionInvariant
+from ..core.spec import (
+    Action,
+    Invariant,
+    Spec,
+    Transition,
+    TransitionInvariant,
+    WeakFairness,
+)
 from ..core.state import Rec
 from .network import TcpModel, bipartitions
 
@@ -197,6 +204,20 @@ class ZabSpec(Spec):
         # Node ids participate in the vote total order, so node symmetry
         # would not preserve the election outcome; values are symmetric.
         return ()
+
+    def weak_fairness(self) -> Sequence[WeakFairness]:
+        """Progress machinery is fair; failures need never happen.
+
+        Mirrors the Raft family (see ``RaftSpec.weak_fairness``): the
+        budgets live in the action guards, so exhaustion reads as
+        "disabled" and an unexpanded exploration frontier can never
+        seed a lasso.
+        """
+        return (
+            WeakFairness.of("wf-deliver", "ReceiveMessage"),
+            WeakFairness.of("wf-timeout", "ElectionTimeout"),
+            WeakFairness.of("wf-client", "ClientRequest"),
+        )
 
     # ------------------------------------------------------------------
     # helpers

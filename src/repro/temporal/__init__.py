@@ -1,0 +1,62 @@
+"""Real liveness checking: lasso detection over the explored state graph.
+
+SandTable itself (§3.1) approximates liveness through safety — the
+progress-rate measurement in :mod:`repro.core.liveness` can only say
+"suspicious".  This package does the TLC thing instead: it materializes
+the explored state graph from any :class:`~repro.core.engine.StateStore`
+(including a reopened ``DiskStore`` run directory, so liveness can be
+checked *post hoc* on a completed safety run), restricts it to the
+states that violate an "eventually" obligation, and searches for a
+**lasso** — a reachable prefix followed by a cycle that is fair with
+respect to the spec's weak-fairness declarations.  A lasso is a definite
+counterexample; absence of one is bounded by the explored graph (see
+DESIGN.md, "Temporal checking").
+
+The pieces:
+
+* :mod:`~repro.temporal.properties` — the ``TemporalProperty`` DSL:
+  ``eventually(P)``, ``always_eventually(P)``, ``leads_to(P, Q)``, plus
+  named ready-made properties for the Raft-family specs
+  (``eventually-elects-leader``, ``eventually-commits``, ...).
+* :mod:`~repro.temporal.graph` — the graph materializer over the
+  ``edges()``/``roots()`` store seams.
+* :mod:`~repro.temporal.lasso` — iterative-Tarjan SCC fair-cycle search
+  emitting a minimal-prefix :class:`~repro.temporal.lasso.LassoTrace`.
+"""
+
+from repro.core.spec import WeakFairness
+
+from .graph import STUTTER_ACTION, TemporalGraph, materialize_graph
+from .lasso import (
+    LassoTrace,
+    TemporalResult,
+    check_graph,
+    check_temporal,
+    explore_and_check,
+)
+from .properties import (
+    PROPERTY_NAMES,
+    TemporalProperty,
+    always_eventually,
+    eventually,
+    leads_to,
+    resolve_property,
+)
+
+__all__ = [
+    "WeakFairness",
+    "TemporalProperty",
+    "eventually",
+    "always_eventually",
+    "leads_to",
+    "resolve_property",
+    "PROPERTY_NAMES",
+    "TemporalGraph",
+    "materialize_graph",
+    "STUTTER_ACTION",
+    "LassoTrace",
+    "TemporalResult",
+    "check_graph",
+    "check_temporal",
+    "explore_and_check",
+]

@@ -1,0 +1,216 @@
+"""The temporal-property DSL.
+
+Three property shapes cover the liveness obligations the paper's Table 2
+bugs need (and what TLC users actually write):
+
+* ``eventually(P)`` — ◇P: every behavior eventually reaches a P-state.
+  A counterexample is a fair lasso whose prefix *and* cycle stay inside
+  ¬P, starting from a ¬P initial state.
+* ``always_eventually(P)`` — □◇P: P holds infinitely often.  A
+  counterexample is any reachable fair cycle inside ¬P (the prefix may
+  pass through P-states).
+* ``leads_to(P, Q)`` — P ⤳ Q: every P-state is eventually followed by a
+  Q-state.  A counterexample is a fair cycle inside ¬Q together with a
+  pending obligation: either the cycle itself contains a P-state, or
+  the prefix reaches a P-state and then stays inside ¬Q up to the
+  cycle.
+
+Fairness comes from ``spec.weak_fairness()`` plus any per-property
+``fairness`` declarations; the effective set is the union.  Predicates
+must be pure functions of the state and — when checked under symmetry
+reduction — symmetric under the spec's ``symmetry_sets``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+from repro.core.spec import Spec, WeakFairness
+from repro.core.state import Rec
+
+__all__ = [
+    "TemporalProperty",
+    "eventually",
+    "always_eventually",
+    "leads_to",
+    "resolve_property",
+    "PROPERTY_NAMES",
+]
+
+#: The three property shapes, named after their TLA+ reading.
+KINDS = ("eventually", "always_eventually", "leads_to")
+
+
+@dataclasses.dataclass(frozen=True)
+class TemporalProperty:
+    """One temporal obligation over specification states."""
+
+    name: str
+    kind: str  # one of KINDS
+    predicate: Callable[[Rec], bool]  # P
+    goal: Optional[Callable[[Rec], bool]] = None  # Q, for leads_to only
+    fairness: Tuple[WeakFairness, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown temporal kind {self.kind!r}; expected one of {KINDS}")
+        if (self.kind == "leads_to") != (self.goal is not None):
+            raise ValueError("leads_to takes exactly two predicates; the others exactly one")
+
+    def describe(self) -> str:
+        if self.kind == "eventually":
+            return f"<>{self.name}"
+        if self.kind == "always_eventually":
+            return f"[]<>{self.name}"
+        return f"{self.name} ~> goal"
+
+    def effective_fairness(self, spec: Spec) -> Tuple[WeakFairness, ...]:
+        """Spec-level fairness plus this property's own, declaration order."""
+        merged = list(spec.weak_fairness())
+        seen = {wf.name for wf in merged}
+        for wf in self.fairness:
+            if wf.name not in seen:
+                merged.append(wf)
+                seen.add(wf.name)
+        return tuple(merged)
+
+
+def eventually(
+    predicate: Callable[[Rec], bool],
+    name: str = "P",
+    fairness: Tuple[WeakFairness, ...] = (),
+) -> TemporalProperty:
+    """◇P — every fair behavior eventually satisfies ``predicate``."""
+    return TemporalProperty(name, "eventually", predicate, fairness=tuple(fairness))
+
+
+def always_eventually(
+    predicate: Callable[[Rec], bool],
+    name: str = "P",
+    fairness: Tuple[WeakFairness, ...] = (),
+) -> TemporalProperty:
+    """□◇P — ``predicate`` holds infinitely often on every fair behavior."""
+    return TemporalProperty(name, "always_eventually", predicate, fairness=tuple(fairness))
+
+
+def leads_to(
+    predicate: Callable[[Rec], bool],
+    goal: Callable[[Rec], bool],
+    name: str = "P~>Q",
+    fairness: Tuple[WeakFairness, ...] = (),
+) -> TemporalProperty:
+    """P ⤳ Q — every ``predicate``-state is eventually followed by ``goal``."""
+    return TemporalProperty(name, "leads_to", predicate, goal=goal, fairness=tuple(fairness))
+
+
+# ---------------------------------------------------------------------------
+# named ready-made properties for the Raft-family specs (CLI surface)
+# ---------------------------------------------------------------------------
+
+
+def _nodes_of(spec: Spec) -> tuple:
+    nodes = getattr(spec, "nodes", None)
+    if not nodes:
+        raise ValueError(
+            f"spec {spec.name!r} has no `nodes` attribute; the named temporal"
+            " properties are defined for the Raft-family and zab specs —"
+            " construct a TemporalProperty directly instead"
+        )
+    return tuple(nodes)
+
+
+def _leader_elected(spec: Spec) -> TemporalProperty:
+    nodes = _nodes_of(spec)
+    leaders = ("Leader", "Leading")  # Raft-family role / zab role
+    return eventually(
+        lambda state: any(state["role"][n] in leaders for n in nodes),
+        name="eventually-elects-leader",
+    )
+
+
+def _commits(spec: Spec) -> TemporalProperty:
+    nodes = _nodes_of(spec)
+    return eventually(
+        lambda state: any(state["commitIndex"][n] >= 1 for n in nodes),
+        name="eventually-commits",
+    )
+
+
+def _quorum_commits(spec: Spec) -> TemporalProperty:
+    nodes = _nodes_of(spec)
+    quorum = len(nodes) // 2 + 1
+    return eventually(
+        lambda state: sum(1 for n in nodes if state["commitIndex"][n] >= 1) >= quorum,
+        name="eventually-quorum-commits",
+    )
+
+
+def _replicated_uncommitted(nodes, quorum):
+    """A quorum-replicated log index the leader has not committed yet.
+
+    Replication is judged on actual log contents, not on the leader's
+    ``matchIndex`` bookkeeping — bugs in exactly that bookkeeping
+    (PySyncObj#4's non-monotonic match index) are what this predicate
+    needs to expose.  Only current-term entries count, mirroring the
+    commit rule.
+    """
+
+    def pending(state: Rec) -> bool:
+        for leader in nodes:
+            if state["role"][leader] != "Leader":
+                continue
+            log = state["log"][leader]
+            for index in range(state["commitIndex"][leader] + 1, len(log) + 1):
+                entry = log[index - 1]
+                if entry["term"] != state["currentTerm"][leader]:
+                    continue
+                replicas = sum(
+                    1
+                    for n in nodes
+                    if len(state["log"][n]) >= index
+                    and state["log"][n][index - 1] == entry
+                )
+                if replicas >= quorum:
+                    return True
+        return False
+
+    return pending
+
+
+def _commit_caught_up(spec: Spec) -> TemporalProperty:
+    """□◇(no quorum-replicated entry is stuck uncommitted at its leader).
+
+    The exact form of the paper's "cluster fails to make progress"
+    liveness bugs (RaftOS#4): a current-term entry is acknowledged by a
+    quorum, yet the leader's commit index never advances past it.
+    """
+    nodes = _nodes_of(spec)
+    quorum = len(nodes) // 2 + 1
+    pending = _replicated_uncommitted(nodes, quorum)
+    return always_eventually(
+        lambda state: not pending(state),
+        name="always-commit-caught-up",
+    )
+
+
+_REGISTRY = {
+    "eventually-elects-leader": _leader_elected,
+    "eventually-commits": _commits,
+    "eventually-quorum-commits": _quorum_commits,
+    "always-commit-caught-up": _commit_caught_up,
+}
+
+#: The property names `sandtable check --temporal` accepts.
+PROPERTY_NAMES = tuple(sorted(_REGISTRY))
+
+
+def resolve_property(spec: Spec, name: str) -> TemporalProperty:
+    """Resolve a CLI property name against ``spec``, or raise ValueError."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        available = ", ".join(PROPERTY_NAMES)
+        raise ValueError(
+            f"unknown temporal property {name!r}; available: {available}"
+        )
+    return factory(spec)

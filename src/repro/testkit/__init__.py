@@ -30,6 +30,16 @@ from .genlog import (
     run_log_fuzz,
     walk_log,
 )
+from .gentemporal import (
+    TEMPORAL_ARTIFACT_KIND,
+    PlantedProperty,
+    TemporalFuzzFailure,
+    TemporalFuzzReport,
+    plant_temporal_properties,
+    property_from_descriptor,
+    replay_temporal_artifact,
+    run_temporal_fuzz,
+)
 from .genspec import (
     PLANTED_INVARIANT,
     GeneratedSpec,
@@ -40,7 +50,15 @@ from .genspec import (
     sample_params,
     signature,
 )
-from .oracle import OracleResult, oracle_explore
+from .oracle import (
+    OracleResult,
+    OracleTemporalGraph,
+    OracleTemporalVerdict,
+    oracle_check_temporal,
+    oracle_explore,
+    oracle_temporal_graph,
+    oracle_validate_lasso,
+)
 
 __all__ = [
     "ARTIFACT_KIND",
@@ -60,7 +78,20 @@ __all__ = [
     "sample_params",
     "signature",
     "OracleResult",
+    "OracleTemporalGraph",
+    "OracleTemporalVerdict",
+    "oracle_check_temporal",
     "oracle_explore",
+    "oracle_temporal_graph",
+    "oracle_validate_lasso",
+    "TEMPORAL_ARTIFACT_KIND",
+    "PlantedProperty",
+    "TemporalFuzzFailure",
+    "TemporalFuzzReport",
+    "plant_temporal_properties",
+    "property_from_descriptor",
+    "replay_temporal_artifact",
+    "run_temporal_fuzz",
     "MUTATION_KINDS",
     "LogFuzzFailure",
     "LogFuzzReport",

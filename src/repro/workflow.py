@@ -46,10 +46,17 @@ class CheckOutcome:
     constraint: Mapping[str, Any]
     exploration: SearchResult
     confirmation: Optional[BugConfirmation] = None
+    #: per-property :class:`repro.temporal.TemporalResult`, when the
+    #: workflow was asked to check temporal properties
+    temporal: List[Any] = dataclasses.field(default_factory=list)
 
     @property
     def found_bug(self) -> bool:
         return self.confirmation is not None and self.confirmation.confirmed
+
+    @property
+    def found_lasso(self) -> bool:
+        return any(t.lasso is not None for t in self.temporal)
 
 
 @dataclasses.dataclass
@@ -116,6 +123,8 @@ class WorkflowResult:
                 f"  {dict(outcome.constraint)}: {stats.describe()},"
                 f" stop: {outcome.exploration.stop_reason}, {verdict}"
             )
+            for tres in outcome.temporal:
+                lines.append(f"    {tres.describe()}")
         return "\n".join(lines)
 
 
@@ -134,11 +143,17 @@ def run_workflow(
     workers: int = 1,
     run_dir: Optional[Any] = None,
     metrics: Optional[Any] = None,
+    temporal: Sequence[str] = (),
 ) -> WorkflowResult:
     """Run the Figure 1 workflow for one target system.
 
     ``spec_factory(constraint)`` builds the spec for a candidate budget
     constraint; the first constraint is used for the conformance phase.
+    ``temporal`` names properties from :mod:`repro.temporal` to check
+    over each explored graph after the safety pass (serial runs only —
+    the lasso search needs the in-memory state store); any lasso found
+    is reported per check and saved as a replayable artifact in durable
+    runs.
     With ``run_dir`` the workflow is durable: the conformance report,
     every violation trace (as a replayable artifact), the confirmed-bug
     Markdown reports, the summary, and a metrics sink
@@ -192,15 +207,31 @@ def run_workflow(
     )[0]
 
     # -- phases 3 and 4: model checking + confirmation ----------------------
+    if temporal and workers > 1:
+        raise ValueError(
+            "temporal checking in the workflow needs the serial explorer's"
+            " in-memory state graph; run with workers=1"
+        )
     checks: List[CheckOutcome] = []
     for score in ranked.top(top_constraints):
         spec = spec_factory(score.constraint)
+        explore_extra: dict = {}
+        temporal_store = None
+        if temporal:
+            from .core.engine import CompactStore  # local: keep import light
+
+            # Keep exploring past safety violations: the lasso search
+            # needs the full budgeted census, and the first violation is
+            # still collected and confirmed below.
+            temporal_store = CompactStore()
+            explore_extra = {"store": temporal_store, "stop_on_violation": False}
         exploration = bfs_explore(
             spec,
             max_states=max_states,
             time_budget=time_budget,
             workers=workers,
             metrics=metrics,
+            **explore_extra,
         )
         confirmation = None
         if exploration.found_violation:
@@ -210,7 +241,18 @@ def run_workflow(
             confirmation = BugReplayer(bug_checker, metrics=metrics).confirm(
                 exploration.violation
             )
-        checks.append(CheckOutcome(score.constraint, exploration, confirmation))
+        temporal_results: List[Any] = []
+        if temporal:
+            from .temporal import check_graph, materialize_graph, resolve_property
+
+            graph = materialize_graph(spec, temporal_store)
+            temporal_results = [
+                check_graph(graph, resolve_property(spec, name), metrics=metrics)
+                for name in temporal
+            ]
+        checks.append(
+            CheckOutcome(score.constraint, exploration, confirmation, temporal_results)
+        )
     result = WorkflowResult(system, conformance, ranked, checks)
     _save_workflow_artifacts(rd, result, metrics)
     return result
@@ -222,7 +264,7 @@ def _save_workflow_artifacts(
     """Write a workflow's durable leftovers into its run directory."""
     if rd is None:
         return
-    from .persist import save_violation, write_text_artifact
+    from .persist import save_lasso, save_violation, write_text_artifact
 
     if metrics is not None:
         from .obs import MetricsSink
@@ -253,6 +295,14 @@ def _save_workflow_artifacts(
                 outcome.exploration.violation,
                 constraint=dict(outcome.constraint),
             )
+        for tres in outcome.temporal:
+            if tres.lasso is not None:
+                save_lasso(
+                    rd.artifact_path(f"check-{index}-lasso-{tres.property.name}.json"),
+                    tres.lasso,
+                    tres.property.name,
+                    constraint=dict(outcome.constraint),
+                )
     for index, report in enumerate(result.bug_reports()):
         write_text_artifact(
             rd.artifact_path(f"bug-report-{index}.md"), report.to_markdown()

@@ -150,3 +150,71 @@ class TestRaftOS4Liveness:
         # Commits of current-term entries still happen in both; the
         # buggy variant can only be worse, never better.
         assert buggy.achieved <= fixed.achieved
+
+
+class TestConfirmEscalation:
+    """``confirm=`` escalates a collapsed rate into an exact lasso search.
+
+    The progress-rate API itself is unchanged: without ``confirm`` the
+    stats never attempt the escalation, whatever the rate."""
+
+    CFG = RaftConfig(
+        nodes=("n1", "n2"),
+        values=("v1",),
+        max_timeouts=2,
+        max_requests=1,
+        max_partitions=0,
+        max_crashes=2,
+        max_restarts=0,
+        max_drops=0,
+        max_dups=0,
+        max_buffer=5,
+        max_term=2,
+    )
+
+    def spec(self):
+        from repro.specs.raft import PySyncObjSpec
+
+        return PySyncObjSpec(self.CFG)
+
+    def test_no_confirm_by_default(self):
+        stats = measure_progress(
+            self.spec(), leader_elected(("n1", "n2")), n_walks=10, max_depth=8, seed=1
+        )
+        assert not stats.confirm_attempted and not stats.confirmed
+        assert "no fair cycle" not in stats.describe()
+
+    def test_escalation_confirms_a_fair_lasso(self):
+        # Both nodes can crash with no restarts budgeted: a fair stutter
+        # lasso proves the election really can stall forever.
+        stats = measure_progress(
+            self.spec(),
+            leader_elected(("n1", "n2")),
+            n_walks=10,
+            max_depth=8,
+            seed=1,
+            confirm=True,
+            confirm_below=1.0,
+            confirm_max_states=800,
+        )
+        assert stats.confirm_attempted
+        assert stats.confirmed and stats.lasso is not None
+        assert stats.lasso.stuttering
+        assert "CONFIRMED" in stats.describe()
+
+    def test_budget_starved_escalation_reports_no_cycle(self):
+        # With only 2 states explored, the frontier still has fair
+        # actions enabled — the escalation must not fabricate a lasso.
+        stats = measure_progress(
+            self.spec(),
+            leader_elected(("n1", "n2")),
+            n_walks=5,
+            max_depth=4,
+            seed=1,
+            confirm=True,
+            confirm_below=1.0,
+            confirm_max_states=2,
+        )
+        assert stats.confirm_attempted
+        assert not stats.confirmed and stats.lasso is None
+        assert "no fair cycle" in stats.describe()
